@@ -1,0 +1,18 @@
+"""Ablation benchmarks: each SmartMem design decision must pay its way."""
+
+from repro.bench import ablations
+
+
+def test_ablations(benchmark):
+    exp = benchmark.pedantic(ablations.run, rounds=1, iterations=1)
+    print("\n" + exp.render())
+    for model, data in exp.data.items():
+        for variant, d in data.items():
+            assert d["slowdown"] >= 0.999, (model, variant, d)
+        # transformers lose more from disabling LTE than ConvNets
+        if model in ("Swin", "CSwin", "ViT"):
+            assert data["no-lte"]["slowdown"] > 1.15, model
+            assert data["no-texture (k=1)"]["slowdown"] > 1.02, model
+        # raw index expressions cost something on transform-heavy models
+        if model in ("Swin", "CSwin"):
+            assert data["raw-index"]["slowdown"] > 1.005, model

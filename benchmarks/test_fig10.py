@@ -1,0 +1,21 @@
+"""Regenerates Figure 10: Swin across batch sizes."""
+
+from repro.bench import fig10
+
+
+def test_fig10(benchmark):
+    exp = benchmark.pedantic(fig10.run, rounds=1, iterations=1)
+    print("\n" + exp.render())
+    for batch in (1, 2, 4, 8, 16):
+        lat = exp.data[batch]
+        if lat["Ours"] is None:
+            continue
+        for fw in ("MNN", "TVM", "DNNF"):
+            if lat[fw] is not None:
+                assert lat[fw] > lat["Ours"], (batch, fw)
+    # speedups stay roughly constant across batch sizes (paper: 11.6-13.2x
+    # vs MNN at every batch) - check stability within 25%
+    ratios = [exp.data[b]["MNN"] / exp.data[b]["Ours"]
+              for b in (1, 4, 16)
+              if exp.data[b]["MNN"] and exp.data[b]["Ours"]]
+    assert max(ratios) / min(ratios) < 1.25

@@ -1,0 +1,19 @@
+"""Regenerates Figure 12: roofline analysis."""
+
+from repro.bench import fig12
+from repro.bench.paper_data import FIG12
+
+
+def test_fig12(benchmark):
+    exp = benchmark.pedantic(fig12.run, rounds=1, iterations=1)
+    print("\n" + exp.render())
+    gmacs = {m: exp.data[m]["gmacs"] for m in exp.data}
+    # the paper's monotone ordering across the four models
+    assert (gmacs["Swin"] < gmacs["ViT"] < gmacs["ResNext"]
+            < gmacs["SD-VAEDecoder"])
+    # achieved GMACS within 2x of each paper point (149/204/271/360)
+    for name, (paper_gmacs, _frac) in FIG12.items():
+        assert paper_gmacs / 2 < gmacs[name] < paper_gmacs * 2, name
+    # nothing exceeds its roofline bound
+    for name, d in exp.data.items():
+        assert d["gmacs"] <= d["roof"] * 1.001

@@ -1,0 +1,23 @@
+"""Regenerates Figure 7: memory access and cache miss counts."""
+
+from repro.bench import fig7
+from repro.bench.harness import geomean
+
+
+def test_fig7(benchmark):
+    exp = benchmark.pedantic(fig7.run, rounds=1, iterations=1)
+    print("\n" + exp.render())
+    all_access, all_miss = [], []
+    for model in ("CSwin", "ResNext"):
+        access = exp.data[model]["mem access"]
+        miss = exp.data[model]["cache miss"]
+        assert access["Ours"] == 1.0
+        for fw, value in access.items():
+            if value is not None and fw != "Ours":
+                all_access.append(value)
+        for fw, value in miss.items():
+            if value is not None and fw != "Ours":
+                all_miss.append(value)
+    # paper: 1.8x fewer accesses, 2.0x fewer misses on average
+    assert 1.2 < geomean(all_access) < 4.0
+    assert 1.2 < geomean(all_miss) < 6.0

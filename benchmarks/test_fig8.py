@@ -1,0 +1,27 @@
+"""Regenerates Figure 8: per-stage speedup over DNNFusion."""
+
+from repro.bench import fig8
+from repro.bench.paper_data import FIG8_RANGES
+
+
+def test_fig8(benchmark):
+    exp = benchmark.pedantic(fig8.run, rounds=1, iterations=1)
+    print("\n" + exp.render())
+    transformers = ["AutoFormer", "BiFormer", "EfficientVit", "CSwin", "ViT"]
+    convnets = ["ConvNext", "RegNet", "ResNext"]
+    for name in transformers + convnets:
+        d = exp.data[name]
+        # stages are cumulative improvements
+        assert d["+LTE"] <= d["+LayoutSelect"] * 1.001
+        assert d["+LayoutSelect"] <= d["+OtherOpt"] * 1.001
+    # LTE matters much more for transformers than pure ConvNets
+    lte_tf = sum(exp.data[n]["+LTE"] for n in transformers) / len(transformers)
+    lte_cnn = sum(exp.data[n]["+LTE"] for n in convnets) / len(convnets)
+    assert lte_tf > lte_cnn
+    # Index Comprehension contributes 1.1-1.3x within LTE (paper Sec 4.3)
+    for name in transformers:
+        gain = exp.data[name]["index_comprehension"]
+        assert 1.0 <= gain <= 1.45, (name, gain)
+    # final cumulative speedups within the plausible band of Fig. 8
+    for name in transformers:
+        assert 1.5 < exp.data[name]["+OtherOpt"] < 6.0

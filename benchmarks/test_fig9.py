@@ -1,0 +1,15 @@
+"""Regenerates Figure 9: per-stage memory access / cache miss reduction."""
+
+from repro.bench import fig9
+
+
+def test_fig9(benchmark):
+    exp = benchmark.pedantic(fig9.run, rounds=1, iterations=1)
+    print("\n" + exp.render())
+    cswin_access = exp.data["CSwin"]["mem access"]
+    cswin_miss = exp.data["CSwin"]["cache miss"]
+    # LTE removes data reorganizations: accesses drop sharply from DNNF
+    assert cswin_access["DNNF"] > cswin_access["+LTE"] * 1.2
+    # the fully optimized version has the fewest of both
+    for metric in (cswin_access, cswin_miss):
+        assert metric["+OtherOpt"] == min(metric.values())

@@ -1,0 +1,15 @@
+"""Regenerates the Section 3.2.2 read-vs-write microbenchmark."""
+
+import pytest
+
+from repro.bench import micro_rw
+
+
+def test_micro_rw(benchmark):
+    exp = benchmark.pedantic(micro_rw.run, rounds=1, iterations=1)
+    print("\n" + exp.render())
+    # paper: 1.7x / 1.4x / 1.1x for conv / matmul / activation
+    assert exp.data["conv2d"] == pytest.approx(1.7, abs=0.4)
+    assert exp.data["matmul"] == pytest.approx(1.4, abs=0.3)
+    assert exp.data["activation"] == pytest.approx(1.1, abs=0.15)
+    assert exp.data["conv2d"] > exp.data["matmul"] > exp.data["activation"] > 1.0

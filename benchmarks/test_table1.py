@@ -1,0 +1,18 @@
+"""Regenerates Table 1: MNN latency/transformation breakdown."""
+
+from repro.bench import table1
+
+
+def test_table1(benchmark):
+    exp = benchmark.pedantic(table1.run, rounds=1, iterations=1)
+    print("\n" + exp.render())
+    # Transformer rows spend most of their time on transformations;
+    # ConvNet rows don't.  Speeds collapse by ~an order of magnitude.
+    transform = lambda d: d["implicit_pct"] + d["explicit_pct"]
+    for cnn in ("ResNet50", "RegNet"):
+        assert transform(exp.data[cnn]) < 30
+    for tf in ("Swin", "AutoFormer", "CrossFormer", "CSwin"):
+        assert transform(exp.data[tf]) > 35
+    assert exp.data["ResNet50"]["gmacs"] > 5 * exp.data["Swin"]["gmacs"]
+    # FST: the InstanceNorm model is dominated by implicit conversions
+    assert exp.data["FST"]["implicit_pct"] > 25

@@ -1,0 +1,25 @@
+"""Regenerates Table 7: operator counts per framework across 18 models."""
+
+from repro.bench import table7
+from repro.models import EVAL_MODELS
+
+
+def test_table7(benchmark):
+    exp = benchmark.pedantic(table7.run, rounds=1, iterations=1)
+    print("\n" + exp.render())
+    transformer_like = [n for n, info in EVAL_MODELS.items()
+                        if info.model_type in ("Transformer", "Hybrid")]
+    for name in EVAL_MODELS:
+        counts = exp.data[name]
+        # SmartMem always produces the fewest operators
+        supported = {k: v for k, v in counts.items()
+                     if k not in ("unoptimized",) and v}
+        assert counts["Ours"] == min(supported.values()), name
+        # NCNN/TFLite only support ConvNets (the '-' cells)
+        if name in transformer_like:
+            assert counts["NCNN"] is None and counts["TFLite"] is None
+    # elimination gains vs DNNFusion: 1.1-1.7x on Transformer/Hybrid
+    ratios = [exp.data[n]["DNNF"] / exp.data[n]["Ours"]
+              for n in transformer_like]
+    assert all(r > 1.05 for r in ratios)
+    assert max(ratios) < 3.0

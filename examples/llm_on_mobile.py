@@ -1,0 +1,53 @@
+"""LLM inference on mobile: Pythia-1B prefill under every framework.
+
+The paper's motivation: decoder LLMs spend 40%+ of their mobile runtime
+on layout transformations (Table 1's Pythia row).  This example sweeps
+sequence lengths and devices and shows where SmartMem's elimination pays.
+
+Run:  python examples/llm_on_mobile.py
+"""
+
+from repro import DIMENSITY700, SD8GEN2, build_model
+from repro.baselines import make_framework
+from repro.bench.harness import format_table
+
+
+def main() -> None:
+    frameworks = ("MNN", "TVM", "DNNF", "Ours")
+
+    # -- sequence-length sweep on the flagship phone ----------------------
+    rows = []
+    for seq in (32, 64, 128, 256):
+        graph = build_model("Pythia", seq=seq)
+        lat = {}
+        for fw_name in frameworks:
+            result = make_framework(fw_name).compile(graph, SD8GEN2)
+            lat[fw_name] = result.cost(SD8GEN2).latency_ms
+        rows.append([str(seq), f"{graph.total_macs() / 1e9:.0f}"]
+                    + [f"{lat[f]:,.0f}" for f in frameworks]
+                    + [f"{lat['DNNF'] / lat['Ours']:.2f}x"])
+    print(format_table(
+        ["seq len", "GMACs"] + list(frameworks) + ["Ours vs DNNF"], rows,
+        title="Pythia-1B prefill latency (ms) on Snapdragon 8 Gen 2"))
+
+    # -- what did SmartMem remove? ----------------------------------------
+    graph = build_model("Pythia", seq=128)
+    ours = make_framework("Ours").compile(graph, SD8GEN2)
+    print(f"\nPythia operators: {len(graph.nodes)} -> {ours.operator_count}")
+    print(f"eliminated transforms: {ours.extra['eliminated']}")
+    print("(rotary-embedding slices/concats and attention head "
+          "reshape/transpose pairs all became index computation)")
+
+    # -- a weaker device: the gap widens ----------------------------------
+    print("\nOn the 4GB Dimensity 700 (Mali-G57):")
+    graph = build_model("Pythia", seq=64)
+    for fw_name in frameworks:
+        result = make_framework(fw_name).compile(graph, DIMENSITY700)
+        if result.supported:
+            print(f"  {fw_name:6s} {result.cost(DIMENSITY700).latency_ms:10,.0f} ms")
+        else:
+            print(f"  {fw_name:6s} unsupported: {result.reason}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Stable Diffusion on a phone: costing the full three-model pipeline.
+
+A text-to-image step runs TextEncoder once, UNet once per denoising step,
+and VAEDecoder once.  This example regenerates the per-model numbers of
+Table 8 and composes them into an end-to-end image latency.
+
+Run:  python examples/stable_diffusion.py
+"""
+
+from repro import SD8GEN2, build_model
+from repro.baselines import make_framework
+from repro.bench.harness import format_table
+
+DENOISING_STEPS = 20
+
+
+def main() -> None:
+    frameworks = ("MNN", "TVM", "DNNF", "Ours")
+    models = ("SD-TextEncoder", "SD-UNet", "SD-VAEDecoder")
+
+    latency = {fw: {} for fw in frameworks}
+    rows = []
+    for model in models:
+        graph = build_model(model)
+        row = [model, f"{graph.total_macs() / 1e9:.0f}"]
+        for fw_name in frameworks:
+            result = make_framework(fw_name).compile(graph, SD8GEN2)
+            ms = result.cost(SD8GEN2).latency_ms
+            latency[fw_name][model] = ms
+            row.append(f"{ms:,.0f}")
+        rows.append(row)
+    print(format_table(["model", "GMACs"] + list(frameworks), rows,
+                       title="Stable Diffusion component latency (ms), "
+                             "Snapdragon 8 Gen 2"))
+
+    print(f"\nend-to-end image ({DENOISING_STEPS} denoising steps):")
+    for fw_name in frameworks:
+        lat = latency[fw_name]
+        total = (lat["SD-TextEncoder"]
+                 + DENOISING_STEPS * lat["SD-UNet"]
+                 + lat["SD-VAEDecoder"]) / 1000.0
+        print(f"  {fw_name:6s} {total:8.1f} s")
+
+    ours = latency["Ours"]
+    mnn = latency["MNN"]
+    total_speedup = (mnn["SD-TextEncoder"] + DENOISING_STEPS * mnn["SD-UNet"]
+                     + mnn["SD-VAEDecoder"]) / (
+        ours["SD-TextEncoder"] + DENOISING_STEPS * ours["SD-UNet"]
+        + ours["SD-VAEDecoder"])
+    print(f"\nSmartMem makes on-device generation {total_speedup:.1f}x "
+          f"faster than MNN end to end.")
+
+
+if __name__ == "__main__":
+    main()

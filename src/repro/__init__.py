@@ -1,0 +1,41 @@
+"""SmartMem reproduction: layout transformation elimination and adaptation
+for efficient DNN execution on mobile (Niu et al., ASPLOS 2024).
+
+Quickstart::
+
+    from repro import build_model, optimize, estimate_cost, SD8GEN2
+
+    graph = build_model("Swin")
+    module = optimize(graph)                      # the SmartMem pipeline
+    report = estimate_cost(module, SD8GEN2)       # analytical device model
+    print(report.latency_ms, module.operator_count)
+"""
+
+from .core.pipeline import OptimizeResult, PipelineStages, smartmem_optimize
+from .ir.builder import GraphBuilder
+from .ir.graph import Graph
+from .models import build as build_model
+from .runtime.cost_model import CostModelConfig, CostReport, estimate
+from .runtime.device import DEVICES, DIMENSITY700, DeviceSpec, SD835, SD8GEN2, V100
+
+__version__ = "1.0.0"
+
+
+def optimize(graph: Graph, stages: PipelineStages | None = None) -> OptimizeResult:
+    """Run the full SmartMem optimization pipeline on a model graph."""
+    return smartmem_optimize(graph, stages)
+
+
+def estimate_cost(module: OptimizeResult, device: DeviceSpec = SD8GEN2,
+                  config: CostModelConfig | None = None) -> CostReport:
+    """Cost an optimized module on a device model."""
+    config = config or CostModelConfig(extra_efficiency=module.extra_efficiency)
+    return estimate(module.graph, device, module.plan, config)
+
+
+__all__ = [
+    "CostModelConfig", "CostReport", "DEVICES", "DIMENSITY700", "DeviceSpec",
+    "Graph", "GraphBuilder", "OptimizeResult", "PipelineStages", "SD835",
+    "SD8GEN2", "V100", "build_model", "estimate", "estimate_cost", "optimize",
+    "smartmem_optimize", "__version__",
+]

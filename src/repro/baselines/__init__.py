@@ -1,0 +1,14 @@
+"""Baseline framework models: MNN, NCNN, TFLite, TVM, DNNFusion,
+TorchInductor - plus SmartMem itself behind the same interface."""
+
+from .base import Framework, FrameworkResult, IMAGE_DOMAIN, LINEAR_DOMAIN
+from .frameworks import (
+    ALL_FRAMEWORKS, DNNFusion, MNN, NCNN, SmartMem, TFLite, TVM,
+    TorchInductor, make_framework,
+)
+
+__all__ = [
+    "ALL_FRAMEWORKS", "DNNFusion", "Framework", "FrameworkResult",
+    "IMAGE_DOMAIN", "LINEAR_DOMAIN", "MNN", "NCNN", "SmartMem", "TFLite",
+    "TVM", "TorchInductor", "make_framework",
+]

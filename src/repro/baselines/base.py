@@ -1,0 +1,191 @@
+"""Framework abstraction: every compared system behind one interface.
+
+A Framework turns a source model graph into an executable module (grouped
+graph + layout plan + cost-model config) the way the corresponding real
+framework would:
+
+* which operators it supports at all (NCNN/TFLite reject transformer
+  operators on mobile GPU - the '-' cells of Table 7),
+* which *implicit* layout conversions it inserts between layout domains
+  (Fig. 1b: MNN wraps InstanceNorm-style ops in converts),
+* how aggressively it fuses (fixed patterns vs rule-based vs
+  mapping-based),
+* whether it eliminates layout transformations and selects layouts
+  (only SmartMem does),
+* how much memory it needs (pooled vs unpooled allocation, staging
+  copies) - the feasibility model behind the OOM '-' bars of
+  Figs. 10 and 11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.elimination import count_layout_transforms
+from ..core.fusion import FusionPolicy, fuse
+from ..core.layout_selection import LayoutPlan, default_plan
+from ..ir.graph import Graph
+from ..runtime.cost_model import (
+    CostModelConfig, CostReport, estimate, peak_activation_bytes,
+)
+from ..runtime.device import DeviceSpec
+
+# Layout domains for implicit-convert insertion.  IMAGE ops want the
+# packed-channel image layout; LINEAR ops want flattened row-major data.
+IMAGE_DOMAIN = {
+    "conv2d", "maxpool2d", "avgpool2d", "global_avgpool", "upsample2d",
+    "batchnorm", "space_to_depth", "depth_to_space",
+}
+LINEAR_DOMAIN = {
+    "dense", "matmul", "layernorm", "rmsnorm", "softmax", "embedding",
+    "gather", "reduce_mean", "reduce_sum", "reduce_max", "instancenorm",
+    "groupnorm",
+}
+# Everything else (elementwise, reshape/transpose, concat, slice, pad)
+# is neutral: it runs in whatever domain its input is in.
+
+
+@dataclass
+class FrameworkResult:
+    """Outcome of running a framework's compilation pipeline."""
+
+    framework: str
+    supported: bool
+    graph: Graph | None = None
+    plan: LayoutPlan | None = None
+    config: CostModelConfig = field(default_factory=CostModelConfig)
+    reason: str = ""
+    implicit_converts: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def operator_count(self) -> int:
+        return self.graph.num_operators if self.graph is not None else 0
+
+    def cost(self, device: DeviceSpec) -> CostReport:
+        if not self.supported:
+            raise RuntimeError(f"{self.framework} does not support this model: "
+                               f"{self.reason}")
+        return estimate(self.graph, device, self.plan, self.config)
+
+
+class Framework:
+    """Base class: default behaviour is a naive framework (no fusion)."""
+
+    name = "base"
+    unsupported_op_types: frozenset[str] = frozenset()
+    unsupported_unary_funcs: frozenset[str] = frozenset()
+    fusion_policy: FusionPolicy | None = None
+    inserts_converts: bool = False
+    convert_on_enter_image_only: bool = False
+    """TVM's ConvertLayout minimizes converts to one direction."""
+    pooled_memory: bool = False
+    memory_overhead: float = 2.0
+    """Multiplier on activation memory (staging copies, fp32 scratch)."""
+    tuned: bool = True
+
+    # -- capability ---------------------------------------------------------
+
+    def support_reason(self, graph: Graph) -> str | None:
+        """None when supported; otherwise why not."""
+        for node in graph.iter_nodes():
+            if node.op_type in self.unsupported_op_types:
+                return f"operator {node.op_type!r} not supported on mobile GPU"
+            if (node.op_type == "unary"
+                    and node.attrs.get("func") in self.unsupported_unary_funcs):
+                return f"activation {node.attrs.get('func')!r} not supported"
+        return None
+
+    def required_memory_bytes(self, graph: Graph) -> int:
+        params = sum(s.size_bytes for s in graph.tensors.values() if s.is_param)
+        acts = peak_activation_bytes(graph, pooled=self.pooled_memory)
+        return int(params + acts * self.memory_overhead)
+
+    def fits_device(self, graph: Graph, device: DeviceSpec,
+                    usable_fraction: float = 0.5) -> bool:
+        return self.required_memory_bytes(graph) <= device.memory_bytes * usable_fraction
+
+    # -- compilation --------------------------------------------------------
+
+    def _domain_of(self, graph: Graph, tensor: str,
+                   cache: dict[str, str | None]) -> str | None:
+        if tensor in cache:
+            return cache[tensor]
+        producer = graph.producer(tensor)
+        if producer is None:
+            domain = "image" if len(graph.shape(tensor)) == 4 else "linear"
+        elif producer.op_type in IMAGE_DOMAIN:
+            domain = "image"
+        elif producer.op_type in LINEAR_DOMAIN:
+            domain = "linear"
+        else:
+            domain = self._domain_of(graph, producer.inputs[0], cache) \
+                if producer.inputs else None
+        cache[tensor] = domain
+        return domain
+
+    def insert_implicit_converts(self, graph: Graph) -> int:
+        """Insert layout_convert nodes on domain-crossing edges (Fig. 1b)."""
+        from ..ir.tensor import TensorSpec
+
+        cache: dict[str, str | None] = {}
+        inserted = 0
+        for node in list(graph.topo_order()):
+            if node.op_type in IMAGE_DOMAIN:
+                want = "image"
+            elif node.op_type in LINEAR_DOMAIN:
+                want = "linear"
+            else:
+                continue
+            for idx, name in enumerate(node.inputs):
+                spec = graph.tensors[name]
+                if spec.is_param:
+                    continue
+                have = self._domain_of(graph, name, cache)
+                if have is None or have == want:
+                    continue
+                if self.convert_on_enter_image_only and want != "image":
+                    continue
+                conv_name = graph.fresh_id(f"{name}_cvt")
+                graph.add_tensor(TensorSpec(conv_name, spec.shape, spec.dtype))
+                graph.add_node("layout_convert", [name], [conv_name],
+                               {"to": want})
+                graph.replace_input(node, idx, conv_name)
+                cache[conv_name] = want
+                inserted += 1
+        return inserted
+
+    def make_plan(self, graph: Graph, device: DeviceSpec) -> LayoutPlan:
+        return default_plan(graph, use_texture=device.has_texture)
+
+    def make_config(self) -> CostModelConfig:
+        return CostModelConfig(tuned=self.tuned)
+
+    def rewrite(self, graph: Graph, device: DeviceSpec) -> tuple[Graph, int]:
+        """Framework-specific graph surgery before fusion."""
+        g = graph.clone()
+        converts = self.insert_implicit_converts(g) if self.inserts_converts else 0
+        return g, converts
+
+    def compile(self, graph: Graph, device: DeviceSpec,
+                check_memory: bool = True) -> FrameworkResult:
+        reason = self.support_reason(graph)
+        if reason is not None:
+            return FrameworkResult(self.name, supported=False, reason=reason)
+        g, converts = self.rewrite(graph, device)
+        if self.fusion_policy is not None:
+            fuse(g, self.fusion_policy)
+        else:
+            for i, node in enumerate(g.iter_nodes()):
+                node.group = i
+        plan = self.make_plan(g, device)
+        if check_memory and not self.fits_device(g, device):
+            mb = self.required_memory_bytes(g) / 2 ** 20
+            return FrameworkResult(
+                self.name, supported=False, graph=g, plan=plan,
+                reason=f"insufficient device memory (needs ~{mb:.0f} MiB)")
+        return FrameworkResult(
+            self.name, supported=True, graph=g, plan=plan,
+            config=self.make_config(), implicit_converts=converts,
+            extra={"layout_transforms": count_layout_transforms(g)},
+        )

@@ -1,0 +1,213 @@
+"""The six compared systems (Section 4.1).
+
+Each class models the *published graph-level policy* of one framework on
+the shared IR and cost model; capability matrices follow Table 7 (NCNN
+and TFLite do not support Transformer models on mobile GPU).
+"""
+
+from __future__ import annotations
+
+from ..core.fusion import (
+    DNNFUSION_POLICY, FusionPolicy, MNN_POLICY, NCNN_POLICY, TFLITE_POLICY,
+    TVM_POLICY,
+)
+from ..core.pipeline import PipelineStages, smartmem_optimize
+from ..ir.graph import Graph
+from ..runtime.cost_model import CostModelConfig
+from ..runtime.device import DeviceSpec
+from .base import Framework, FrameworkResult
+
+
+class MNN(Framework):
+    """Fixed-pattern fusion; implicit converts both ways; auto-tuned;
+    no memory pool (per-tensor allocation with fp32 staging)."""
+
+    name = "MNN"
+    fusion_policy = MNN_POLICY
+    inserts_converts = True
+    pooled_memory = False
+    memory_overhead = 2.0
+    tuned = True
+
+    def make_config(self) -> CostModelConfig:
+        # MNN's schedules for batched 3-d (attention) matmuls and grouped
+        # convolutions are weak on Adreno, and its image<->buffer layout
+        # conversions stage through fp32 (relayout_bytes_factor=2).
+        return CostModelConfig(
+            tuned=True,
+            relayout_bytes_factor=4.0,
+            efficiency_overrides={
+                "conv2d": 0.10, "matmul": 0.012, "dense": 0.04,
+                "group_conv": 0.02, "depthwise": 0.02,
+            },
+        )
+
+
+class NCNN(Framework):
+    """CNN-focused: no transformer operators on the GPU path; fixed
+    patterns; no auto-tuner."""
+
+    name = "NCNN"
+    fusion_policy = NCNN_POLICY
+    inserts_converts = True
+    pooled_memory = False
+    memory_overhead = 1.6
+    tuned = False
+    unsupported_op_types = frozenset({
+        "matmul", "layernorm", "rmsnorm", "softmax", "embedding", "gather",
+        "instancenorm",
+    })
+    unsupported_unary_funcs = frozenset({"gelu", "erf"})
+
+    def make_config(self) -> CostModelConfig:
+        return CostModelConfig(
+            tuned=False,
+            efficiency_overrides={"conv2d": 0.22, "group_conv": 0.12,
+                                  "depthwise": 0.08},
+        )
+
+
+class TFLite(Framework):
+    """GPU delegate: CNN operator set only; fixed patterns; no tuner."""
+
+    name = "TFLite"
+    fusion_policy = TFLITE_POLICY
+    inserts_converts = True
+    pooled_memory = False
+    memory_overhead = 1.8
+    tuned = False
+    unsupported_op_types = frozenset({
+        "matmul", "layernorm", "rmsnorm", "softmax", "embedding", "gather",
+        "instancenorm", "groupnorm", "upsample2d", "space_to_depth",
+        "depth_to_space",
+    })
+    unsupported_unary_funcs = frozenset({"gelu", "erf", "silu"})
+
+    def make_config(self) -> CostModelConfig:
+        return CostModelConfig(
+            tuned=False,
+            efficiency_overrides={"conv2d": 0.16, "group_conv": 0.08,
+                                  "depthwise": 0.06},
+        )
+
+
+class TVM(Framework):
+    """Rule-based fusion (injective chains + reduce epilogues) and the
+    three-category ConvertLayout pass: converts only where a heavily
+    layout-sensitive op needs them.  Auto-tuned; memory-pooled.  No
+    efficient layout for GroupConvolution (Section 4.2's ConvNext note)."""
+
+    name = "TVM"
+    fusion_policy = TVM_POLICY
+    inserts_converts = True
+    convert_on_enter_image_only = True
+    pooled_memory = True
+    memory_overhead = 2.6  # graph-runtime keeps workspaces per subgraph
+    tuned = True
+
+    def make_config(self) -> CostModelConfig:
+        return CostModelConfig(
+            tuned=True,
+            depthwise_area_scaling=True,
+            efficiency_overrides={
+                "conv2d": 0.06, "matmul": 0.025, "dense": 0.028,
+                "group_conv": 0.03, "depthwise": 0.0012,
+            },
+        )
+
+
+class DNNFusion(Framework):
+    """Mapping-type-based advanced fusion (the paper's strongest baseline
+    and SmartMem's substrate).  Keeps explicit transforms: 'it cannot
+    eliminate explicit data transformation operators through improved
+    layouts' (Section 5)."""
+
+    name = "DNNF"
+    fusion_policy = DNNFUSION_POLICY
+    inserts_converts = False
+    pooled_memory = True
+    memory_overhead = 1.5
+    tuned = True
+
+
+class TorchInductor(Framework):
+    """Desktop compiler (Table 9): strong kernel quality, pre-assigned
+    layouts, rule-based fusion, no layout transformation elimination."""
+
+    name = "TorchInductor"
+    fusion_policy = FusionPolicy(
+        name="torchinductor",
+        elementwise_chains=True,
+        prologue=True,
+        epilogue=True,
+        reorganize_with_elementwise=True,
+    )
+    inserts_converts = False
+    pooled_memory = True
+    memory_overhead = 1.3
+    tuned = True
+
+    def make_config(self) -> CostModelConfig:
+        return CostModelConfig(tuned=True, conv_efficiency=0.30,
+                               matmul_efficiency=0.128)
+
+
+class SmartMem(Framework):
+    """This paper: DNNFusion's engine + LTE + layout selection + 2.5D
+    texture mapping + GA-tuned kernel configs."""
+
+    name = "Ours"
+    inserts_converts = False
+    pooled_memory = True
+    memory_overhead = 1.0
+    tuned = True
+
+    def __init__(self, stages: PipelineStages | None = None) -> None:
+        self.stages = stages or PipelineStages()
+
+    def compile(self, graph: Graph, device: DeviceSpec,
+                check_memory: bool = True) -> FrameworkResult:
+        stages = self.stages
+        if not device.has_texture and stages.use_texture:
+            stages = PipelineStages(
+                lte=stages.lte, fusion=stages.fusion,
+                layout_selection=stages.layout_selection,
+                full_texture=False, use_texture=False,
+                simplify_index=stages.simplify_index,
+                eliminate_slice=stages.eliminate_slice,
+                tuned_boost=stages.tuned_boost,
+            )
+        result = smartmem_optimize(graph, stages)
+        config = CostModelConfig(tuned=True,
+                                 extra_efficiency=result.extra_efficiency,
+                                 simplify_index=stages.simplify_index)
+        out = FrameworkResult(
+            self.name, supported=True, graph=result.graph, plan=result.plan,
+            config=config,
+            extra={
+                "eliminated": (result.elimination_stats.eliminated
+                               if result.elimination_stats else {}),
+                "layout_transforms": result.remaining_layout_transforms,
+                "copies": result.plan.num_copies,
+            },
+        )
+        if check_memory and not self.fits_device(result.graph, device):
+            mb = self.required_memory_bytes(result.graph) / 2 ** 20
+            return FrameworkResult(self.name, supported=False,
+                                   graph=result.graph, plan=result.plan,
+                                   reason=f"insufficient device memory (~{mb:.0f} MiB)")
+        return out
+
+
+ALL_FRAMEWORKS = ("MNN", "NCNN", "TFLite", "TVM", "DNNF", "Ours")
+
+
+def make_framework(name: str, **kwargs) -> Framework:
+    table = {
+        "MNN": MNN, "NCNN": NCNN, "TFLite": TFLite, "TVM": TVM,
+        "DNNF": DNNFusion, "TorchInductor": TorchInductor, "Ours": SmartMem,
+    }
+    try:
+        return table[name](**kwargs)
+    except KeyError:
+        raise KeyError(f"unknown framework {name!r}; choose from {sorted(table)}")

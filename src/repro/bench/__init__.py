@@ -1,0 +1,30 @@
+"""Benchmark harness: one module per table/figure in the paper.
+
+Run everything with ``python -m repro.bench all`` or one experiment with
+``python -m repro.bench table8``.
+"""
+
+from . import (
+    ablations, fig7, fig8, fig9, fig10, fig11, fig12, memory_footprint,
+    micro_rw, table1, table7, table8, table9,
+)
+from .harness import Cell, Experiment, cached_model, geomean, run_cell
+
+EXPERIMENTS = {
+    "ablations": ablations.run,
+    "table1": table1.run,
+    "table7": table7.run,
+    "table8": table8.run,
+    "table9": table9.run,
+    "fig7": fig7.run,
+    "fig8": fig8.run,
+    "fig9": fig9.run,
+    "fig10": fig10.run,
+    "fig11": fig11.run,
+    "fig12": fig12.run,
+    "micro_rw": micro_rw.run,
+    "memory_footprint": memory_footprint.run,
+}
+
+__all__ = ["Cell", "EXPERIMENTS", "Experiment", "cached_model", "geomean",
+           "run_cell"]

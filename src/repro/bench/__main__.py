@@ -1,0 +1,49 @@
+"""CLI: regenerate the paper's tables and figures.
+
+    python -m repro.bench all
+    python -m repro.bench table8 fig8
+    python -m repro.bench all --json results.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from . import EXPERIMENTS
+
+
+def main(argv: list[str]) -> int:
+    json_path = None
+    if "--json" in argv:
+        idx = argv.index("--json")
+        try:
+            json_path = argv[idx + 1]
+        except IndexError:
+            print("--json requires a path")
+            return 2
+        argv = argv[:idx] + argv[idx + 2:]
+    targets = argv or ["all"]
+    if targets == ["all"]:
+        targets = list(EXPERIMENTS)
+    unknown = [t for t in targets if t not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; available: {list(EXPERIMENTS)}")
+        return 2
+    collected = []
+    for target in targets:
+        result = EXPERIMENTS[target]()
+        experiments = result if isinstance(result, list) else [result]
+        for experiment in experiments:
+            print(experiment.render())
+            print()
+            collected.append(experiment.to_json())
+    if json_path:
+        with open(json_path, "w") as handle:
+            json.dump(collected, handle, indent=2)
+        print(f"wrote {len(collected)} experiments to {json_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,65 @@
+"""Ablations of SmartMem's design decisions (DESIGN.md's list).
+
+1. **Texture vs 1D buffers (k=2 vs k=1)**: disable the 2.5D path entirely
+   and re-run layout selection with k=1 - how much of the win was the
+   texture memory?
+2. **Slice elimination**: Table 5 prescribes eliminating ILI&Fixed
+   operators too; measure what keeping Slice kernels costs.
+3. **Strength reduction (Index Comprehension)**: eliminated transforms
+   with raw, un-reduced index expressions.
+4. **Consumer- vs producer-driven layouts**: covered by the Sec 3.2.2
+   microbenchmark (`repro.bench.micro_rw`).
+"""
+
+from __future__ import annotations
+
+from ..baselines import make_framework
+from ..core.pipeline import PipelineStages
+from ..runtime.device import SD8GEN2
+from .harness import Experiment, cached_model
+
+MODELS = ["Swin", "CSwin", "ViT", "ResNext"]
+
+VARIANTS = {
+    "full": PipelineStages(),
+    "no-texture (k=1)": PipelineStages(use_texture=False, full_texture=False),
+    "keep-slice": PipelineStages(eliminate_slice=False),
+    "raw-index": PipelineStages(simplify_index=False),
+    "no-lte": PipelineStages(lte=False),
+    "no-layout-select": PipelineStages(layout_selection=False,
+                                       full_texture=False),
+}
+
+
+def _latency(model: str, stages: PipelineStages) -> float:
+    fw = make_framework("Ours", stages=stages)
+    result = fw.compile(cached_model(model), SD8GEN2, check_memory=False)
+    return result.cost(SD8GEN2).latency_ms
+
+
+def run(models: list[str] | None = None) -> Experiment:
+    exp = Experiment(
+        name="Ablations",
+        description="latency (ms) of SmartMem with each design decision "
+                    "disabled (slowdown vs full in parentheses)",
+        headers=["Model"] + list(VARIANTS),
+    )
+    for name in models or MODELS:
+        full = _latency(name, VARIANTS["full"])
+        row = [name]
+        data = {}
+        for variant, stages in VARIANTS.items():
+            ms = _latency(name, stages)
+            slowdown = ms / full
+            data[variant] = {"latency_ms": ms, "slowdown": slowdown}
+            row.append(f"{ms:.1f} ({slowdown:.2f}x)")
+        exp.rows.append(row)
+        exp.data[name] = data
+    exp.notes.append("every disabled decision must cost latency (slowdown "
+                     ">= 1.0); texture and LTE are the largest terms for "
+                     "transformer models")
+    return exp
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().render())

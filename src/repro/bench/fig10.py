@@ -1,0 +1,43 @@
+"""Figure 10: Swin performance across batch sizes 1-16.
+
+Reports each baseline's speedup deficit vs Ours per batch size; a '-'
+appears when a framework cannot fit the batch in device memory (the
+paper's empty bars).
+"""
+
+from __future__ import annotations
+
+from ..models import build
+from ..runtime.device import SD8GEN2
+from .harness import Experiment, fmt, run_cell
+
+FRAMEWORKS = ["MNN", "TVM", "DNNF", "Ours"]
+BATCHES = [1, 2, 4, 8, 16]
+
+
+def run(batches: list[int] | None = None, model: str = "Swin") -> Experiment:
+    exp = Experiment(
+        name="Figure 10",
+        description=f"{model} latency (ms) across batch sizes; '-' = OOM",
+        headers=["Batch"] + FRAMEWORKS + ["MNN/Ours", "TVM/Ours", "DNNF/Ours"],
+    )
+    for batch in batches or BATCHES:
+        graph = build(model, batch=batch)
+        lat = {}
+        for fw in FRAMEWORKS:
+            cell = run_cell(graph, fw, SD8GEN2, check_memory=True)
+            lat[fw] = cell.latency_ms
+        ours = lat["Ours"]
+        row = [str(batch)] + [fmt(lat[fw]) for fw in FRAMEWORKS]
+        for fw in ("MNN", "TVM", "DNNF"):
+            row.append(f"{lat[fw] / ours:.1f}x" if lat[fw] and ours else "-")
+        exp.rows.append(row)
+        exp.data[batch] = dict(lat)
+    exp.notes.append("paper: 11.6-13.2x vs MNN, 4.8-5.9x vs TVM, 4.1-4.7x "
+                     "vs DNNF across batch sizes; large batches OOM on "
+                     "some baselines")
+    return exp
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().render())

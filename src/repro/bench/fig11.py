@@ -1,0 +1,48 @@
+"""Figure 11: portability - Mediatek Dimensity 700 and Snapdragon 835.
+
+Speedups of every framework over Ours on two resource-constrained
+devices; '-' marks OOM or unsupported (the paper notes MNN and TVM fail
+ConvNext on the 4 GB Mali device).
+"""
+
+from __future__ import annotations
+
+from ..baselines import ALL_FRAMEWORKS
+from ..runtime.device import DIMENSITY700, SD835, DeviceSpec
+from .harness import Experiment, fmt, run_cell
+
+MODELS = ["CSwin", "FlattenFormer", "SMTFormer", "Swin", "ViT", "ConvNext",
+          "ResNext", "Yolo-V8"]
+
+
+def run_device(device: DeviceSpec, models: list[str] | None = None) -> Experiment:
+    exp = Experiment(
+        name=f"Figure 11 ({device.name})",
+        description="latency (ms) and speedup of Ours; '-' = unsupported/OOM",
+        headers=["Model"] + list(ALL_FRAMEWORKS) + ["best-baseline/Ours"],
+    )
+    for name in models or MODELS:
+        lat = {}
+        for fw in ALL_FRAMEWORKS:
+            cell = run_cell(name, fw, device, check_memory=True)
+            lat[fw] = cell.latency_ms
+        ours = lat["Ours"]
+        baselines = [v for k, v in lat.items() if k != "Ours" and v]
+        ratio = (min(baselines) / ours) if baselines and ours else None
+        exp.rows.append([name] + [fmt(lat[fw]) for fw in ALL_FRAMEWORKS]
+                        + [f"{ratio:.1f}x" if ratio else "-"])
+        exp.data[name] = dict(lat)
+    return exp
+
+
+def run(models: list[str] | None = None) -> list[Experiment]:
+    out = []
+    for device in (DIMENSITY700, SD835):
+        out.append(run_device(device, models))
+    return out
+
+
+if __name__ == "__main__":  # pragma: no cover
+    for experiment in run():
+        print(experiment.render())
+        print()

@@ -1,0 +1,79 @@
+"""Figure 8: optimization breakdown - incremental speedup over DNNFusion.
+
+Stages: DNNF baseline -> +Layout Transformation Elimination -> +Layout
+Selecting -> +Other opts (full texture mapping + GA tuning).  Also
+reports the Index Comprehension contribution inside LTE (strength
+reduction on vs off).
+"""
+
+from __future__ import annotations
+
+from ..baselines import make_framework
+from ..core.pipeline import PipelineStages
+from ..runtime.device import SD8GEN2
+from .harness import Experiment, cached_model
+from .paper_data import FIG8_RANGES
+
+MODELS = ["AutoFormer", "BiFormer", "EfficientVit", "CSwin", "ViT",
+          "ConvNext", "RegNet", "ResNext"]
+
+STAGES = {
+    "DNNF": None,  # the baseline framework itself
+    "+LTE": PipelineStages(lte=True, fusion=True, layout_selection=False,
+                           full_texture=False),
+    "+LayoutSelect": PipelineStages(lte=True, fusion=True,
+                                    layout_selection=True, full_texture=False),
+    "+OtherOpt": PipelineStages(),  # everything on
+}
+
+
+def _latency(model: str, stages: PipelineStages | None,
+             simplify_index: bool = True) -> float:
+    graph = cached_model(model)
+    if stages is None:
+        fw = make_framework("DNNF")
+    else:
+        if not simplify_index:
+            stages = PipelineStages(
+                lte=stages.lte, fusion=stages.fusion,
+                layout_selection=stages.layout_selection,
+                full_texture=stages.full_texture,
+                simplify_index=False)
+        fw = make_framework("Ours", stages=stages)
+    result = fw.compile(graph, SD8GEN2, check_memory=False)
+    return result.cost(SD8GEN2).latency_ms
+
+
+def run(models: list[str] | None = None) -> Experiment:
+    exp = Experiment(
+        name="Figure 8",
+        description="speedup over DNNFusion per optimization stage",
+        headers=["Model"] + [s for s in STAGES if s != "DNNF"]
+                + ["IndexComp gain"],
+    )
+    for name in models or MODELS:
+        base = _latency(name, None)
+        speedups = {}
+        for stage_name, stages in STAGES.items():
+            if stages is None:
+                continue
+            speedups[stage_name] = base / _latency(name, stages)
+        # Index Comprehension ablation inside the LTE stage
+        lte_raw = _latency(name, STAGES["+LTE"], simplify_index=False)
+        lte = _latency(name, STAGES["+LTE"])
+        index_gain = lte_raw / lte
+        exp.rows.append([name]
+                        + [f"{speedups[s]:.2f}x" for s in speedups]
+                        + [f"{index_gain:.2f}x"])
+        exp.data[name] = {**speedups, "index_comprehension": index_gain}
+    exp.notes.append(
+        "paper stage gains (transformer/hybrid): LTE "
+        f"{FIG8_RANGES['LTE']['transformer']}, LayoutSelect "
+        f"{FIG8_RANGES['LayoutSelect']['transformer']} (cumulative x), "
+        f"Other {FIG8_RANGES['OtherOpt']['transformer']}; Index "
+        "Comprehension contributes 1.1-1.3x within LTE")
+    return exp
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().render())

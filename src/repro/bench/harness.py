@@ -1,0 +1,141 @@
+"""Shared benchmark infrastructure: run frameworks over models, format
+tables, and compare simulated numbers against the paper's published ones.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from ..baselines import make_framework
+from ..baselines.base import FrameworkResult
+from ..ir.dtype import DType
+from ..ir.graph import Graph
+from ..ir.tensor import TensorSpec
+from ..models import build
+from ..runtime.cost_model import CostReport
+from ..runtime.device import DeviceSpec, SD8GEN2
+
+
+@dataclass
+class Cell:
+    """One (model, framework) measurement."""
+
+    latency_ms: float | None
+    operator_count: int = 0
+    report: CostReport | None = None
+    result: FrameworkResult | None = None
+    reason: str = ""
+
+    @property
+    def supported(self) -> bool:
+        return self.latency_ms is not None
+
+
+@lru_cache(maxsize=64)
+def cached_model(name: str, batch: int = 1) -> Graph:
+    return build(name, batch=batch)
+
+
+def run_cell(model: str | Graph, framework: str, device: DeviceSpec = SD8GEN2,
+             check_memory: bool = False, batch: int = 1, **fw_kwargs) -> Cell:
+    """Compile + cost one model under one framework on one device."""
+    graph = cached_model(model, batch) if isinstance(model, str) else model
+    fw = make_framework(framework, **fw_kwargs)
+    result = fw.compile(graph, device, check_memory=check_memory)
+    if not result.supported:
+        return Cell(latency_ms=None, result=result, reason=result.reason)
+    report = result.cost(device)
+    return Cell(latency_ms=report.latency_ms,
+                operator_count=result.operator_count,
+                report=report, result=result)
+
+
+def geomean(values: list[float]) -> float:
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def to_fp32(graph: Graph) -> Graph:
+    """Copy of the graph with every tensor widened to FP32 (Table 9 runs
+    desktop GPUs in 32-bit; Section 4.1)."""
+    g = graph.clone()
+    g.tensors = {
+        name: TensorSpec(spec.name, spec.shape,
+                         DType.FP32 if spec.dtype == DType.FP16 else spec.dtype,
+                         spec.is_param)
+        for name, spec in g.tensors.items()
+    }
+    return g
+
+
+# ---------------------------------------------------------------------------
+# text tables
+# ---------------------------------------------------------------------------
+
+
+def format_table(headers: list[str], rows: list[list[str]],
+                 title: str | None = None) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def fmt(value: float | None, digits: int = 1, dash: str = "-") -> str:
+    if value is None:
+        return dash
+    if value >= 1000:
+        return f"{value:,.0f}"
+    return f"{value:.{digits}f}"
+
+
+@dataclass
+class Experiment:
+    """A regenerated table or figure."""
+
+    name: str
+    description: str
+    headers: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    data: dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        out = format_table(self.headers, self.rows,
+                           title=f"== {self.name}: {self.description} ==")
+        if self.notes:
+            out += "\n" + "\n".join(f"  note: {n}" for n in self.notes)
+        return out
+
+    def to_json(self) -> dict:
+        """Machine-readable form (for plotting / regression tracking)."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "headers": list(self.headers),
+            "rows": [list(r) for r in self.rows],
+            "notes": list(self.notes),
+            "data": _jsonable(self.data),
+        }
+
+
+def _jsonable(value):
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return str(value)

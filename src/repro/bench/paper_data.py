@@ -1,0 +1,100 @@
+"""The paper's published numbers, for side-by-side comparison.
+
+Sources: Table 1 (MNN latency breakdown), Table 7 (operator counts),
+Table 8 (end-to-end latency on Snapdragon 8 Gen 2), Table 9 (V100),
+Figure 8 (optimization breakdown ranges), Figure 12 (roofline points).
+EXPERIMENTS.md records simulated-vs-paper for each.
+"""
+
+# Table 1: model -> (macs_G, n_layout_transforms, latency_ms, imp%, exp%, comp%, gmacs)
+TABLE1 = {
+    "ResNet50": (4.1, 3, 14, 4.8, 0.2, 95.0, 293),
+    "FST": (162, 32, 1506, 70.7, 1.8, 27.5, 108),
+    "RegNet": (3.2, 6, 57, 16.7, 0.0, 83.3, 56),
+    "CrossFormer": (5.0, 208, 336, 15.3, 55.2, 29.5, 15),
+    "Swin": (4.6, 242, 342, 14.7, 54.1, 31.2, 15.2),
+    "AutoFormer": (4.7, 233, 335, 13.3, 54.2, 32.5, 14),
+    "CSwin": (6.9, 769, 703, 14.3, 50.2, 35.5, 10),
+    "SD-TextEncoder": (6.7, 183, 133, 15.1, 36.3, 48.6, 44),
+    "SD-UNet": (90, 533, 2172, 19.4, 42.1, 38.5, 42),
+    "Pythia": (119, 385, 3034, 11.7, 31.7, 56.6, 39),
+}
+
+# Table 7: model -> (unoptimized_ops, {framework: ops or None})
+TABLE7 = {
+    "AutoFormer": (546, {"MNN": 449, "NCNN": None, "TFLite": None, "TVM": 302, "DNNF": 197, "Ours": 148}),
+    "BiFormer": (2042, {"MNN": 1189, "NCNN": None, "TFLite": None, "TVM": 1029, "DNNF": 602, "Ours": 474}),
+    "CrossFormer": (505, {"MNN": 453, "NCNN": None, "TFLite": None, "TVM": 308, "DNNF": 196, "Ours": 155}),
+    "CSwin": (3863, {"MNN": 1753, "NCNN": None, "TFLite": None, "TVM": 1480, "DNNF": 933, "Ours": 604}),
+    "EfficientVit": (536, {"MNN": 489, "NCNN": None, "TFLite": None, "TVM": 133, "DNNF": 113, "Ours": 101}),
+    "FlattenFormer": (2016, {"MNN": 1558, "NCNN": None, "TFLite": None, "TVM": 918, "DNNF": 665, "Ours": 403}),
+    "SMTFormer": (1406, {"MNN": 1905, "NCNN": None, "TFLite": None, "TVM": 844, "DNNF": 469, "Ours": 332}),
+    "Swin": (765, {"MNN": 596, "NCNN": None, "TFLite": None, "TVM": 374, "DNNF": 207, "Ours": 158}),
+    "ViT": (444, {"MNN": 379, "NCNN": None, "TFLite": None, "TVM": 289, "DNNF": 168, "Ours": 112}),
+    "Conformer": (665, {"MNN": 558, "NCNN": None, "TFLite": None, "TVM": 356, "DNNF": 219, "Ours": 163}),
+    "SD-TextEncoder": (674, {"MNN": 601, "NCNN": None, "TFLite": None, "TVM": 297, "DNNF": 101, "Ours": 84}),
+    "SD-UNet": (1962, {"MNN": 1355, "NCNN": None, "TFLite": None, "TVM": 889, "DNNF": 436, "Ours": 322}),
+    "SD-VAEDecoder": (287, {"MNN": 206, "NCNN": None, "TFLite": None, "TVM": 156, "DNNF": 103, "Ours": 95}),
+    "Pythia": (1853, {"MNN": 809, "NCNN": None, "TFLite": None, "TVM": 681, "DNNF": 525, "Ours": 355}),
+    "ConvNext": (292, {"MNN": 321, "NCNN": None, "TFLite": None, "TVM": 185, "DNNF": 96, "Ours": 81}),
+    "RegNet": (282, {"MNN": 197, "NCNN": 282, "TFLite": 197, "TVM": 155, "DNNF": 122, "Ours": 122}),
+    "ResNext": (122, {"MNN": 86, "NCNN": 122, "TFLite": 73, "TVM": 58, "DNNF": 55, "Ours": 55}),
+    "Yolo-V8": (233, {"MNN": 176, "NCNN": 233, "TFLite": None, "TVM": 88, "DNNF": 75, "Ours": 68}),
+}
+
+# Table 8: model -> {framework: latency_ms or None}
+TABLE8 = {
+    "AutoFormer": {"MNN": 335, "NCNN": None, "TFLite": None, "TVM": 184, "DNNF": 106, "Ours": 40.2},
+    "BiFormer": {"MNN": 1736, "NCNN": None, "TFLite": None, "TVM": 208, "DNNF": 186, "Ours": 56.1},
+    "CrossFormer": {"MNN": 336, "NCNN": None, "TFLite": None, "TVM": 156, "DNNF": 121, "Ours": 38.2},
+    "CSwin": {"MNN": 703, "NCNN": None, "TFLite": None, "TVM": 261, "DNNF": 225, "Ours": 57.6},
+    "EfficientVit": {"MNN": 208, "NCNN": None, "TFLite": None, "TVM": 243, "DNNF": 112, "Ours": 22.5},
+    "FlattenFormer": {"MNN": 492, "NCNN": None, "TFLite": None, "TVM": 256, "DNNF": 210, "Ours": 60.1},
+    "SMTFormer": {"MNN": 510, "NCNN": None, "TFLite": None, "TVM": 214, "DNNF": 143, "Ours": 40},
+    "Swin": {"MNN": 372, "NCNN": None, "TFLite": None, "TVM": 158, "DNNF": 135, "Ours": 30.6},
+    "ViT": {"MNN": 533, "NCNN": None, "TFLite": None, "TVM": 1050, "DNNF": 277, "Ours": 103},
+    "Conformer": {"MNN": 1736, "NCNN": None, "TFLite": None, "TVM": 863, "DNNF": 284, "Ours": 106},
+    "SD-TextEncoder": {"MNN": 153, "NCNN": None, "TFLite": None, "TVM": 216, "DNNF": 73, "Ours": 38},
+    "SD-UNet": {"MNN": 2172, "NCNN": None, "TFLite": None, "TVM": 3969, "DNNF": 1108, "Ours": 412},
+    "SD-VAEDecoder": {"MNN": 2730, "NCNN": None, "TFLite": None, "TVM": 5663, "DNNF": 1596, "Ours": 866},
+    "Pythia": {"MNN": 3034, "NCNN": None, "TFLite": None, "TVM": 6602, "DNNF": 1489, "Ours": 663},
+    "ConvNext": {"MNN": 271, "NCNN": None, "TFLite": None, "TVM": 5543, "DNNF": 109, "Ours": 33.4},
+    "RegNet": {"MNN": 61, "NCNN": 33, "TFLite": 36.4, "TVM": 71, "DNNF": 31, "Ours": 24.7},
+    "ResNext": {"MNN": 158, "NCNN": 38, "TFLite": 66, "TVM": 106, "DNNF": 33, "Ours": 15.7},
+    "Yolo-V8": {"MNN": 32, "NCNN": 28, "TFLite": None, "TVM": 141, "DNNF": 26, "Ours": 22},
+}
+
+# Geometric-mean speedups over Ours (Table 8 bottom row).
+TABLE8_GEOMEAN = {"MNN": 7.9, "NCNN": 1.6, "TFLite": 2.5, "TVM": 6.9, "DNNF": 2.8}
+
+# Table 9: V100, FP32 (ms)
+TABLE9 = {
+    "Swin": {"TorchInductor": 7.5, "Ours": 6.1},
+    "AutoFormer": {"TorchInductor": 5.1, "Ours": 4.6},
+}
+
+# Fig. 8 stage-gain ranges (transformer/hybrid, convnet)
+FIG8_RANGES = {
+    "LTE": {"transformer": (1.5, 2.7), "convnet": (1.1, 1.4)},
+    "LayoutSelect": {"transformer": (1.4, 1.9), "convnet": (1.5, 1.7)},
+    "OtherOpt": {"transformer": (1.2, 1.4), "convnet": (1.1, 1.4)},
+}
+
+# Fig. 12 achieved performance (GMACS) and fraction of texture-roofline peak
+FIG12 = {
+    "Swin": (149, 0.24),
+    "ViT": (204, 0.27),
+    "ResNext": (271, 0.31),
+    "SD-VAEDecoder": (360, 0.35),
+}
+
+# Section 4.6: operator and memory reduction vs DNNFusion
+SEC46 = {
+    "Swin": {"op_reduction_pct": 24, "memory_reduction_pct": 14,
+             "max_copy_mb": 3.0},
+    "ViT": {"op_reduction_pct": 33, "memory_reduction_pct": 15,
+            "max_copy_mb": 2.3},
+}
+
+# Section 3.2.2 microbenchmark: read-optimized over write-optimized speedup
+MICRO_RW = {"conv2d": 1.7, "matmul": 1.4, "activation": 1.1}

@@ -1,0 +1,61 @@
+"""Table 1: latency and layout-transformation breakdown under MNN.
+
+Reproduces the motivation study: older ConvNets spend almost no time on
+layout transformations, Transformers spend roughly half to two thirds,
+and execution speed (GMACS) collapses accordingly.
+"""
+
+from __future__ import annotations
+
+from ..core.elimination import count_layout_transforms
+from ..runtime.device import SD8GEN2
+from .harness import Experiment, fmt, run_cell
+from .paper_data import TABLE1
+
+MODELS = ["ResNet50", "FST", "RegNet", "CrossFormer", "Swin", "AutoFormer",
+          "CSwin", "SD-TextEncoder", "SD-UNet", "Pythia"]
+
+
+def run(models: list[str] | None = None) -> Experiment:
+    exp = Experiment(
+        name="Table 1",
+        description="latency and transformation breakdown under MNN "
+                    "(Snapdragon 8 Gen 2)",
+        headers=["Model", "MACs(G)", "#transform", "Lat(ms)", "Imp%", "Exp%",
+                 "Comp%", "GMACS", "paper Lat", "paper Imp/Exp/Comp"],
+    )
+    for name in models or MODELS:
+        cell = run_cell(name, "MNN", SD8GEN2)
+        graph = cell.result.graph
+        transforms = (count_layout_transforms(graph)
+                      + cell.result.implicit_converts)
+        report = cell.report
+        bd = report.breakdown()
+        paper = TABLE1.get(name)
+        exp.rows.append([
+            name,
+            fmt(report.total_macs / 1e9),
+            str(transforms),
+            fmt(report.latency_ms, 0),
+            fmt(bd["implicit"]), fmt(bd["explicit"]), fmt(bd["compute"]),
+            fmt(report.gmacs_per_s, 0),
+            fmt(paper[2], 0) if paper else "-",
+            (f"{paper[3]:.0f}/{paper[4]:.0f}/{paper[5]:.0f}" if paper else "-"),
+        ])
+        exp.data[name] = {
+            "macs_g": report.total_macs / 1e9,
+            "transforms": transforms,
+            "latency_ms": report.latency_ms,
+            "implicit_pct": bd["implicit"],
+            "explicit_pct": bd["explicit"],
+            "compute_pct": bd["compute"],
+            "gmacs": report.gmacs_per_s,
+        }
+    exp.notes.append(
+        "shape check: transformer rows should spend >40% of latency on "
+        "implicit+explicit transformations; ConvNet rows <25%")
+    return exp
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().render())

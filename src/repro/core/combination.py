@@ -1,0 +1,108 @@
+"""Producer-consumer combination analysis (Section 3.2, Tables 5 and 6).
+
+For each edge in the computational graph, the pair (first = producer
+quadrant, second = consumer quadrant) determines:
+
+* the *action* (Table 5): keep both, try to fuse, eliminate the first or
+  the second operator, or eliminate both;
+* the *resulting operator type* and the *layout search policy*
+  (Table 6): whose input/output layouts must be searched afterwards.
+
+These tables drive both the elimination pass (which operators become
+index computation) and layout selection (which edges need a search).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..ir.ops import Quadrant
+
+
+class Action(enum.Enum):
+    """Computation optimization per operator pair (Table 5)."""
+
+    KEEP_BOTH = "keep both"
+    TRY_FUSE = "try fuse"
+    ELIMINATE_SECOND = "eliminate 2nd"
+    ELIMINATE_FIRST = "eliminate 1st"
+    ELIMINATE_BOTH = "eliminate both"
+
+
+class SearchPolicy(enum.Enum):
+    """Layout search requirement after the action (Table 6)."""
+
+    SEARCH_BOTH = "search both"
+    SEARCH_FUSED = "search fused"
+    SEARCH_FIRST = "search 1st"
+    SEARCH_SECOND = "search 2nd"
+    NO_SEARCH = "no search"
+
+
+@dataclass(frozen=True)
+class CombinationDecision:
+    action: Action
+    result_type: Quadrant | None
+    search: SearchPolicy
+
+
+_Q = Quadrant
+# Table 5, rows = first (producer), columns = second (consumer).
+_ACTIONS: dict[tuple[Quadrant, Quadrant], Action] = {
+    (_Q.ILD_VARIABLE, _Q.ILD_VARIABLE): Action.KEEP_BOTH,
+    (_Q.ILD_VARIABLE, _Q.ILI_VARIABLE): Action.TRY_FUSE,
+    (_Q.ILD_VARIABLE, _Q.ILD_FIXED): Action.ELIMINATE_SECOND,
+    (_Q.ILD_VARIABLE, _Q.ILI_FIXED): Action.ELIMINATE_SECOND,
+    (_Q.ILI_VARIABLE, _Q.ILD_VARIABLE): Action.TRY_FUSE,
+    (_Q.ILI_VARIABLE, _Q.ILI_VARIABLE): Action.TRY_FUSE,
+    (_Q.ILI_VARIABLE, _Q.ILD_FIXED): Action.ELIMINATE_SECOND,
+    (_Q.ILI_VARIABLE, _Q.ILI_FIXED): Action.ELIMINATE_SECOND,
+    (_Q.ILD_FIXED, _Q.ILD_VARIABLE): Action.ELIMINATE_FIRST,
+    (_Q.ILD_FIXED, _Q.ILI_VARIABLE): Action.ELIMINATE_FIRST,
+    (_Q.ILD_FIXED, _Q.ILD_FIXED): Action.ELIMINATE_BOTH,
+    (_Q.ILD_FIXED, _Q.ILI_FIXED): Action.ELIMINATE_BOTH,
+    (_Q.ILI_FIXED, _Q.ILD_VARIABLE): Action.ELIMINATE_FIRST,
+    (_Q.ILI_FIXED, _Q.ILI_VARIABLE): Action.ELIMINATE_FIRST,
+    (_Q.ILI_FIXED, _Q.ILD_FIXED): Action.ELIMINATE_BOTH,
+    (_Q.ILI_FIXED, _Q.ILI_FIXED): Action.ELIMINATE_BOTH,
+}
+
+# Table 6, same indexing: (resulting type, search policy).  N/A cells (a
+# Fixed op following an eliminated Fixed op) carry no type.
+_DECISIONS: dict[tuple[Quadrant, Quadrant], tuple[Quadrant | None, SearchPolicy]] = {
+    (_Q.ILD_VARIABLE, _Q.ILD_VARIABLE): (_Q.ILD_VARIABLE, SearchPolicy.SEARCH_BOTH),
+    (_Q.ILD_VARIABLE, _Q.ILI_VARIABLE): (_Q.ILD_VARIABLE, SearchPolicy.SEARCH_FUSED),
+    (_Q.ILD_VARIABLE, _Q.ILD_FIXED): (_Q.ILD_VARIABLE, SearchPolicy.SEARCH_FIRST),
+    (_Q.ILD_VARIABLE, _Q.ILI_FIXED): (_Q.ILD_VARIABLE, SearchPolicy.SEARCH_FIRST),
+    (_Q.ILI_VARIABLE, _Q.ILD_VARIABLE): (_Q.ILD_VARIABLE, SearchPolicy.SEARCH_FUSED),
+    (_Q.ILI_VARIABLE, _Q.ILI_VARIABLE): (_Q.ILI_VARIABLE, SearchPolicy.NO_SEARCH),
+    (_Q.ILI_VARIABLE, _Q.ILD_FIXED): (_Q.ILI_VARIABLE, SearchPolicy.NO_SEARCH),
+    (_Q.ILI_VARIABLE, _Q.ILI_FIXED): (_Q.ILI_VARIABLE, SearchPolicy.NO_SEARCH),
+    (_Q.ILD_FIXED, _Q.ILD_VARIABLE): (_Q.ILD_VARIABLE, SearchPolicy.SEARCH_SECOND),
+    (_Q.ILD_FIXED, _Q.ILI_VARIABLE): (_Q.ILI_VARIABLE, SearchPolicy.NO_SEARCH),
+    (_Q.ILD_FIXED, _Q.ILD_FIXED): (None, SearchPolicy.NO_SEARCH),
+    (_Q.ILD_FIXED, _Q.ILI_FIXED): (None, SearchPolicy.NO_SEARCH),
+    (_Q.ILI_FIXED, _Q.ILD_VARIABLE): (_Q.ILD_VARIABLE, SearchPolicy.SEARCH_SECOND),
+    (_Q.ILI_FIXED, _Q.ILI_VARIABLE): (_Q.ILI_VARIABLE, SearchPolicy.NO_SEARCH),
+    (_Q.ILI_FIXED, _Q.ILD_FIXED): (None, SearchPolicy.NO_SEARCH),
+    (_Q.ILI_FIXED, _Q.ILI_FIXED): (None, SearchPolicy.NO_SEARCH),
+}
+
+
+def action_for(first: Quadrant, second: Quadrant) -> Action:
+    """Table 5 lookup."""
+    return _ACTIONS[(first, second)]
+
+
+def decision_for(first: Quadrant, second: Quadrant) -> CombinationDecision:
+    """Combined Table 5 + Table 6 lookup."""
+    result_type, search = _DECISIONS[(first, second)]
+    return CombinationDecision(_ACTIONS[(first, second)], result_type, search)
+
+
+def needs_layout_search(first: Quadrant, second: Quadrant) -> bool:
+    """True iff the pair involves a layout search (only ILD&Variable pairs
+    trigger one; Section 3.2 'the layout search only happens for the
+    operator pairs involving ILD & Variable')."""
+    return decision_for(first, second).search is not SearchPolicy.NO_SEARCH

@@ -1,0 +1,139 @@
+"""Layout Transformation Elimination (LTE; Section 3.2.1).
+
+Operators with a *Fixed* output layout - Reshape, Transpose,
+DepthToSpace/SpaceToDepth, and Slice - do not compute anything: they only
+rearrange or select data.  Table 5 prescribes eliminating them whenever
+they appear on a producer-consumer edge.  Elimination replaces each such
+operator with *index computation* in its consumers: the consumer reads the
+transform's input tensor directly through a ViewChain, whose composed
+IndexMap is then strength-reduced (Index Comprehension).
+
+The pass is semantics-preserving by construction: the reference executor
+applies the attached views before running each kernel, and the test suite
+checks optimized outputs equal unoptimized outputs on every model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir.graph import Graph, Node
+from ..ir.view import ViewChain, lower_depth_to_space, lower_space_to_depth
+
+ELIMINABLE_DEFAULT = ("reshape", "transpose", "depth_to_space", "space_to_depth")
+
+
+@dataclass
+class EliminationStats:
+    """What LTE removed and what it left behind."""
+
+    eliminated: dict[str, int] = field(default_factory=dict)
+    views_attached: int = 0
+    kept_graph_outputs: int = 0
+
+    @property
+    def total_eliminated(self) -> int:
+        return sum(self.eliminated.values())
+
+
+def _own_view(graph: Graph, node: Node) -> ViewChain:
+    """The transform ``node`` performs, prefixed by any view already pushed
+    onto its input (eliminating upstream transforms may have put one there)."""
+    in_shape = graph.shape(node.inputs[0])
+    chain = node.input_views.get(0, ViewChain.identity(in_shape))
+    if node.op_type == "reshape":
+        return chain.then_reshape(graph.shape(node.outputs[0]))
+    if node.op_type == "transpose":
+        return chain.then_transpose(node.attrs["perm"])
+    if node.op_type == "depth_to_space":
+        return chain.concat(lower_depth_to_space(chain.out_shape,
+                                                 int(node.attrs.get("block", 2))))
+    if node.op_type == "space_to_depth":
+        return chain.concat(lower_space_to_depth(chain.out_shape,
+                                                 int(node.attrs.get("block", 2))))
+    if node.op_type == "slice":
+        shape = chain.out_shape
+        starts = node.attrs["starts"]
+        stops = node.attrs["stops"]
+        steps = node.attrs.get("steps", (1,) * len(shape))
+        triples = []
+        for d, start, stop, step in zip(shape, starts, stops, steps):
+            start = start % (d + 1)
+            stop = min(stop, d)
+            triples.append((start, stop, step))
+        return chain.then_slice(triples)
+    raise ValueError(f"{node.op_type} is not an eliminable transform")
+
+
+def eliminate_layout_transforms(
+    graph: Graph,
+    include_slice: bool = True,
+) -> EliminationStats:
+    """Remove layout-transform operators in-place, pushing views downstream.
+
+    A transform whose output is a graph output must stay materialized (its
+    value leaves the graph), but it still absorbs any upstream transforms
+    through its own input view.
+    """
+    targets = set(ELIMINABLE_DEFAULT)
+    if include_slice:
+        targets.add("slice")
+    stats = EliminationStats()
+
+    changed = True
+    while changed:
+        changed = False
+        for node in list(graph.topo_order()):
+            if node.op_type not in targets:
+                continue
+            out = node.outputs[0]
+            if out in graph.outputs:
+                stats.kept_graph_outputs += 1
+                continue
+            consumers = graph.consumers(out)
+            if not consumers:
+                # dead transform: drop it outright
+                graph.remove_node(node.id)
+                stats.eliminated[node.op_type] = stats.eliminated.get(node.op_type, 0) + 1
+                changed = True
+                continue
+            view = _own_view(graph, node)
+            source = node.inputs[0]
+            for consumer, idx in consumers:
+                existing = consumer.input_views.get(idx)
+                combined = view.concat(existing) if existing is not None else view
+                graph.replace_input(consumer, idx, source)
+                if combined.is_identity:
+                    consumer.input_views.pop(idx, None)
+                else:
+                    consumer.input_views[idx] = combined
+                    stats.views_attached += 1
+            graph.remove_node(node.id)
+            stats.eliminated[node.op_type] = stats.eliminated.get(node.op_type, 0) + 1
+            changed = True
+    return stats
+
+
+def eliminate_dead_nodes(graph: Graph) -> int:
+    """Remove nodes whose outputs are never consumed nor exported."""
+    removed = 0
+    changed = True
+    while changed:
+        changed = False
+        for node in list(graph.iter_nodes()):
+            if any(out in graph.outputs for out in node.outputs):
+                continue
+            if any(graph.consumers(out) for out in node.outputs):
+                continue
+            graph.remove_node(node.id)
+            removed += 1
+            changed = True
+    return removed
+
+
+def count_layout_transforms(graph: Graph, include_slice: bool = False) -> int:
+    """How many explicit layout-transform operators remain in the graph."""
+    kinds = set(ELIMINABLE_DEFAULT)
+    if include_slice:
+        kinds.add("slice")
+    return sum(1 for node in graph.iter_nodes() if node.op_type in kinds)

@@ -1,0 +1,207 @@
+"""Operator fusion engine.
+
+SmartMem builds on DNNFusion-style fusion (Section 3.2: "SmartMem relies
+on the techniques based on the DNNFusion project to decide if an operator
+fusion is legal").  The same engine, configured with different policies,
+also reproduces the baselines' fusion behaviour:
+
+* fixed-pattern policies (MNN / NCNN / TFLite): only hard-coded short
+  sequences such as Conv+ReLU are merged;
+* rule-based policies (TVM): elementwise chains and compute-op epilogues;
+* mapping-type policies (DNNFusion and SmartMem): general prologue /
+  epilogue / reorganize fusion driven by each operator's mapping class.
+
+Fusion is expressed as *grouping*: nodes sharing ``node.group`` execute as
+one kernel.  Grouping never changes numerics, so the reference executor
+verifies fused graphs unchanged; the cost model charges one kernel launch
+per group and only counts traffic crossing group boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir.graph import Graph, Node
+from ..ir.ops import Mapping
+from ..ir.pattern import find_chains
+
+HEAVY = (Mapping.SHUFFLE, Mapping.REDUCE)
+LIGHT = (Mapping.ONE2ONE,)
+MOVE = (Mapping.REORGANIZE, Mapping.EXPAND)
+TRANSPOSE_LIKE = frozenset({
+    "transpose", "depth_to_space", "space_to_depth", "layout_convert",
+})
+
+
+@dataclass(frozen=True)
+class FusionPolicy:
+    """What a framework's fusion engine is willing to merge."""
+
+    name: str
+    patterns: tuple[tuple[str, ...], ...] = ()
+    """Fixed operator sequences always merged (all frameworks have some)."""
+    elementwise_chains: bool = False
+    """Merge adjacent ONE2ONE operators."""
+    prologue: bool = False
+    """Merge a ONE2ONE producer into a heavy consumer."""
+    epilogue: bool = False
+    """Merge a ONE2ONE consumer into a heavy producer."""
+    reorganize_with_elementwise: bool = False
+    """Merge REORGANIZE/EXPAND ops with adjacent ONE2ONE ops (DNNFusion's
+    mapping analysis allows this; fixed-pattern frameworks do not).
+    Transpose-like shufflers (transpose, depth/space conversions, layout
+    converts) never merge: their output order is incompatible with a
+    fused traversal unless the layout itself is rewritten - which is
+    exactly the elimination step only SmartMem performs."""
+    max_heavy_per_group: int = 1
+    """At most this many compute-heavy ops per kernel."""
+
+
+# Policies mirroring the frameworks compared in the paper.  Pattern lists
+# follow each framework's documented fusions.
+MNN_POLICY = FusionPolicy(
+    name="mnn",
+    patterns=(
+        ("conv2d", "unary"), ("conv2d", "binary"), ("dense", "unary"),
+        ("matmul", "binary"), ("binary", "unary"),
+    ),
+)
+
+NCNN_POLICY = FusionPolicy(
+    name="ncnn",
+    patterns=(("conv2d", "unary"), ("conv2d", "binary", "unary"),
+              ("dense", "unary")),
+)
+
+TFLITE_POLICY = FusionPolicy(
+    name="tflite",
+    patterns=(("conv2d", "unary"), ("dense", "unary"), ("binary", "unary")),
+)
+
+TVM_POLICY = FusionPolicy(
+    name="tvm",
+    elementwise_chains=True,
+    epilogue=True,
+    prologue=False,
+    reorganize_with_elementwise=False,
+)
+
+DNNFUSION_POLICY = FusionPolicy(
+    name="dnnfusion",
+    elementwise_chains=True,
+    prologue=True,
+    epilogue=True,
+    reorganize_with_elementwise=True,
+)
+
+SMARTMEM_POLICY = DNNFUSION_POLICY  # SmartMem inherits DNNFusion's engine.
+
+
+@dataclass
+class FusionStats:
+    policy: str
+    nodes: int = 0
+    groups: int = 0
+    merged_edges: int = 0
+
+
+class _UnionFind:
+    def __init__(self, ids):
+        self.parent = {i: i for i in ids}
+        self.heavy_count: dict[str, int] = {}
+        self.size: dict[str, int] = {i: 1 for i in ids}
+
+    def find(self, x: str) -> str:
+        while self.parent[x] != x:
+            self.parent[x] = self.parent[self.parent[x]]
+            x = self.parent[x]
+        return x
+
+    def union(self, a: str, b: str) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return
+        self.parent[ra] = rb
+        self.heavy_count[rb] = self.heavy_count.get(ra, 0) + self.heavy_count.get(rb, 0)
+        self.size[rb] = self.size[ra] + self.size[rb]
+
+
+def _is_heavy(node: Node) -> bool:
+    return node.opdef.mapping in HEAVY
+
+
+def fuse(graph: Graph, policy: FusionPolicy) -> FusionStats:
+    """Assign fusion groups in-place according to ``policy``."""
+    order = graph.topo_order()
+    uf = _UnionFind([n.id for n in order])
+    for node in order:
+        if _is_heavy(node):
+            uf.heavy_count[node.id] = 1
+    stats = FusionStats(policy=policy.name, nodes=len(order))
+
+    def try_merge(producer: Node, consumer: Node) -> bool:
+        rp, rc = uf.find(producer.id), uf.find(consumer.id)
+        if rp == rc:
+            return False
+        if (uf.heavy_count.get(rp, 0) + uf.heavy_count.get(rc, 0)
+                > policy.max_heavy_per_group):
+            return False
+        uf.union(producer.id, consumer.id)
+        stats.merged_edges += 1
+        return True
+
+    # 1. fixed patterns (all frameworks)
+    for pattern in policy.patterns:
+        for match in find_chains(graph, list(pattern)):
+            for first, second in zip(match.nodes, match.nodes[1:]):
+                try_merge(first, second)
+
+    # 2. general rules over single-consumer edges, in topo order
+    if (policy.elementwise_chains or policy.prologue or policy.epilogue
+            or policy.reorganize_with_elementwise):
+        for producer in order:
+            for out in producer.outputs:
+                if out in graph.outputs:
+                    continue
+                consumers = graph.consumers(out)
+                if len(consumers) != 1:
+                    continue
+                consumer = consumers[0][0]
+                pm, cm = producer.opdef.mapping, consumer.opdef.mapping
+                ok = False
+                if pm in LIGHT and cm in LIGHT:
+                    ok = policy.elementwise_chains
+                elif pm in LIGHT and cm in HEAVY:
+                    ok = policy.prologue
+                elif pm in HEAVY and cm in LIGHT:
+                    ok = policy.epilogue
+                elif pm in MOVE and cm in LIGHT or pm in LIGHT and cm in MOVE:
+                    ok = (policy.reorganize_with_elementwise
+                          and producer.op_type not in TRANSPOSE_LIKE
+                          and consumer.op_type not in TRANSPOSE_LIKE)
+                elif pm in MOVE and cm in MOVE:
+                    ok = (policy.reorganize_with_elementwise
+                          and producer.op_type not in TRANSPOSE_LIKE
+                          and consumer.op_type not in TRANSPOSE_LIKE)
+                if ok:
+                    try_merge(producer, consumer)
+
+    # 3. materialize group ids
+    root_to_group: dict[str, int] = {}
+    for node in order:
+        root = uf.find(node.id)
+        if root not in root_to_group:
+            root_to_group[root] = len(root_to_group)
+        node.group = root_to_group[root]
+    stats.groups = len(root_to_group)
+    return stats
+
+
+def groups_of(graph: Graph) -> dict[int, list[Node]]:
+    """Nodes per fusion group, in topological order within each group."""
+    out: dict[int, list[Node]] = {}
+    for node in graph.topo_order():
+        if node.group is None:
+            raise ValueError(f"node {node.id} has no fusion group; run fuse() first")
+        out.setdefault(node.group, []).append(node)
+    return out

@@ -1,0 +1,199 @@
+"""Reduction-dimension-based layout selection (Section 3.2.2).
+
+After fusion and elimination, preserved operators are ILD & Variable; for
+each producer-consumer edge the producer is forced to emit the layout the
+*consumer* prefers ("sub-optimally writing results turns out to be better
+than sub-optimally reading input data").  The preferred layout stores the
+consumer's reduction dimension(s) contiguously.
+
+When a producer has several consumers, their reduction-dimension demands
+are merged: the first *k* distinct dimensions map onto the k directly
+addressable axes of the memory (k=2 for 2.5D texture memory - the vec4
+axis and one texture axis; k=1 for 1D buffers).  Demands beyond k force
+redundant copies of the tensor in additional layouts (Section 4.6
+discusses why these copies stay small in practice).
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+
+from ..indexexpr.index_map import IndexMap
+from ..ir.graph import Graph, Node
+from ..ir.layout import Layout
+from ..ir.ops import Quadrant
+from ..ir.view import ViewChain
+from .classification import classify
+
+
+@functools.lru_cache(maxsize=4096)
+def _cached_index_map(chain: ViewChain) -> IndexMap:
+    return IndexMap.from_view_chain(chain)
+
+
+def consumer_preferences(graph: Graph, node: Node, idx: int) -> list[int]:
+    """Producer-tensor dims the consumer wants contiguous, most wanted first.
+
+    Reduction dims are defined on the shape the kernel observes (after the
+    input view); they are translated back to the producer's stored dims
+    through the view's IndexMap: producer dim j serves kernel reduction
+    dim d if the coordinate expression for j mentions d's loop variable.
+    """
+    in_shapes = []
+    for i, name in enumerate(node.inputs):
+        shape = graph.shape(name)
+        view = node.input_views.get(i)
+        in_shapes.append(view.out_shape if view is not None else shape)
+    out_shapes = [graph.shape(t) for t in node.outputs]
+    rdims = node.opdef.reduction_dims(in_shapes, out_shapes, node.attrs).get(idx, ())
+    if not rdims:
+        return []
+    view = node.input_views.get(idx)
+    if view is None:
+        return list(rdims)
+    imap = _cached_index_map(view)
+    prefs: list[int] = []
+    for d in rdims:
+        var = f"o{d}"
+        for j, expr in enumerate(imap.exprs):
+            if var in expr.free_vars() and j not in prefs:
+                prefs.append(j)
+    return prefs
+
+
+@dataclass
+class LayoutPlan:
+    """The chosen physical layouts for every activation tensor."""
+
+    layouts: dict[str, Layout] = field(default_factory=dict)
+    copies: dict[str, list[Layout]] = field(default_factory=dict)
+    edge_assignment: dict[tuple[str, int], int] = field(default_factory=dict)
+    """(consumer node id, input idx) -> copy index; -1 means primary."""
+    searched_edges: int = 0
+    merged_producers: int = 0
+    """Producers whose consumers' demands were merged into one layout."""
+    quality: str = "default"
+    """'selected' when produced by reduction-dimension selection; generic
+    framework layouts ('default') run compute kernels less efficiently."""
+
+    @property
+    def num_copies(self) -> int:
+        return sum(len(v) for v in self.copies.values())
+
+    def layout_for_edge(self, tensor: str, consumer_id: str, idx: int) -> Layout:
+        which = self.edge_assignment.get((consumer_id, idx), -1)
+        if which < 0:
+            return self.layouts[tensor]
+        return self.copies[tensor][which]
+
+
+def _order_with_innermost(rank: int, inner: int) -> tuple[int, ...]:
+    return tuple([d for d in range(rank) if d != inner] + [inner])
+
+
+def _make_layout(rank: int, wanted: list[int], use_texture: bool) -> Layout:
+    """Primary layout: first wanted dim on the vec4 axis, second innermost."""
+    if use_texture and rank >= 2:
+        vector_dim = wanted[0] if wanted else rank - 1
+        if len(wanted) > 1:
+            inner = wanted[1]
+        else:
+            inner = rank - 1 if vector_dim != rank - 1 else rank - 2
+        return Layout.texture(_order_with_innermost(rank, inner), vector_dim=vector_dim)
+    inner = wanted[0] if wanted else rank - 1
+    return Layout.buffer(_order_with_innermost(rank, inner))
+
+
+def _copy_layout(rank: int, dim: int, use_texture: bool) -> Layout:
+    if use_texture and rank >= 2:
+        return Layout.texture(_order_with_innermost(rank, dim), vector_dim=dim)
+    return Layout.buffer(_order_with_innermost(rank, dim))
+
+
+def select_layouts(
+    graph: Graph,
+    use_texture: bool = True,
+    texture_rank_min: int = 2,
+) -> LayoutPlan:
+    """Choose layouts for all activation tensors; also annotates the graph.
+
+    ``k`` (how many reduction dims one stored copy can serve) is 2 with
+    texture memory, 1 without, per Section 3.2.2.  ``texture_rank_min``
+    controls which tensors are texture-eligible: 2 is SmartMem's full
+    mapping; 4 restricts textures to conv-style activations (the staging
+    used by the Fig. 8 breakdown); any value above the max rank disables
+    textures entirely.
+    """
+    plan = LayoutPlan(quality="selected")
+
+    activation_names = list(graph.inputs)
+    for node in graph.iter_nodes():
+        activation_names.extend(node.outputs)
+
+    for name in activation_names:
+        shape = graph.shape(name)
+        rank = len(shape)
+        tex = use_texture and rank >= texture_rank_min
+        k = 2 if tex else 1
+        consumers = graph.consumers(name)
+
+        # Rank demands per consumer edge; count votes to order them.
+        votes: dict[int, int] = {}
+        order_seen: list[int] = []
+        edge_first_pref: dict[tuple[str, int], int | None] = {}
+        for consumer, idx in consumers:
+            prefs = consumer_preferences(graph, consumer, idx)
+            if classify(graph, consumer) is Quadrant.ILD_VARIABLE:
+                plan.searched_edges += 1
+            edge_first_pref[(consumer.id, idx)] = prefs[0] if prefs else None
+            for d in prefs:
+                votes[d] = votes.get(d, 0) + 1
+                if d not in order_seen:
+                    order_seen.append(d)
+        wanted = sorted(order_seen, key=lambda d: (-votes[d], order_seen.index(d)))
+        if len(wanted) > 1:
+            plan.merged_producers += 1
+
+        primary = _make_layout(rank, wanted[:k], tex)
+        plan.layouts[name] = primary
+
+        # Demands past k need redundant copies in their own layouts.
+        extra = [d for d in wanted[k:]]
+        copy_layouts = [_copy_layout(rank, d, tex) for d in extra]
+        if copy_layouts:
+            plan.copies[name] = copy_layouts
+        for (cid, idx), first in edge_first_pref.items():
+            if first is None or primary.is_unit_stride(first):
+                continue
+            for copy_idx, d in enumerate(extra):
+                if d == first:
+                    plan.edge_assignment[(cid, idx)] = copy_idx
+                    break
+
+    graph.tensor_layouts = dict(plan.layouts)
+    return plan
+
+
+def default_plan(graph: Graph, use_texture: bool = True) -> LayoutPlan:
+    """The layout policy of a conventional framework (baselines).
+
+    4-d activations use the channels-packed texture layout (MNN's image
+    layout / NC4HW4 analogue) when the device has texture memory; every
+    other tensor is a row-major 1D buffer.  No copies, no per-edge search:
+    layout mismatches instead show up as explicit/implicit transform
+    operators in the baseline's graph.
+    """
+    plan = LayoutPlan()
+    names = list(graph.inputs)
+    for node in graph.iter_nodes():
+        names.extend(node.outputs)
+    for name in names:
+        shape = graph.shape(name)
+        if use_texture and len(shape) == 4:
+            plan.layouts[name] = Layout.texture(
+                _order_with_innermost(4, 3), vector_dim=1)
+        else:
+            plan.layouts[name] = Layout.row_major(len(shape))
+    graph.tensor_layouts = dict(plan.layouts)
+    return plan

@@ -1,0 +1,115 @@
+"""The SmartMem optimization pipeline (Section 3, Fig. 8 staging).
+
+Stages, in order:
+
+1. **LTE** - layout transformation elimination: Fixed-output operators
+   (Reshape/Transpose/DtoS/StoD/Slice and baseline-inserted layout
+   converts) become index computation in their consumers.
+2. **Fusion** - DNNFusion-style grouping (SmartMem inherits DNNFusion's
+   fusion engine; elimination exposes additional fusion opportunities).
+3. **Layout selection** - reduction-dimension-driven per-tensor layouts.
+4. **Texture mapping + tuning** ("Other opt" in Fig. 8) - extend texture
+   layouts to all eligible tensors and apply auto-tuned kernel configs.
+
+Each stage can be disabled independently, which is exactly how the Fig. 8
+optimization-breakdown experiment is produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.graph import Graph
+from .elimination import (
+    EliminationStats, count_layout_transforms, eliminate_dead_nodes,
+    eliminate_layout_transforms,
+)
+from .fusion import FusionStats, SMARTMEM_POLICY, fuse
+from .layout_selection import LayoutPlan, default_plan, select_layouts
+
+
+@dataclass(frozen=True)
+class PipelineStages:
+    """Which SmartMem optimizations are active."""
+
+    lte: bool = True
+    fusion: bool = True
+    layout_selection: bool = True
+    full_texture: bool = True
+    """Texture layouts for every rank>=2 tensor (stage 4); when False,
+    textures are limited to 4-d conv activations like the baselines."""
+    use_texture: bool = True
+    """Whether the device has a texture path at all (False on V100)."""
+    simplify_index: bool = True
+    """Strength reduction on eliminated-transform index expressions."""
+    eliminate_slice: bool = True
+    tuned_boost: float = 1.1
+    """Extra kernel efficiency from the GA auto-tuner (stage 4)."""
+
+
+@dataclass
+class OptimizeResult:
+    """An optimized module: rewritten graph + layout plan + statistics."""
+
+    graph: Graph
+    plan: LayoutPlan
+    stages: PipelineStages
+    fusion_stats: FusionStats | None = None
+    elimination_stats: EliminationStats | None = None
+    source_operator_count: int = 0
+
+    @property
+    def operator_count(self) -> int:
+        return self.graph.num_operators
+
+    @property
+    def extra_efficiency(self) -> float:
+        return self.stages.tuned_boost if self.stages.full_texture else 1.0
+
+    @property
+    def remaining_layout_transforms(self) -> int:
+        return count_layout_transforms(self.graph)
+
+
+def smartmem_optimize(
+    graph: Graph,
+    stages: PipelineStages | None = None,
+) -> OptimizeResult:
+    """Run the SmartMem pipeline on a copy of ``graph``."""
+    stages = stages or PipelineStages()
+    g = graph.clone()
+    source_ops = len(g.nodes)
+
+    elim_stats = None
+    if stages.lte:
+        elim_stats = eliminate_layout_transforms(
+            g, include_slice=stages.eliminate_slice)
+        eliminate_dead_nodes(g)
+        if not stages.simplify_index:
+            # Ablation: keep the raw (un-reduced) index expressions.  The
+            # views are identical; only the cost model's per-element index
+            # cost differs, so we record the choice for it.
+            pass
+
+    fusion_stats = None
+    if stages.fusion:
+        fusion_stats = fuse(g, SMARTMEM_POLICY)
+    else:
+        for i, node in enumerate(g.iter_nodes()):
+            node.group = i
+
+    if stages.layout_selection:
+        rank_min = 2 if stages.full_texture else 4
+        plan = select_layouts(g, use_texture=stages.use_texture,
+                              texture_rank_min=rank_min)
+    else:
+        plan = default_plan(g, use_texture=stages.use_texture)
+
+    return OptimizeResult(
+        graph=g,
+        plan=plan,
+        stages=stages,
+        fusion_stats=fusion_stats,
+        elimination_stats=elim_stats,
+        source_operator_count=source_ops,
+    )

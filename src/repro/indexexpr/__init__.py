@@ -1,0 +1,12 @@
+"""Symbolic index algebra and IndexMaps (Section 3.2.1)."""
+
+from .expr import (
+    BinOp, Const, Expr, Var, add, classify_dependency, floordiv, mod, mul,
+    simplify,
+)
+from .index_map import IndexMap
+
+__all__ = [
+    "BinOp", "Const", "Expr", "IndexMap", "Var", "add", "classify_dependency",
+    "floordiv", "mod", "mul", "simplify",
+]

@@ -1,0 +1,378 @@
+"""Symbolic integer index expressions with strength reduction.
+
+Section 3.2.1 of the paper replaces fused Reshape/Transpose chains with
+index computation and then applies "mathematical strength reduction rules"
+because modulo and division are expensive on GPUs.  This module is that
+algebra: non-negative integer expressions over bounded variables with
+``+ * // %``, constant folding, range analysis, and the paper's rewrite
+rules (e.g. ``i % Ca % Cb -> i % Cb`` when ``Ca % Cb == 0``).
+
+All variables are loop indices with known extents, so every expression has
+computable bounds; several rewrites are justified purely by bounds (e.g.
+``x % C -> x`` when ``max(x) < C``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+
+class Expr:
+    """Base class for index expressions (immutable, hashable)."""
+
+    def bounds(self) -> tuple[int, int]:
+        raise NotImplementedError
+
+    def evaluate(self, env: Mapping[str, np.ndarray | int]):
+        raise NotImplementedError
+
+    def cost(self) -> int:
+        """Arithmetic cost in cheap-op units (div/mod count 4x)."""
+        raise NotImplementedError
+
+    def free_vars(self) -> frozenset[str]:
+        raise NotImplementedError
+
+    # operator sugar (usable in tests and pass code)
+    def __add__(self, other):
+        return add(self, _coerce(other))
+
+    def __mul__(self, other):
+        return mul(self, _coerce(other))
+
+    def __floordiv__(self, other):
+        return floordiv(self, _coerce(other))
+
+    def __mod__(self, other):
+        return mod(self, _coerce(other))
+
+
+def _coerce(value) -> Expr:
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, (int, np.integer)):
+        return Const(int(value))
+    raise TypeError(f"cannot use {value!r} in an index expression")
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    value: int
+
+    def __post_init__(self):
+        if self.value < 0:
+            raise ValueError("index expressions are non-negative")
+
+    def bounds(self):
+        return (self.value, self.value)
+
+    def evaluate(self, env):
+        return self.value
+
+    def cost(self):
+        return 0
+
+    def free_vars(self):
+        return frozenset()
+
+    def __repr__(self):
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A loop variable ranging over ``[0, extent)``."""
+
+    name: str
+    extent: int
+
+    def __post_init__(self):
+        if self.extent <= 0:
+            raise ValueError(f"variable extent must be positive, got {self.extent}")
+
+    def bounds(self):
+        return (0, self.extent - 1)
+
+    def evaluate(self, env):
+        return env[self.name]
+
+    def cost(self):
+        return 0
+
+    def free_vars(self):
+        return frozenset((self.name,))
+
+    def __repr__(self):
+        return self.name
+
+
+_COSTS = {"+": 1, "*": 1, "//": 4, "%": 4}
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+    def __post_init__(self):
+        if self.op not in _COSTS:
+            raise ValueError(f"unknown op {self.op!r}")
+
+    def bounds(self):
+        lo1, hi1 = self.lhs.bounds()
+        lo2, hi2 = self.rhs.bounds()
+        if self.op == "+":
+            return (lo1 + lo2, hi1 + hi2)
+        if self.op == "*":
+            return (lo1 * lo2, hi1 * hi2)
+        if self.op == "//":
+            if lo2 <= 0:
+                raise ZeroDivisionError("division by possibly-zero expression")
+            return (lo1 // hi2, hi1 // lo2)
+        # %
+        if lo2 <= 0:
+            raise ZeroDivisionError("modulo by possibly-zero expression")
+        if hi1 < lo2:  # value always below the smallest modulus
+            return (lo1, hi1)
+        return (0, hi2 - 1)
+
+    def evaluate(self, env):
+        a = self.lhs.evaluate(env)
+        b = self.rhs.evaluate(env)
+        if self.op == "+":
+            return a + b
+        if self.op == "*":
+            return a * b
+        if self.op == "//":
+            return a // b
+        return a % b
+
+    def cost(self):
+        return _COSTS[self.op] + self.lhs.cost() + self.rhs.cost()
+
+    def free_vars(self):
+        return self.lhs.free_vars() | self.rhs.free_vars()
+
+    def __repr__(self):
+        return f"({self.lhs!r} {self.op} {self.rhs!r})"
+
+
+# ---------------------------------------------------------------------------
+# smart constructors: every algebraic rule lives here, so building an
+# expression bottom-up yields the strength-reduced form.
+# ---------------------------------------------------------------------------
+
+
+def add(a: Expr, b: Expr) -> Expr:
+    a, b = _coerce(a), _coerce(b)
+    if isinstance(a, Const) and isinstance(b, Const):
+        return Const(a.value + b.value)
+    if isinstance(a, Const) and a.value == 0:
+        return b
+    if isinstance(b, Const) and b.value == 0:
+        return a
+    # normalize constants to the right and re-associate: (x + c1) + c2
+    if isinstance(a, Const):
+        a, b = b, a
+    if (isinstance(b, Const) and isinstance(a, BinOp) and a.op == "+"
+            and isinstance(a.rhs, Const)):
+        return add(a.lhs, Const(a.rhs.value + b.value))
+    return BinOp("+", a, b)
+
+
+def mul(a: Expr, b: Expr) -> Expr:
+    a, b = _coerce(a), _coerce(b)
+    if isinstance(a, Const) and isinstance(b, Const):
+        return Const(a.value * b.value)
+    if isinstance(a, Const):
+        a, b = b, a
+    if isinstance(b, Const):
+        if b.value == 0:
+            return Const(0)
+        if b.value == 1:
+            return a
+        if isinstance(a, BinOp) and a.op == "*" and isinstance(a.rhs, Const):
+            return mul(a.lhs, Const(a.rhs.value * b.value))
+        # distribute over + so merge-then-split patterns expose x*k + r form
+        if isinstance(a, BinOp) and a.op == "+":
+            return add(mul(a.lhs, b), mul(a.rhs, b))
+    return BinOp("*", a, b)
+
+
+def _mod_upper(e: Expr, c: int) -> int:
+    """A sound upper bound for ``e % c`` (tighter than bounds alone).
+
+    The interesting case is ``x * k``: when ``k`` is a multiple of ``c``
+    the residue is 0; when ``k`` divides ``c`` the residue is
+    ``k * ((x % (c//k)) max)``.  These bounds justify the carry-free
+    splitting of ``//`` and ``%`` across sums, which is what collapses
+    stacked reshape/transpose index math (Fig. 3).
+    """
+    lo, hi = e.bounds()
+    if hi < c:
+        return hi
+    if isinstance(e, BinOp):
+        if e.op == "*" and isinstance(e.rhs, Const):
+            k = e.rhs.value
+            if k % c == 0:
+                return 0
+            if k != 0 and c % k == 0:
+                return k * _mod_upper(e.lhs, c // k)
+        elif e.op == "+":
+            combined = _mod_upper(e.lhs, c) + _mod_upper(e.rhs, c)
+            if combined < c:
+                return combined
+        elif e.op == "%" and isinstance(e.rhs, Const) and e.rhs.value % c == 0:
+            return _mod_upper(e.lhs, c)
+    return c - 1
+
+
+def _carry_free(a: Expr, b: Expr, c: int) -> bool:
+    """True when ``(a + b) // c == a//c + b//c`` and likewise for %."""
+    return _mod_upper(a, c) + _mod_upper(b, c) < c
+
+
+def _const_factor(e: Expr) -> tuple[Expr, int]:
+    """Write ``e`` as ``inner * k`` with maximal constant k."""
+    if isinstance(e, BinOp) and e.op == "*" and isinstance(e.rhs, Const):
+        return e.lhs, e.rhs.value
+    if isinstance(e, Const):
+        return Const(1), e.value
+    return e, 1
+
+
+def floordiv(a: Expr, b: Expr) -> Expr:
+    a, b = _coerce(a), _coerce(b)
+    if isinstance(b, Const):
+        c = b.value
+        if c == 0:
+            raise ZeroDivisionError("index expression divides by zero")
+        if c == 1:
+            return a
+        if isinstance(a, Const):
+            return Const(a.value // c)
+        lo, hi = a.bounds()
+        if hi < c:
+            return Const(0)
+        if isinstance(a, BinOp):
+            # (x // c1) // c2  ->  x // (c1*c2)
+            if a.op == "//" and isinstance(a.rhs, Const):
+                return floordiv(a.lhs, Const(a.rhs.value * c))
+            # (x*k + r) // c  ->  x*(k//c) + r//c   when c | k and r >= 0
+            if a.op == "+":
+                inner, k = _const_factor(a.lhs)
+                if k % c == 0:
+                    return add(mul(inner, Const(k // c)), floordiv(a.rhs, b))
+                inner, k = _const_factor(a.rhs)
+                if k % c == 0:
+                    return add(mul(inner, Const(k // c)), floordiv(a.lhs, b))
+                # carry-free split: residues cannot sum past c
+                if _carry_free(a.lhs, a.rhs, c):
+                    return add(floordiv(a.lhs, b), floordiv(a.rhs, b))
+            # (x*k) // c  ->  x*(k//c)  when c | k ;  x // (c//k) when k | c
+            if a.op == "*" and isinstance(a.rhs, Const):
+                k = a.rhs.value
+                if k % c == 0:
+                    return mul(a.lhs, Const(k // c))
+                if c % k == 0:
+                    return floordiv(a.lhs, Const(c // k))
+    return BinOp("//", a, b)
+
+
+def mod(a: Expr, b: Expr) -> Expr:
+    a, b = _coerce(a), _coerce(b)
+    if isinstance(b, Const):
+        c = b.value
+        if c == 0:
+            raise ZeroDivisionError("index expression modulo zero")
+        if c == 1:
+            return Const(0)
+        if isinstance(a, Const):
+            return Const(a.value % c)
+        lo, hi = a.bounds()
+        if hi < c:  # value already in range
+            return a
+        if isinstance(a, BinOp):
+            # (x % c1) % c2  ->  x % c2   when c2 | c1  (the paper's rule)
+            if a.op == "%" and isinstance(a.rhs, Const) and a.rhs.value % c == 0:
+                return mod(a.lhs, b)
+            # (x*k + r) % c  ->  r % c   when c | k
+            if a.op == "+":
+                inner, k = _const_factor(a.lhs)
+                if k % c == 0:
+                    return mod(a.rhs, b)
+                inner, k = _const_factor(a.rhs)
+                if k % c == 0:
+                    return mod(a.lhs, b)
+                # carry-free split: (x + y) % c -> x%c + y%c
+                if _carry_free(a.lhs, a.rhs, c):
+                    return add(mod(a.lhs, b), mod(a.rhs, b))
+            # (x*k) % c -> 0 when c | k ; (x % (c//k)) * k when k | c
+            if a.op == "*" and isinstance(a.rhs, Const):
+                k = a.rhs.value
+                if k % c == 0:
+                    return Const(0)
+                if c % k == 0:
+                    return mul(mod(a.lhs, Const(c // k)), Const(k))
+    return BinOp("%", a, b)
+
+
+def simplify(e: Expr) -> Expr:
+    """Deep rebuild through the smart constructors until fixpoint.
+
+    Returns the cheapest expression seen: some local rewrites (e.g.
+    distributing a constant multiply over a sum) only pay off when they
+    unlock later div/mod collapses, so the rebuilt form is kept only if
+    it is no more expensive than the best so far.
+    """
+    best = e
+    previous = None
+    current = e
+    for _ in range(16):  # fixpoint is reached in 2-3 iterations in practice
+        if current == previous:
+            break
+        previous = current
+        current = _rebuild(current)
+        if current.cost() <= best.cost():
+            best = current
+    return best
+
+
+def _rebuild(e: Expr) -> Expr:
+    if isinstance(e, (Const, Var)):
+        return e
+    assert isinstance(e, BinOp)
+    lhs, rhs = _rebuild(e.lhs), _rebuild(e.rhs)
+    builder = {"+": add, "*": mul, "//": floordiv, "%": mod}[e.op]
+    return builder(lhs, rhs)
+
+
+def classify_dependency(e: Expr) -> str:
+    """Fig. 3's index dependency classes for one input coordinate.
+
+    * ``identity`` - the coordinate is a single output variable;
+    * ``split``    - derived from one variable via // and % (one output dim
+      feeding several input dims);
+    * ``merge``    - linear combination of several variables (several
+      output dims collapsing into one input dim);
+    * ``compound`` - anything mixing both (stacked reshapes/transposes).
+    """
+    if isinstance(e, (Var, Const)):
+        return "identity"
+    n_vars = len(e.free_vars())
+    has_divmod = _contains_divmod(e)
+    if n_vars <= 1:
+        return "split" if has_divmod else "identity"
+    return "compound" if has_divmod else "merge"
+
+
+def _contains_divmod(e: Expr) -> bool:
+    if isinstance(e, BinOp):
+        if e.op in ("//", "%"):
+            return True
+        return _contains_divmod(e.lhs) or _contains_divmod(e.rhs)
+    return False

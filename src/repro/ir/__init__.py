@@ -1,0 +1,24 @@
+"""Graph IR: tensors, layouts, operators, and the computational DAG."""
+
+from .builder import GraphBuilder
+from .dtype import DType, parse_dtype
+from .graph import Graph, GraphError, Node
+from .layout import Layout, MemoryKind, TEXTURE_VECTOR_WIDTH
+from .ops import Mapping, OpDef, Quadrant, all_op_types, get_op, register_op
+from .pattern import ChainMatch, find_chains, layout_transform_chains
+from .printer import format_graph, summarize
+from .serialize import dumps, graph_from_json, graph_to_json, loads
+from .tensor import Shape, TensorSpec
+from .validate import validate
+from .view import ViewChain, ViewStep, lower_depth_to_space, lower_space_to_depth
+
+__all__ = [
+    "ChainMatch", "DType", "Graph", "GraphBuilder", "GraphError", "Layout",
+    "Mapping", "MemoryKind", "Node", "OpDef", "Quadrant", "Shape",
+    "TEXTURE_VECTOR_WIDTH", "TensorSpec", "ViewChain", "ViewStep",
+    "all_op_types", "dumps", "find_chains", "format_graph", "get_op",
+    "graph_from_json", "summarize",
+    "graph_to_json", "layout_transform_chains", "loads",
+    "lower_depth_to_space", "lower_space_to_depth", "parse_dtype",
+    "register_op", "validate",
+]

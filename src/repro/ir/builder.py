@@ -1,0 +1,280 @@
+"""Fluent construction API for computational graphs.
+
+Model definitions in ``repro.models`` use a GraphBuilder the way one uses
+an eager framework: each method performs shape inference, registers the
+output tensor, and returns its name.  Parameters (weights) are created
+implicitly with deterministic names so parameter counts are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .dtype import DType
+from .graph import Graph
+from .ops import BINARY_FUNCS, UNARY_FUNCS, get_op
+from .tensor import Shape, TensorSpec
+
+
+class GraphBuilder:
+    """Builds a Graph while tracking shapes."""
+
+    def __init__(self, name: str = "graph", dtype: DType = DType.FP16) -> None:
+        self.graph = Graph(name)
+        self.dtype = dtype
+
+    # -- plumbing ---------------------------------------------------------
+
+    def shape(self, tensor: str) -> Shape:
+        return self.graph.shape(tensor)
+
+    def input(self, name: str, shape: Iterable[int], dtype: DType | None = None) -> str:
+        return self.graph.add_input(name, shape, dtype or self.dtype).name
+
+    def param(self, shape: Iterable[int], prefix: str = "w",
+              dtype: DType | None = None) -> str:
+        name = self.graph.fresh_id(prefix)
+        return self.graph.add_param(name, shape, dtype or self.dtype).name
+
+    def const(self, value: float, shape: Iterable[int] = (1,),
+              prefix: str = "const") -> str:
+        """A known-value constant (e.g. an epsilon or attention scale)."""
+        name = self.graph.fresh_id(prefix)
+        spec = TensorSpec(name, tuple(shape), self.dtype, is_param=True,
+                          const_value=float(value))
+        return self.graph.add_tensor(spec).name
+
+    def output(self, tensor: str) -> str:
+        self.graph.mark_output(tensor)
+        return tensor
+
+    def finish(self) -> Graph:
+        """Mark dangling tensors as outputs if none were marked, and return."""
+        if not self.graph.outputs:
+            consumed = {t for n in self.graph.iter_nodes() for t in n.inputs}
+            for node in self.graph.iter_nodes():
+                for out in node.outputs:
+                    if out not in consumed:
+                        self.graph.mark_output(out)
+        return self.graph
+
+    def _emit(self, op_type: str, inputs: list[str], attrs: dict | None = None,
+              n_outputs: int = 1, out_prefix: str | None = None) -> str | list[str]:
+        opdef = get_op(op_type)
+        in_shapes = [self.shape(t) for t in inputs]
+        out_shapes = opdef.infer_shapes(in_shapes, attrs or {})
+        if len(out_shapes) != n_outputs:
+            raise ValueError(f"{op_type} produced {len(out_shapes)} shapes")
+        prefix = out_prefix or op_type
+        out_names = []
+        for shape in out_shapes:
+            name = self.graph.fresh_id(prefix)
+            self.graph.add_tensor(TensorSpec(name, shape, self.dtype))
+            out_names.append(name)
+        self.graph.add_node(op_type, inputs, out_names, attrs or {})
+        return out_names[0] if n_outputs == 1 else out_names
+
+    # -- compute ops --------------------------------------------------------
+
+    def conv2d(self, x: str, out_channels: int, kernel: int | tuple[int, int],
+               stride: int | tuple[int, int] = 1,
+               padding: int | tuple[int, int] = 0,
+               groups: int = 1, bias: bool = True,
+               dilation: int | tuple[int, int] = 1) -> str:
+        kh, kw = (kernel, kernel) if isinstance(kernel, int) else kernel
+        c = self.shape(x)[1]
+        if c % groups:
+            raise ValueError(f"channels {c} not divisible by groups {groups}")
+        w = self.param((out_channels, c // groups, kh, kw), "conv_w")
+        inputs = [x, w]
+        if bias:
+            inputs.append(self.param((out_channels,), "conv_b"))
+        attrs = {"kernel": (kh, kw), "stride": stride, "padding": padding,
+                 "groups": groups, "dilation": dilation}
+        return self._emit("conv2d", inputs, attrs)
+
+    def depthwise_conv2d(self, x: str, kernel, stride=1, padding=0,
+                         bias: bool = True) -> str:
+        c = self.shape(x)[1]
+        return self.conv2d(x, c, kernel, stride, padding, groups=c, bias=bias)
+
+    def dense(self, x: str, units: int, bias: bool = True) -> str:
+        w = self.param((units, self.shape(x)[-1]), "dense_w")
+        inputs = [x, w]
+        if bias:
+            inputs.append(self.param((units,), "dense_b"))
+        return self._emit("dense", inputs)
+
+    def matmul(self, a: str, b: str, transpose_a: bool = False,
+               transpose_b: bool = False) -> str:
+        return self._emit("matmul", [a, b],
+                          {"transpose_a": transpose_a, "transpose_b": transpose_b})
+
+    # -- elementwise ----------------------------------------------------------
+
+    def unary(self, x: str, func: str) -> str:
+        if func not in UNARY_FUNCS:
+            raise ValueError(f"unknown unary func {func!r}")
+        return self._emit("unary", [x], {"func": func}, out_prefix=func)
+
+    def binary(self, a: str, b: str, func: str) -> str:
+        if func not in BINARY_FUNCS:
+            raise ValueError(f"unknown binary func {func!r}")
+        return self._emit("binary", [a, b], {"func": func}, out_prefix=func)
+
+    def relu(self, x: str) -> str:
+        return self.unary(x, "relu")
+
+    def gelu(self, x: str) -> str:
+        return self.unary(x, "gelu")
+
+    def silu(self, x: str) -> str:
+        return self.unary(x, "silu")
+
+    def sigmoid(self, x: str) -> str:
+        return self.unary(x, "sigmoid")
+
+    def add(self, a: str, b: str) -> str:
+        return self.binary(a, b, "add")
+
+    def sub(self, a: str, b: str) -> str:
+        return self.binary(a, b, "sub")
+
+    def mul(self, a: str, b: str) -> str:
+        return self.binary(a, b, "mul")
+
+    def div(self, a: str, b: str) -> str:
+        return self.binary(a, b, "div")
+
+    def add_const(self, x: str, shape: Iterable[int] | None = None,
+                  prefix: str = "bias") -> str:
+        """Add a learned constant (broadcastable) - e.g. positional embeddings."""
+        shape = tuple(shape) if shape is not None else self.shape(x)
+        return self.add(x, self.param(shape, prefix))
+
+    def scale_shift(self, x: str, axis: int = -1) -> str:
+        """Per-channel affine: x * gamma + beta (folded batchnorm style)."""
+        rank = len(self.shape(x))
+        axis %= rank
+        bshape = tuple(self.shape(x)[axis] if i == axis else 1 for i in range(rank))
+        return self.add(self.mul(x, self.param(bshape, "scale")),
+                        self.param(bshape, "shift"))
+
+    # -- normalization ----------------------------------------------------------
+
+    def softmax(self, x: str, axis: int = -1) -> str:
+        return self._emit("softmax", [x], {"axis": axis})
+
+    def layernorm(self, x: str, axes: int | Sequence[int] = -1,
+                  affine: bool = True) -> str:
+        attrs = {"axes": axes, "eps": 1e-5}
+        inputs = [x]
+        if affine:
+            rank = len(self.shape(x))
+            ax = (axes,) if isinstance(axes, int) else tuple(axes)
+            pshape = tuple(self.shape(x)[a % rank] for a in sorted(a % rank for a in ax))
+            inputs += [self.param(pshape, "ln_g"), self.param(pshape, "ln_b")]
+        return self._emit("layernorm", inputs, attrs)
+
+    def rmsnorm(self, x: str, axes: int | Sequence[int] = -1) -> str:
+        rank = len(self.shape(x))
+        ax = (axes,) if isinstance(axes, int) else tuple(axes)
+        pshape = tuple(self.shape(x)[a % rank] for a in sorted(a % rank for a in ax))
+        return self._emit("rmsnorm", [x, self.param(pshape, "rms_g")],
+                          {"axes": axes, "eps": 1e-6})
+
+    def instancenorm(self, x: str, affine: bool = True) -> str:
+        inputs = [x]
+        if affine:
+            c = self.shape(x)[1]
+            inputs += [self.param((c,), "in_g"), self.param((c,), "in_b")]
+        return self._emit("instancenorm", inputs, {"eps": 1e-5})
+
+    def groupnorm(self, x: str, groups: int = 32, affine: bool = True) -> str:
+        inputs = [x]
+        if affine:
+            c = self.shape(x)[1]
+            inputs += [self.param((c,), "gn_g"), self.param((c,), "gn_b")]
+        return self._emit("groupnorm", inputs, {"groups": groups, "eps": 1e-5})
+
+    def batchnorm(self, x: str) -> str:
+        c = self.shape(x)[1]
+        return self._emit("batchnorm",
+                          [x, self.param((c,), "bn_g"), self.param((c,), "bn_b")], {})
+
+    def reduce(self, x: str, kind: str = "reduce_mean",
+               axes: int | Sequence[int] | None = None, keepdims: bool = False) -> str:
+        if axes is None:
+            axes = tuple(range(len(self.shape(x))))
+        return self._emit(kind, [x], {"axes": axes, "keepdims": keepdims})
+
+    # -- layout / reorganization ---------------------------------------------
+
+    def reshape(self, x: str, shape: Iterable[int]) -> str:
+        return self._emit("reshape", [x], {"shape": tuple(shape)})
+
+    def transpose(self, x: str, perm: Iterable[int]) -> str:
+        return self._emit("transpose", [x], {"perm": tuple(perm)})
+
+    def slice(self, x: str, starts: Sequence[int], stops: Sequence[int],
+              steps: Sequence[int] | None = None) -> str:
+        attrs = {"starts": tuple(starts), "stops": tuple(stops)}
+        if steps is not None:
+            attrs["steps"] = tuple(steps)
+        return self._emit("slice", [x], attrs)
+
+    def slice_axis(self, x: str, axis: int, start: int, stop: int) -> str:
+        shape = self.shape(x)
+        axis %= len(shape)
+        starts = [0] * len(shape)
+        stops = list(shape)
+        starts[axis], stops[axis] = start, stop
+        return self.slice(x, starts, stops)
+
+    def concat(self, xs: Sequence[str], axis: int) -> str:
+        return self._emit("concat", list(xs), {"axis": axis})
+
+    def gather(self, x: str, indices: Sequence[int], axis: int = 0) -> str:
+        return self._emit("gather", [x],
+                          {"axis": axis, "indices": tuple(int(i) for i in indices),
+                           "indices_shape": (len(indices),)})
+
+    def split(self, x: str, sections: int, axis: int = 0) -> list[str]:
+        """Split into equal sections along ``axis`` (multi-output op)."""
+        return self._emit("split", [x], {"axis": axis, "sections": sections},
+                          n_outputs=sections)
+
+    def pad(self, x: str, pads: Sequence[tuple[int, int]]) -> str:
+        return self._emit("pad", [x], {"pads": tuple((int(a), int(b)) for a, b in pads)})
+
+    def depth_to_space(self, x: str, block: int = 2) -> str:
+        return self._emit("depth_to_space", [x], {"block": block})
+
+    def space_to_depth(self, x: str, block: int = 2) -> str:
+        return self._emit("space_to_depth", [x], {"block": block})
+
+    # -- pooling / resampling -----------------------------------------------
+
+    def maxpool2d(self, x: str, kernel, stride=None, padding=0) -> str:
+        attrs = {"kernel": kernel, "padding": padding}
+        if stride is not None:
+            attrs["stride"] = stride
+        return self._emit("maxpool2d", [x], attrs)
+
+    def avgpool2d(self, x: str, kernel, stride=None, padding=0) -> str:
+        attrs = {"kernel": kernel, "padding": padding}
+        if stride is not None:
+            attrs["stride"] = stride
+        return self._emit("avgpool2d", [x], attrs)
+
+    def global_avgpool(self, x: str) -> str:
+        return self._emit("global_avgpool", [x], {})
+
+    def upsample2d(self, x: str, scale: int = 2) -> str:
+        return self._emit("upsample2d", [x], {"scale": scale})
+
+    # -- lookup ----------------------------------------------------------------
+
+    def embedding(self, ids: str, vocab: int, dim: int) -> str:
+        table = self.param((vocab, dim), "emb")
+        return self._emit("embedding", [table, ids])

@@ -1,0 +1,70 @@
+"""Data types used by the IR.
+
+The paper evaluates mobile GPUs with 16-bit floats and desktop GPUs with
+32-bit floats (Section 4.1); the cost model needs element sizes to compute
+memory traffic, so dtypes carry their byte width.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+
+class DType(enum.Enum):
+    """Element type of a tensor."""
+
+    FP16 = "fp16"
+    FP32 = "fp32"
+    INT8 = "int8"
+    INT32 = "int32"
+    INT64 = "int64"
+    BOOL = "bool"
+
+    @property
+    def size_bytes(self) -> int:
+        """Width of one element in bytes."""
+        return _SIZE_BYTES[self]
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        """The NumPy dtype used by the reference executor.
+
+        FP16 maps to float32 for execution: the reference kernels verify
+        *semantics* of graph rewrites, which must not depend on rounding,
+        while the cost model separately accounts for the 2-byte storage.
+        """
+        return _NUMPY_DTYPE[self]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DType.{self.name}"
+
+
+_SIZE_BYTES = {
+    DType.FP16: 2,
+    DType.FP32: 4,
+    DType.INT8: 1,
+    DType.INT32: 4,
+    DType.INT64: 8,
+    DType.BOOL: 1,
+}
+
+_NUMPY_DTYPE = {
+    DType.FP16: np.dtype(np.float32),
+    DType.FP32: np.dtype(np.float32),
+    DType.INT8: np.dtype(np.int8),
+    DType.INT32: np.dtype(np.int32),
+    DType.INT64: np.dtype(np.int64),
+    DType.BOOL: np.dtype(np.bool_),
+}
+
+
+def parse_dtype(value: "DType | str") -> DType:
+    """Coerce a string like ``"fp16"`` (or a DType) to a DType."""
+    if isinstance(value, DType):
+        return value
+    try:
+        return DType(value)
+    except ValueError:
+        raise ValueError(f"unknown dtype {value!r}") from None

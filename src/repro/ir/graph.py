@@ -1,0 +1,277 @@
+"""The computational graph: a DAG of operator nodes over named tensors.
+
+The optimizer communicates through three kinds of graph annotations:
+
+* ``Node.group`` - fusion group id.  Nodes sharing a group execute as one
+  kernel; operator counts reported in Table 7 are *group* counts.
+* ``Node.input_views`` - residual index computation (a ViewChain) attached
+  to a node input after layout transformation elimination removed explicit
+  Reshape/Transpose producers.
+* ``Graph.tensor_layouts`` - the physical layout selected for each tensor
+  by layout selection / texture mapping.
+
+Grouping and views never change numerics: the reference executor runs the
+primitive nodes one by one (applying input views first), so any optimized
+graph can be verified bit-for-bit against the original.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from .dtype import DType
+from .layout import Layout
+from .ops import get_op
+from .tensor import Shape, TensorSpec
+from .view import ViewChain
+
+
+class GraphError(ValueError):
+    """Raised when a graph is malformed or a rewrite is illegal."""
+
+
+@dataclass
+class Node:
+    """One operator application."""
+
+    id: str
+    op_type: str
+    inputs: list[str]
+    outputs: list[str]
+    attrs: dict = field(default_factory=dict)
+    input_views: dict[int, ViewChain] = field(default_factory=dict)
+    group: int | None = None
+
+    @property
+    def opdef(self):
+        return get_op(self.op_type)
+
+    def view_for(self, idx: int, in_shape: Shape) -> ViewChain:
+        """The (possibly identity) view applied to input ``idx``."""
+        return self.input_views.get(idx, ViewChain.identity(in_shape))
+
+
+class Graph:
+    """A static, single-static-assignment computational graph."""
+
+    def __init__(self, name: str = "graph") -> None:
+        self.name = name
+        self.tensors: dict[str, TensorSpec] = {}
+        self.nodes: dict[str, Node] = {}
+        self._order: list[str] = []
+        self.inputs: list[str] = []
+        self.outputs: list[str] = []
+        self.tensor_layouts: dict[str, Layout] = {}
+        self._producer: dict[str, str] = {}
+        self._id_counter = itertools.count()
+        self._consumer_cache: dict[str, list[tuple[str, int]]] | None = None
+
+    # -- construction --------------------------------------------------------
+
+    def add_tensor(self, spec: TensorSpec) -> TensorSpec:
+        if spec.name in self.tensors:
+            raise GraphError(f"tensor {spec.name!r} already defined")
+        self.tensors[spec.name] = spec
+        return spec
+
+    def add_input(self, name: str, shape: Iterable[int], dtype: DType = DType.FP16) -> TensorSpec:
+        spec = self.add_tensor(TensorSpec(name, tuple(shape), dtype))
+        self.inputs.append(name)
+        return spec
+
+    def add_param(self, name: str, shape: Iterable[int], dtype: DType = DType.FP16) -> TensorSpec:
+        return self.add_tensor(TensorSpec(name, tuple(shape), dtype, is_param=True))
+
+    def mark_output(self, name: str) -> None:
+        if name not in self.tensors:
+            raise GraphError(f"cannot mark unknown tensor {name!r} as output")
+        if name not in self.outputs:
+            self.outputs.append(name)
+
+    def fresh_id(self, prefix: str) -> str:
+        return f"{prefix}_{next(self._id_counter)}"
+
+    def add_node(
+        self,
+        op_type: str,
+        inputs: list[str],
+        outputs: list[str],
+        attrs: dict | None = None,
+        node_id: str | None = None,
+    ) -> Node:
+        """Append a node; output tensor specs must already exist."""
+        opdef = get_op(op_type)
+        if not opdef.min_inputs <= len(inputs) <= opdef.max_inputs:
+            raise GraphError(
+                f"{op_type} takes {opdef.min_inputs}..{opdef.max_inputs} inputs, "
+                f"got {len(inputs)}"
+            )
+        for name in inputs:
+            if name not in self.tensors:
+                raise GraphError(f"node input {name!r} is not defined")
+        for name in outputs:
+            if name not in self.tensors:
+                raise GraphError(f"node output {name!r} is not defined")
+            if name in self._producer:
+                raise GraphError(f"tensor {name!r} already has a producer")
+        node_id = node_id or self.fresh_id(op_type)
+        if node_id in self.nodes:
+            raise GraphError(f"node id {node_id!r} already used")
+        node = Node(node_id, op_type, list(inputs), list(outputs), dict(attrs or {}))
+        self.nodes[node_id] = node
+        self._order.append(node_id)
+        for name in outputs:
+            self._producer[name] = node_id
+        if self._consumer_cache is not None:
+            for idx, name in enumerate(node.inputs):
+                self._consumer_cache.setdefault(name, []).append((node_id, idx))
+        return node
+
+    # -- queries --------------------------------------------------------------
+
+    def producer(self, tensor: str) -> Node | None:
+        node_id = self._producer.get(tensor)
+        return self.nodes[node_id] if node_id is not None else None
+
+    def consumers(self, tensor: str) -> list[tuple[Node, int]]:
+        """All (node, input_index) pairs reading ``tensor``."""
+        if self._consumer_cache is None:
+            cache: dict[str, list[tuple[str, int]]] = {}
+            for node_id in self._order:
+                for idx, name in enumerate(self.nodes[node_id].inputs):
+                    cache.setdefault(name, []).append((node_id, idx))
+            self._consumer_cache = cache
+        return [(self.nodes[node_id], idx)
+                for node_id, idx in self._consumer_cache.get(tensor, ())]
+
+    def topo_order(self) -> list[Node]:
+        """Nodes in dependency order (validates acyclicity)."""
+        ready = dict.fromkeys(self.inputs, True)
+        ready.update(dict.fromkeys(
+            (t for t, s in self.tensors.items() if s.is_param), True))
+        remaining = [self.nodes[n] for n in self._order]
+        ordered: list[Node] = []
+        while remaining:
+            progressed = False
+            still = []
+            for node in remaining:
+                if all(name in ready for name in node.inputs):
+                    ordered.append(node)
+                    for out in node.outputs:
+                        ready[out] = True
+                    progressed = True
+                else:
+                    still.append(node)
+            if not progressed:
+                stuck = [n.id for n in still]
+                raise GraphError(f"graph has a cycle or undefined inputs near {stuck[:5]}")
+            remaining = still
+        return ordered
+
+    def shape(self, tensor: str) -> Shape:
+        return self.tensors[tensor].shape
+
+    def iter_nodes(self) -> Iterator[Node]:
+        for node_id in self._order:
+            yield self.nodes[node_id]
+
+    @property
+    def num_operators(self) -> int:
+        """Operator count after grouping: one per fusion group.
+
+        Ungrouped nodes count individually; this is the quantity the paper
+        reports in Table 7.
+        """
+        groups = set()
+        singles = 0
+        for node in self.iter_nodes():
+            if node.group is None:
+                singles += 1
+            else:
+                groups.add(node.group)
+        return singles + len(groups)
+
+    @property
+    def num_params(self) -> int:
+        return sum(s.num_elements for s in self.tensors.values() if s.is_param)
+
+    def total_macs(self) -> int:
+        total = 0
+        for node in self.iter_nodes():
+            # kernels observe input shapes through their views
+            ins = [node.view_for(i, self.shape(t)).out_shape
+                   for i, t in enumerate(node.inputs)]
+            outs = [self.shape(t) for t in node.outputs]
+            total += node.opdef.macs(ins, outs, node.attrs)
+        return total
+
+    def count_op_types(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for node in self.iter_nodes():
+            counts[node.op_type] = counts.get(node.op_type, 0) + 1
+        return counts
+
+    # -- rewriting --------------------------------------------------------------
+
+    def remove_node(self, node_id: str) -> None:
+        """Delete a node whose outputs are no longer referenced."""
+        node = self.nodes[node_id]
+        for out in node.outputs:
+            for consumer, _ in self.consumers(out):
+                raise GraphError(
+                    f"cannot remove {node_id}: output {out!r} still read by "
+                    f"{consumer.id}"
+                )
+            if out in self.outputs:
+                raise GraphError(f"cannot remove {node_id}: {out!r} is a graph output")
+        for out in node.outputs:
+            del self._producer[out]
+            del self.tensors[out]
+            self.tensor_layouts.pop(out, None)
+        del self.nodes[node_id]
+        self._order.remove(node_id)
+        if self._consumer_cache is not None:
+            for name in set(node.inputs):
+                entries = self._consumer_cache.get(name)
+                if entries is not None:
+                    self._consumer_cache[name] = [
+                        e for e in entries if e[0] != node_id]
+
+    def replace_input(self, node: Node, idx: int, new_tensor: str) -> None:
+        if new_tensor not in self.tensors:
+            raise GraphError(f"replacement tensor {new_tensor!r} not defined")
+        old = node.inputs[idx]
+        node.inputs[idx] = new_tensor
+        if self._consumer_cache is not None:
+            entries = self._consumer_cache.get(old)
+            if entries is not None:
+                self._consumer_cache[old] = [
+                    e for e in entries if e != (node.id, idx)]
+            self._consumer_cache.setdefault(new_tensor, []).append((node.id, idx))
+
+    def clone(self) -> "Graph":
+        """Deep structural copy (annotations included)."""
+        g = Graph(self.name)
+        g.tensors = dict(self.tensors)
+        g.inputs = list(self.inputs)
+        g.outputs = list(self.outputs)
+        g.tensor_layouts = dict(self.tensor_layouts)
+        for node in self.iter_nodes():
+            copy = Node(
+                node.id, node.op_type, list(node.inputs), list(node.outputs),
+                dict(node.attrs), dict(node.input_views), node.group,
+            )
+            g.nodes[copy.id] = copy
+            g._order.append(copy.id)
+            for out in copy.outputs:
+                g._producer[out] = copy.id
+        g._id_counter = itertools.count(
+            max((int(n.rsplit("_", 1)[-1]) for n in self.nodes
+                 if n.rsplit("_", 1)[-1].isdigit()), default=-1) + 1)
+        return g
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Graph({self.name!r}, nodes={len(self.nodes)}, "
+                f"tensors={len(self.tensors)})")

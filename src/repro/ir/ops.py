@@ -1,0 +1,709 @@
+"""Operator definitions: shape inference, MAC counts, classification hints.
+
+Every operator the 18 evaluation models need is defined here.  An OpDef
+bundles the *semantic* facts the optimizer relies on:
+
+* shape inference (builds/validates the static graph),
+* MAC counts (GMACS reporting in Tables 1 and 8),
+* the default classification quadrant (Tables 3-4),
+* reduction dimensions per input (the layout-selection heuristic of
+  Section 3.2.2),
+* the fusion mapping class (DNNFusion-style legality).
+
+NumPy reference kernels live in ``repro.runtime.kernels`` so the IR has no
+execution dependencies.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from .tensor import Shape
+
+
+class Quadrant(enum.Enum):
+    """Operator classification along the paper's two axes (Table 3).
+
+    First axis: is computation performance input-layout dependent (ILD) or
+    independent (ILI)?  Second axis: is the output layout customizable
+    (VARIABLE) or determined (FIXED)?
+    """
+
+    ILD_VARIABLE = "ILD&Variable"
+    ILI_VARIABLE = "ILI&Variable"
+    ILD_FIXED = "ILD&Fixed"
+    ILI_FIXED = "ILI&Fixed"
+
+    @property
+    def input_layout_dependent(self) -> bool:
+        return self in (Quadrant.ILD_VARIABLE, Quadrant.ILD_FIXED)
+
+    @property
+    def output_variable(self) -> bool:
+        return self in (Quadrant.ILD_VARIABLE, Quadrant.ILI_VARIABLE)
+
+
+class Mapping(enum.Enum):
+    """Input-to-output mapping class used for fusion legality.
+
+    Mirrors the taxonomy DNNFusion uses: ONE2ONE ops (elementwise) fuse
+    freely; SHUFFLE ops (heavy compute with data reuse) can absorb adjacent
+    ONE2ONE ops; REORGANIZE ops move data without computing on it.
+    """
+
+    ONE2ONE = "one2one"
+    REORGANIZE = "reorganize"
+    SHUFFLE = "shuffle"
+    REDUCE = "reduce"
+    EXPAND = "expand"
+
+
+ShapeFn = Callable[[list[Shape], dict], list[Shape]]
+MacsFn = Callable[[list[Shape], list[Shape], dict], int]
+RDimsFn = Callable[[list[Shape], list[Shape], dict], dict[int, tuple[int, ...]]]
+
+
+@dataclass(frozen=True)
+class OpDef:
+    """Static description of one operator type."""
+
+    op_type: str
+    infer_shapes: ShapeFn
+    quadrant: Quadrant
+    mapping: Mapping
+    macs: MacsFn = lambda ins, outs, attrs: 0
+    reduction_dims: RDimsFn = lambda ins, outs, attrs: {}
+    min_inputs: int = 1
+    max_inputs: int = 1
+    is_layout_transform: bool = False
+    """True for pure relayout ops (Reshape/Transpose/...) that LTE removes."""
+
+
+_REGISTRY: dict[str, OpDef] = {}
+
+
+def register_op(opdef: OpDef) -> OpDef:
+    if opdef.op_type in _REGISTRY:
+        raise ValueError(f"duplicate op registration: {opdef.op_type}")
+    _REGISTRY[opdef.op_type] = opdef
+    return opdef
+
+
+def get_op(op_type: str) -> OpDef:
+    try:
+        return _REGISTRY[op_type]
+    except KeyError:
+        raise KeyError(f"unknown operator type {op_type!r}") from None
+
+
+def all_op_types() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+# ---------------------------------------------------------------------------
+# shape-inference helpers
+# ---------------------------------------------------------------------------
+
+
+def _pair(value, name: str) -> tuple[int, int]:
+    if isinstance(value, int):
+        return (value, value)
+    out = tuple(int(v) for v in value)
+    if len(out) != 2:
+        raise ValueError(f"{name} must be an int or pair, got {value!r}")
+    return out
+
+
+def _conv_out(size: int, kernel: int, stride: int, pad: int, dilation: int = 1) -> int:
+    eff = dilation * (kernel - 1) + 1
+    out = (size + 2 * pad - eff) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"convolution output collapsed: size={size} kernel={kernel} "
+            f"stride={stride} pad={pad}"
+        )
+    return out
+
+
+def _broadcast(a: Shape, b: Shape) -> Shape:
+    """NumPy-style broadcast of two shapes."""
+    rank = max(len(a), len(b))
+    pa = (1,) * (rank - len(a)) + a
+    pb = (1,) * (rank - len(b)) + b
+    out = []
+    for da, db in zip(pa, pb):
+        if da == db or da == 1 or db == 1:
+            out.append(max(da, db))
+        else:
+            raise ValueError(f"shapes {a} and {b} are not broadcastable")
+    return tuple(out)
+
+
+def _norm_axes(axes: Sequence[int] | int, rank: int) -> tuple[int, ...]:
+    if isinstance(axes, int):
+        axes = (axes,)
+    return tuple(sorted(a % rank for a in axes))
+
+
+# ---------------------------------------------------------------------------
+# convolution family
+# ---------------------------------------------------------------------------
+
+
+def _conv2d_shapes(ins: list[Shape], attrs: dict) -> list[Shape]:
+    x, w = ins[0], ins[1]
+    if len(x) != 4 or len(w) != 4:
+        raise ValueError(f"conv2d expects 4-d input/weight, got {x} and {w}")
+    n, c, h, wd = x
+    oc, cpg, kh, kw = w
+    groups = int(attrs.get("groups", 1))
+    if c != cpg * groups:
+        raise ValueError(
+            f"conv2d channel mismatch: input C={c}, weight expects "
+            f"{cpg}*groups({groups})={cpg * groups}"
+        )
+    if (kh, kw) != _pair(attrs.get("kernel", (kh, kw)), "kernel"):
+        raise ValueError("conv2d kernel attr disagrees with weight shape")
+    sh, sw = _pair(attrs.get("stride", 1), "stride")
+    ph, pw = _pair(attrs.get("padding", 0), "padding")
+    dh, dw = _pair(attrs.get("dilation", 1), "dilation")
+    oh = _conv_out(h, kh, sh, ph, dh)
+    ow = _conv_out(wd, kw, sw, pw, dw)
+    if len(ins) == 3 and ins[2] != (oc,):
+        raise ValueError(f"conv2d bias shape {ins[2]} != ({oc},)")
+    return [(n, oc, oh, ow)]
+
+
+def _conv2d_macs(ins: list[Shape], outs: list[Shape], attrs: dict) -> int:
+    n, oc, oh, ow = outs[0]
+    _, cpg, kh, kw = ins[1]
+    return n * oc * oh * ow * cpg * kh * kw
+
+
+def _conv2d_rdims(ins, outs, attrs):
+    # Input activation reduces over channels (dim 1) and the spatial window;
+    # the channel dim is the one layout selection cares about.  The weight
+    # reduces over its per-group input channel dim (1).
+    return {0: (1,), 1: (1,)}
+
+
+register_op(OpDef(
+    op_type="conv2d",
+    infer_shapes=_conv2d_shapes,
+    quadrant=Quadrant.ILD_VARIABLE,
+    mapping=Mapping.SHUFFLE,
+    macs=_conv2d_macs,
+    reduction_dims=_conv2d_rdims,
+    min_inputs=2,
+    max_inputs=3,
+))
+
+
+# ---------------------------------------------------------------------------
+# matmul / dense
+# ---------------------------------------------------------------------------
+
+
+def _matmul_shapes(ins: list[Shape], attrs: dict) -> list[Shape]:
+    a, b = ins[0], ins[1]
+    if len(a) < 2 or len(b) < 2:
+        raise ValueError(f"matmul requires rank >= 2, got {a} and {b}")
+    ta, tb = bool(attrs.get("transpose_a", False)), bool(attrs.get("transpose_b", False))
+    m, ka = (a[-1], a[-2]) if ta else (a[-2], a[-1])
+    kb, nn = (b[-1], b[-2]) if tb else (b[-2], b[-1])
+    if ka != kb:
+        raise ValueError(f"matmul contraction mismatch: {a} x {b} (K {ka} vs {kb})")
+    batch = _broadcast(a[:-2], b[:-2])
+    return [batch + (m, nn)]
+
+
+def _matmul_macs(ins, outs, attrs):
+    a = ins[0]
+    k = a[-2] if attrs.get("transpose_a", False) else a[-1]
+    return math.prod(outs[0]) * k
+
+
+def _matmul_rdims(ins, outs, attrs):
+    a, b = ins[0], ins[1]
+    ka = len(a) - 2 if attrs.get("transpose_a", False) else len(a) - 1
+    kb = len(b) - 1 if attrs.get("transpose_b", False) else len(b) - 2
+    return {0: (ka,), 1: (kb,)}
+
+
+register_op(OpDef(
+    op_type="matmul",
+    infer_shapes=_matmul_shapes,
+    quadrant=Quadrant.ILD_VARIABLE,
+    mapping=Mapping.SHUFFLE,
+    macs=_matmul_macs,
+    reduction_dims=_matmul_rdims,
+    min_inputs=2,
+    max_inputs=2,
+))
+
+
+def _dense_shapes(ins: list[Shape], attrs: dict) -> list[Shape]:
+    x, w = ins[0], ins[1]
+    if len(w) != 2:
+        raise ValueError(f"dense weight must be 2-d (out, in), got {w}")
+    if x[-1] != w[1]:
+        raise ValueError(f"dense feature mismatch: input {x} vs weight {w}")
+    if len(ins) == 3 and ins[2] != (w[0],):
+        raise ValueError(f"dense bias shape {ins[2]} != ({w[0]},)")
+    return [x[:-1] + (w[0],)]
+
+
+register_op(OpDef(
+    op_type="dense",
+    infer_shapes=_dense_shapes,
+    quadrant=Quadrant.ILD_VARIABLE,
+    mapping=Mapping.SHUFFLE,
+    macs=lambda ins, outs, attrs: math.prod(outs[0]) * ins[0][-1],
+    reduction_dims=lambda ins, outs, attrs: {0: (len(ins[0]) - 1,), 1: (1,)},
+    min_inputs=2,
+    max_inputs=3,
+))
+
+
+# ---------------------------------------------------------------------------
+# elementwise
+# ---------------------------------------------------------------------------
+
+UNARY_FUNCS = (
+    "relu", "gelu", "silu", "sigmoid", "tanh", "exp", "sqrt", "rsqrt",
+    "neg", "abs", "erf", "identity", "leaky_relu", "hardswish", "relu6",
+)
+
+
+def _unary_shapes(ins: list[Shape], attrs: dict) -> list[Shape]:
+    return [ins[0]]
+
+
+register_op(OpDef(
+    op_type="unary",
+    infer_shapes=_unary_shapes,
+    quadrant=Quadrant.ILI_VARIABLE,
+    mapping=Mapping.ONE2ONE,
+))
+
+BINARY_FUNCS = ("add", "sub", "mul", "div", "pow", "maximum", "minimum")
+
+
+def _binary_shapes(ins: list[Shape], attrs: dict) -> list[Shape]:
+    return [_broadcast(ins[0], ins[1])]
+
+
+register_op(OpDef(
+    op_type="binary",
+    infer_shapes=_binary_shapes,
+    quadrant=Quadrant.ILI_VARIABLE,
+    mapping=Mapping.ONE2ONE,
+    min_inputs=2,
+    max_inputs=2,
+))
+
+
+# ---------------------------------------------------------------------------
+# normalization / softmax / reduce
+# ---------------------------------------------------------------------------
+
+
+def _softmax_rdims(ins, outs, attrs):
+    axis = int(attrs.get("axis", -1)) % len(ins[0])
+    return {0: (axis,)}
+
+
+register_op(OpDef(
+    op_type="softmax",
+    infer_shapes=_unary_shapes,
+    quadrant=Quadrant.ILD_VARIABLE,
+    mapping=Mapping.SHUFFLE,
+    reduction_dims=_softmax_rdims,
+))
+
+
+def _layernorm_shapes(ins: list[Shape], attrs: dict) -> list[Shape]:
+    axes = _norm_axes(attrs.get("axes", -1), len(ins[0]))
+    expect = tuple(ins[0][a] for a in axes)
+    for extra in ins[1:]:
+        if extra != expect:
+            raise ValueError(f"layernorm scale/shift shape {extra} != {expect}")
+    return [ins[0]]
+
+
+def _layernorm_rdims(ins, outs, attrs):
+    return {0: _norm_axes(attrs.get("axes", -1), len(ins[0]))}
+
+
+register_op(OpDef(
+    op_type="layernorm",
+    infer_shapes=_layernorm_shapes,
+    quadrant=Quadrant.ILD_VARIABLE,
+    mapping=Mapping.SHUFFLE,
+    reduction_dims=_layernorm_rdims,
+    min_inputs=1,
+    max_inputs=3,
+))
+
+register_op(OpDef(
+    op_type="rmsnorm",
+    infer_shapes=_layernorm_shapes,
+    quadrant=Quadrant.ILD_VARIABLE,
+    mapping=Mapping.SHUFFLE,
+    reduction_dims=_layernorm_rdims,
+    min_inputs=1,
+    max_inputs=2,
+))
+
+
+def _instancenorm_shapes(ins: list[Shape], attrs: dict) -> list[Shape]:
+    if len(ins[0]) != 4:
+        raise ValueError(f"instancenorm expects NCHW, got {ins[0]}")
+    c = ins[0][1]
+    for extra in ins[1:]:
+        if extra != (c,):
+            raise ValueError(f"instancenorm scale/shift shape {extra} != ({c},)")
+    return [ins[0]]
+
+
+register_op(OpDef(
+    op_type="instancenorm",
+    infer_shapes=_instancenorm_shapes,
+    quadrant=Quadrant.ILD_VARIABLE,
+    mapping=Mapping.SHUFFLE,
+    reduction_dims=lambda ins, outs, attrs: {0: (2, 3)},
+    min_inputs=1,
+    max_inputs=3,
+))
+
+
+def _groupnorm_shapes(ins: list[Shape], attrs: dict) -> list[Shape]:
+    x = ins[0]
+    if len(x) != 4:
+        raise ValueError(f"groupnorm expects NCHW, got {x}")
+    groups = int(attrs.get("groups", 32))
+    if x[1] % groups:
+        raise ValueError(f"groupnorm channels {x[1]} not divisible by groups {groups}")
+    for extra in ins[1:]:
+        if extra != (x[1],):
+            raise ValueError(f"groupnorm scale/shift shape {extra} != ({x[1]},)")
+    return [x]
+
+
+register_op(OpDef(
+    op_type="groupnorm",
+    infer_shapes=_groupnorm_shapes,
+    quadrant=Quadrant.ILD_VARIABLE,
+    mapping=Mapping.SHUFFLE,
+    reduction_dims=lambda ins, outs, attrs: {0: (1, 2, 3)},
+    min_inputs=1,
+    max_inputs=3,
+))
+
+
+def _batchnorm_shapes(ins: list[Shape], attrs: dict) -> list[Shape]:
+    # Inference-time batchnorm: folded to a per-channel affine; elementwise.
+    x = ins[0]
+    c = x[1] if len(x) >= 2 else x[0]
+    for extra in ins[1:]:
+        if extra != (c,):
+            raise ValueError(f"batchnorm scale/shift shape {extra} != ({c},)")
+    return [x]
+
+
+register_op(OpDef(
+    op_type="batchnorm",
+    infer_shapes=_batchnorm_shapes,
+    quadrant=Quadrant.ILI_VARIABLE,
+    mapping=Mapping.ONE2ONE,
+    min_inputs=1,
+    max_inputs=3,
+))
+
+
+def _reduce_shapes(ins: list[Shape], attrs: dict) -> list[Shape]:
+    x = ins[0]
+    axes = _norm_axes(attrs.get("axes", tuple(range(len(x)))), len(x))
+    keepdims = bool(attrs.get("keepdims", False))
+    if keepdims:
+        return [tuple(1 if i in axes else d for i, d in enumerate(x))]
+    out = tuple(d for i, d in enumerate(x) if i not in axes)
+    return [out if out else (1,)]
+
+
+def _reduce_rdims(ins, outs, attrs):
+    return {0: _norm_axes(attrs.get("axes", tuple(range(len(ins[0])))), len(ins[0]))}
+
+
+for _reduce_kind in ("reduce_mean", "reduce_sum", "reduce_max"):
+    register_op(OpDef(
+        op_type=_reduce_kind,
+        infer_shapes=_reduce_shapes,
+        quadrant=Quadrant.ILD_VARIABLE,
+        mapping=Mapping.REDUCE,
+        reduction_dims=_reduce_rdims,
+    ))
+
+
+# ---------------------------------------------------------------------------
+# layout transformations (the ops SmartMem eliminates)
+# ---------------------------------------------------------------------------
+
+
+def _reshape_shapes(ins: list[Shape], attrs: dict) -> list[Shape]:
+    shape = tuple(int(d) for d in attrs["shape"])
+    negatives = [i for i, d in enumerate(shape) if d == -1]
+    if len(negatives) > 1:
+        raise ValueError(f"reshape allows at most one -1, got {shape}")
+    if negatives:
+        known = math.prod(d for d in shape if d != -1)
+        total = math.prod(ins[0])
+        if known == 0 or total % known:
+            raise ValueError(f"cannot reshape {ins[0]} to {shape}")
+        shape = tuple(total // known if d == -1 else d for d in shape)
+    if math.prod(shape) != math.prod(ins[0]):
+        raise ValueError(f"reshape element count mismatch: {ins[0]} -> {shape}")
+    return [shape]
+
+
+register_op(OpDef(
+    op_type="reshape",
+    infer_shapes=_reshape_shapes,
+    quadrant=Quadrant.ILD_FIXED,
+    mapping=Mapping.REORGANIZE,
+    is_layout_transform=True,
+))
+
+
+def _transpose_shapes(ins: list[Shape], attrs: dict) -> list[Shape]:
+    perm = tuple(int(p) for p in attrs["perm"])
+    if sorted(perm) != list(range(len(ins[0]))):
+        raise ValueError(f"transpose perm {perm} invalid for shape {ins[0]}")
+    return [tuple(ins[0][p] for p in perm)]
+
+
+register_op(OpDef(
+    op_type="transpose",
+    infer_shapes=_transpose_shapes,
+    quadrant=Quadrant.ILD_FIXED,
+    mapping=Mapping.REORGANIZE,
+    is_layout_transform=True,
+))
+
+
+def _d2s_shapes(ins: list[Shape], attrs: dict) -> list[Shape]:
+    n, c, h, w = ins[0]
+    block = int(attrs.get("block", 2))
+    if c % (block * block):
+        raise ValueError(f"depth_to_space: channels {c} not divisible by {block}^2")
+    return [(n, c // (block * block), h * block, w * block)]
+
+
+register_op(OpDef(
+    op_type="depth_to_space",
+    infer_shapes=_d2s_shapes,
+    quadrant=Quadrant.ILD_FIXED,
+    mapping=Mapping.REORGANIZE,
+    is_layout_transform=True,
+))
+
+
+def _s2d_shapes(ins: list[Shape], attrs: dict) -> list[Shape]:
+    n, c, h, w = ins[0]
+    block = int(attrs.get("block", 2))
+    if h % block or w % block:
+        raise ValueError(f"space_to_depth: spatial {h}x{w} not divisible by {block}")
+    return [(n, c * block * block, h // block, w // block)]
+
+
+register_op(OpDef(
+    op_type="space_to_depth",
+    infer_shapes=_s2d_shapes,
+    quadrant=Quadrant.ILD_FIXED,
+    mapping=Mapping.REORGANIZE,
+    is_layout_transform=True,
+))
+
+
+# ---------------------------------------------------------------------------
+# selection / reorganization (ILI & Fixed)
+# ---------------------------------------------------------------------------
+
+
+def _slice_shapes(ins: list[Shape], attrs: dict) -> list[Shape]:
+    x = ins[0]
+    starts = tuple(int(s) for s in attrs["starts"])
+    stops = tuple(int(s) for s in attrs["stops"])
+    steps = tuple(int(s) for s in attrs.get("steps", (1,) * len(x)))
+    if not len(starts) == len(stops) == len(steps) == len(x):
+        raise ValueError("slice starts/stops/steps must cover every dim")
+    out = []
+    for d, (start, stop, step) in zip(x, zip(starts, stops, steps)):
+        start, stop = start % (d + 1), stop if stop <= d else d
+        if step <= 0 or stop <= start:
+            raise ValueError(f"empty slice [{start}:{stop}:{step}] on dim {d}")
+        out.append(-(-(stop - start) // step))
+    return [tuple(out)]
+
+
+register_op(OpDef(
+    op_type="slice",
+    infer_shapes=_slice_shapes,
+    quadrant=Quadrant.ILI_FIXED,
+    mapping=Mapping.REORGANIZE,
+))
+
+
+def _gather_shapes(ins: list[Shape], attrs: dict) -> list[Shape]:
+    x = ins[0]
+    axis = int(attrs.get("axis", 0)) % len(x)
+    indices_shape = tuple(int(d) for d in attrs["indices_shape"])
+    return [x[:axis] + indices_shape + x[axis + 1:]]
+
+
+register_op(OpDef(
+    op_type="gather",
+    infer_shapes=_gather_shapes,
+    quadrant=Quadrant.ILI_FIXED,
+    mapping=Mapping.REORGANIZE,
+))
+
+
+def _concat_shapes(ins: list[Shape], attrs: dict) -> list[Shape]:
+    axis = int(attrs.get("axis", 0)) % len(ins[0])
+    base = ins[0]
+    total = 0
+    for shape in ins:
+        if len(shape) != len(base):
+            raise ValueError(f"concat rank mismatch: {ins}")
+        for i, (da, db) in enumerate(zip(base, shape)):
+            if i != axis and da != db:
+                raise ValueError(f"concat non-axis dims must match: {ins}")
+        total += shape[axis]
+    return [base[:axis] + (total,) + base[axis + 1:]]
+
+
+register_op(OpDef(
+    op_type="concat",
+    infer_shapes=_concat_shapes,
+    quadrant=Quadrant.ILI_VARIABLE,
+    mapping=Mapping.REORGANIZE,
+    min_inputs=1,
+    max_inputs=64,
+))
+
+
+def _pad_shapes(ins: list[Shape], attrs: dict) -> list[Shape]:
+    pads = attrs["pads"]  # sequence of (before, after) per dim
+    if len(pads) != len(ins[0]):
+        raise ValueError("pad must specify (before, after) for every dim")
+    return [tuple(d + int(b) + int(a) for d, (b, a) in zip(ins[0], pads))]
+
+
+register_op(OpDef(
+    op_type="pad",
+    infer_shapes=_pad_shapes,
+    quadrant=Quadrant.ILI_FIXED,
+    mapping=Mapping.EXPAND,
+))
+
+
+# ---------------------------------------------------------------------------
+# pooling / resampling
+# ---------------------------------------------------------------------------
+
+
+def _pool_shapes(ins: list[Shape], attrs: dict) -> list[Shape]:
+    n, c, h, w = ins[0]
+    kh, kw = _pair(attrs["kernel"], "kernel")
+    sh, sw = _pair(attrs.get("stride", (kh, kw)), "stride")
+    ph, pw = _pair(attrs.get("padding", 0), "padding")
+    return [(n, c, _conv_out(h, kh, sh, ph), _conv_out(w, kw, sw, pw))]
+
+
+for _pool_kind in ("maxpool2d", "avgpool2d"):
+    register_op(OpDef(
+        op_type=_pool_kind,
+        infer_shapes=_pool_shapes,
+        quadrant=Quadrant.ILD_VARIABLE,
+        mapping=Mapping.SHUFFLE,
+        reduction_dims=lambda ins, outs, attrs: {0: (2, 3)},
+    ))
+
+register_op(OpDef(
+    op_type="global_avgpool",
+    infer_shapes=lambda ins, attrs: [(ins[0][0], ins[0][1], 1, 1)],
+    quadrant=Quadrant.ILD_VARIABLE,
+    mapping=Mapping.REDUCE,
+    reduction_dims=lambda ins, outs, attrs: {0: (2, 3)},
+))
+
+
+def _upsample_shapes(ins: list[Shape], attrs: dict) -> list[Shape]:
+    n, c, h, w = ins[0]
+    scale = int(attrs.get("scale", 2))
+    return [(n, c, h * scale, w * scale)]
+
+
+register_op(OpDef(
+    op_type="upsample2d",
+    infer_shapes=_upsample_shapes,
+    quadrant=Quadrant.ILI_VARIABLE,
+    mapping=Mapping.EXPAND,
+))
+
+
+def _split_shapes(ins: list[Shape], attrs: dict) -> list[Shape]:
+    x = ins[0]
+    axis = int(attrs.get("axis", 0)) % len(x)
+    sections = int(attrs["sections"])
+    if x[axis] % sections:
+        raise ValueError(f"split: dim {x[axis]} not divisible by {sections}")
+    piece = x[:axis] + (x[axis] // sections,) + x[axis + 1:]
+    return [piece] * sections
+
+
+register_op(OpDef(
+    op_type="split",
+    infer_shapes=_split_shapes,
+    quadrant=Quadrant.ILI_FIXED,
+    mapping=Mapping.REORGANIZE,
+))
+
+
+# ---------------------------------------------------------------------------
+# implicit layout conversion (inserted by baseline frameworks, Fig. 1b)
+# ---------------------------------------------------------------------------
+
+register_op(OpDef(
+    op_type="layout_convert",
+    infer_shapes=lambda ins, attrs: [ins[0]],
+    quadrant=Quadrant.ILD_FIXED,
+    mapping=Mapping.REORGANIZE,
+    is_layout_transform=True,
+))
+
+
+# ---------------------------------------------------------------------------
+# embedding lookup
+# ---------------------------------------------------------------------------
+
+
+def _embedding_shapes(ins: list[Shape], attrs: dict) -> list[Shape]:
+    table, ids = ins[0], ins[1]
+    if len(table) != 2:
+        raise ValueError(f"embedding table must be 2-d, got {table}")
+    return [ids + (table[1],)]
+
+
+register_op(OpDef(
+    op_type="embedding",
+    infer_shapes=_embedding_shapes,
+    quadrant=Quadrant.ILI_FIXED,
+    mapping=Mapping.REORGANIZE,
+    min_inputs=2,
+    max_inputs=2,
+))

@@ -1,0 +1,102 @@
+"""Pattern matching over producer-consumer chains.
+
+Fixed-pattern fusion frameworks (MNN, NCNN, TFLite; Section 5 "Operator
+fusion and layout optimizations") recognize short hard-coded operator
+sequences; the baseline implementations use this matcher.  SmartMem's own
+passes also use it to find Reshape/Transpose chains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from .graph import Graph, Node
+
+
+@dataclass(frozen=True)
+class ChainMatch:
+    """A matched straight-line chain of nodes."""
+
+    nodes: tuple[Node, ...]
+
+    @property
+    def first(self) -> Node:
+        return self.nodes[0]
+
+    @property
+    def last(self) -> Node:
+        return self.nodes[-1]
+
+
+def _sole_consumer(graph: Graph, tensor: str) -> Node | None:
+    """The unique consumer of ``tensor``, or None if 0 or >1 consumers or
+    the tensor is a graph output (its value must stay materialized)."""
+    if tensor in graph.outputs:
+        return None
+    consumers = graph.consumers(tensor)
+    if len(consumers) != 1:
+        return None
+    return consumers[0][0]
+
+
+def find_chains(
+    graph: Graph,
+    pattern: list[str | Callable[[Node], bool]],
+) -> Iterator[ChainMatch]:
+    """Yield non-overlapping straight-line chains matching ``pattern``.
+
+    Each pattern element is either an op_type string or a predicate over
+    the node.  Chains are straight-line: every intermediate tensor has a
+    single consumer (the next node in the chain) and a single output.
+    """
+
+    def matches(node: Node, matcher) -> bool:
+        if callable(matcher):
+            return bool(matcher(node))
+        return node.op_type == matcher
+
+    used: set[str] = set()
+    for node in list(graph.topo_order()):
+        if node.id in used or not matches(node, pattern[0]):
+            continue
+        chain = [node]
+        ok = True
+        for matcher in pattern[1:]:
+            tail = chain[-1]
+            if len(tail.outputs) != 1:
+                ok = False
+                break
+            nxt = _sole_consumer(graph, tail.outputs[0])
+            if nxt is None or nxt.id in used or not matches(nxt, matcher):
+                ok = False
+                break
+            chain.append(nxt)
+        if ok:
+            used.update(n.id for n in chain)
+            yield ChainMatch(tuple(chain))
+
+
+def layout_transform_chains(graph: Graph, min_len: int = 1) -> Iterator[ChainMatch]:
+    """Maximal straight-line chains of pure layout-transform operators."""
+    used: set[str] = set()
+    for node in list(graph.topo_order()):
+        if node.id in used or not node.opdef.is_layout_transform:
+            continue
+        # Only start at a chain head (producer is not itself a chainable
+        # layout transform with this node as sole consumer).
+        producer = graph.producer(node.inputs[0])
+        if (producer is not None and producer.opdef.is_layout_transform
+                and producer.id not in used
+                and _sole_consumer(graph, producer.outputs[0]) is node):
+            continue
+        chain = [node]
+        while True:
+            tail = chain[-1]
+            nxt = _sole_consumer(graph, tail.outputs[0])
+            if nxt is None or not nxt.opdef.is_layout_transform or nxt.id in used:
+                break
+            chain.append(nxt)
+        if len(chain) >= min_len:
+            used.update(n.id for n in chain)
+            yield ChainMatch(tuple(chain))

@@ -1,0 +1,64 @@
+"""Human-readable graph dumps.
+
+``format_graph`` renders a topologically-ordered listing with shapes,
+fusion groups, attached views, and chosen layouts - the debugging view
+used throughout development and by the examples.  ``summarize`` gives a
+one-paragraph description (op histogram, params, MACs).
+"""
+
+from __future__ import annotations
+
+from .graph import Graph
+from .layout import MemoryKind
+
+
+def _shape_str(shape) -> str:
+    return "x".join(str(d) for d in shape)
+
+
+def format_graph(graph: Graph, max_nodes: int | None = None,
+                 show_layouts: bool = True) -> str:
+    """A readable listing of the graph in execution order."""
+    lines = [f"graph {graph.name!r}: {len(graph.nodes)} nodes, "
+             f"{graph.num_operators} kernels"]
+    for name in graph.inputs:
+        lines.append(f"  input  {name}: {_shape_str(graph.shape(name))}")
+    nodes = graph.topo_order()
+    shown = nodes if max_nodes is None else nodes[:max_nodes]
+    for node in shown:
+        ins = []
+        for idx, tensor in enumerate(node.inputs):
+            text = tensor
+            view = node.input_views.get(idx)
+            if view is not None:
+                kinds = "+".join(s.kind[0] for s in view.steps)
+                text += f"[view:{kinds}->{_shape_str(view.out_shape)}]"
+            ins.append(text)
+        outs = ", ".join(
+            f"{t}:{_shape_str(graph.shape(t))}" for t in node.outputs)
+        group = f" g{node.group}" if node.group is not None else ""
+        layout = ""
+        if show_layouts and node.outputs:
+            chosen = graph.tensor_layouts.get(node.outputs[0])
+            if chosen is not None:
+                mem = "tex" if chosen.memory is MemoryKind.TEXTURE_2D5 else "buf"
+                layout = f" @{mem}{list(chosen.dim_order)}"
+        lines.append(f"  {node.id:24s}{group} {node.op_type}"
+                     f"({', '.join(ins)}) -> {outs}{layout}")
+    if max_nodes is not None and len(nodes) > max_nodes:
+        lines.append(f"  ... {len(nodes) - max_nodes} more nodes")
+    for name in graph.outputs:
+        lines.append(f"  output {name}: {_shape_str(graph.shape(name))}")
+    return "\n".join(lines)
+
+
+def summarize(graph: Graph) -> str:
+    """One-paragraph model summary."""
+    histogram = sorted(graph.count_op_types().items(), key=lambda kv: -kv[1])
+    ops = ", ".join(f"{op}x{n}" for op, n in histogram[:8])
+    if len(histogram) > 8:
+        ops += ", ..."
+    return (f"{graph.name}: {len(graph.nodes)} operators "
+            f"({graph.num_operators} kernels), "
+            f"{graph.num_params / 1e6:.1f}M params, "
+            f"{graph.total_macs() / 1e9:.2f} GMACs [{ops}]")

@@ -1,0 +1,102 @@
+"""JSON (de)serialization for graphs.
+
+Used by the bench harness to cache optimized model graphs and by tests to
+verify round-tripping preserves structure and annotations.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .graph import Graph, Node
+from .layout import Layout
+from .tensor import TensorSpec
+from .view import ViewChain
+
+
+def _attrs_to_json(attrs: dict) -> dict:
+    out: dict[str, Any] = {}
+    for key, value in attrs.items():
+        if isinstance(value, tuple):
+            out[key] = {"__tuple__": [list(v) if isinstance(v, tuple) else v
+                                      for v in value]}
+        else:
+            out[key] = value
+    return out
+
+
+def _attrs_from_json(attrs: dict) -> dict:
+    out: dict[str, Any] = {}
+    for key, value in attrs.items():
+        if isinstance(value, dict) and "__tuple__" in value:
+            out[key] = tuple(tuple(v) if isinstance(v, list) else v
+                             for v in value["__tuple__"])
+        else:
+            out[key] = value
+    return out
+
+
+def graph_to_json(graph: Graph) -> dict:
+    return {
+        "name": graph.name,
+        "tensors": [spec.to_json() for spec in graph.tensors.values()],
+        "inputs": list(graph.inputs),
+        "outputs": list(graph.outputs),
+        "nodes": [
+            {
+                "id": node.id,
+                "op_type": node.op_type,
+                "inputs": list(node.inputs),
+                "outputs": list(node.outputs),
+                "attrs": _attrs_to_json(node.attrs),
+                "group": node.group,
+                "input_views": {
+                    str(idx): chain.to_json()
+                    for idx, chain in node.input_views.items()
+                },
+            }
+            for node in graph.iter_nodes()
+        ],
+        "tensor_layouts": {
+            name: layout.to_json() for name, layout in graph.tensor_layouts.items()
+        },
+    }
+
+
+def graph_from_json(data: dict) -> Graph:
+    graph = Graph(data["name"])
+    for spec in data["tensors"]:
+        graph.tensors[spec["name"]] = TensorSpec.from_json(spec)
+    graph.inputs = list(data["inputs"])
+    graph.outputs = list(data["outputs"])
+    for entry in data["nodes"]:
+        node = Node(
+            id=entry["id"],
+            op_type=entry["op_type"],
+            inputs=list(entry["inputs"]),
+            outputs=list(entry["outputs"]),
+            attrs=_attrs_from_json(entry["attrs"]),
+            group=entry.get("group"),
+            input_views={
+                int(idx): ViewChain.from_json(chain)
+                for idx, chain in entry.get("input_views", {}).items()
+            },
+        )
+        graph.nodes[node.id] = node
+        graph._order.append(node.id)
+        for out in node.outputs:
+            graph._producer[out] = node.id
+    graph.tensor_layouts = {
+        name: Layout.from_json(layout)
+        for name, layout in data.get("tensor_layouts", {}).items()
+    }
+    return graph
+
+
+def dumps(graph: Graph, **kwargs) -> str:
+    return json.dumps(graph_to_json(graph), **kwargs)
+
+
+def loads(text: str) -> Graph:
+    return graph_from_json(json.loads(text))

@@ -1,0 +1,88 @@
+"""Tensor specifications: static shape + dtype + role.
+
+Shapes are fully static, matching the paper's setting (fixed-shape mobile
+inference; Section 4.1 uses batch size 1 unless stated otherwise).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Iterable
+
+from .dtype import DType, parse_dtype
+
+
+Shape = tuple[int, ...]
+
+
+def normalize_shape(shape: Iterable[int]) -> Shape:
+    """Validate and canonicalize a shape to a tuple of positive ints."""
+    out = tuple(int(d) for d in shape)
+    for d in out:
+        if d <= 0:
+            raise ValueError(f"shape dimensions must be positive, got {out}")
+    return out
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """A named tensor in a computational graph.
+
+    Attributes:
+        name: Unique identifier within the graph.
+        shape: Static logical shape.
+        dtype: Element type.
+        is_param: True for weights/constants (their layout can be rewritten
+            offline for free, which matters for layout selection: parameter
+            relayouts never cost runtime transformations).
+        const_value: When set, the parameter is a known constant filled
+            with this value (e.g. an epsilon) instead of random weights.
+    """
+
+    name: str
+    shape: Shape
+    dtype: DType = DType.FP16
+    is_param: bool = False
+    const_value: float | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "shape", normalize_shape(self.shape))
+        object.__setattr__(self, "dtype", parse_dtype(self.dtype))
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    @property
+    def num_elements(self) -> int:
+        return math.prod(self.shape)
+
+    @property
+    def size_bytes(self) -> int:
+        return self.num_elements * self.dtype.size_bytes
+
+    def with_shape(self, shape: Iterable[int]) -> "TensorSpec":
+        return replace(self, shape=normalize_shape(shape))
+
+    def with_name(self, name: str) -> "TensorSpec":
+        return replace(self, name=name)
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "shape": list(self.shape),
+            "dtype": self.dtype.value,
+            "is_param": self.is_param,
+            "const_value": self.const_value,
+        }
+
+    @staticmethod
+    def from_json(data: dict) -> "TensorSpec":
+        return TensorSpec(
+            name=data["name"],
+            shape=tuple(data["shape"]),
+            dtype=parse_dtype(data["dtype"]),
+            is_param=bool(data.get("is_param", False)),
+            const_value=data.get("const_value"),
+        )

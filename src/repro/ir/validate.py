@@ -1,0 +1,69 @@
+"""Structural and semantic validation of graphs.
+
+Every optimizer pass in this repository is required to leave the graph in
+a state where ``validate(graph)`` passes; the test suite enforces this on
+all 18 models before and after every pipeline stage.
+"""
+
+from __future__ import annotations
+
+from .graph import Graph, GraphError
+from .ops import get_op
+
+
+def validate(graph: Graph) -> None:
+    """Raise GraphError on any inconsistency."""
+    for name in graph.inputs:
+        if name not in graph.tensors:
+            raise GraphError(f"graph input {name!r} has no tensor spec")
+    for name in graph.outputs:
+        if name not in graph.tensors:
+            raise GraphError(f"graph output {name!r} has no tensor spec")
+
+    produced: set[str] = set()
+    for node in graph.iter_nodes():
+        for out in node.outputs:
+            if out in produced:
+                raise GraphError(f"tensor {out!r} produced twice")
+            produced.add(out)
+            if graph.tensors[out].is_param:
+                raise GraphError(f"node {node.id} writes to parameter {out!r}")
+        for inp in node.inputs:
+            if inp not in graph.tensors:
+                raise GraphError(f"node {node.id} reads undefined tensor {inp!r}")
+
+    for name in graph.inputs:
+        if name in produced:
+            raise GraphError(f"graph input {name!r} is also produced by a node")
+
+    # Shape inference must agree with the recorded specs, with input views
+    # applied first (views change the shape a consumer kernel observes).
+    for node in graph.topo_order():
+        opdef = get_op(node.op_type)
+        in_shapes = []
+        for idx, inp in enumerate(node.inputs):
+            shape = graph.shape(inp)
+            view = node.input_views.get(idx)
+            if view is not None:
+                if view.in_shape != shape:
+                    raise GraphError(
+                        f"node {node.id} input {idx}: view expects {view.in_shape} "
+                        f"but tensor {inp!r} has {shape}"
+                    )
+                shape = view.out_shape
+            in_shapes.append(shape)
+        try:
+            out_shapes = opdef.infer_shapes(in_shapes, node.attrs)
+        except ValueError as exc:
+            raise GraphError(f"node {node.id} ({node.op_type}): {exc}") from exc
+        for out, shape in zip(node.outputs, out_shapes):
+            if graph.shape(out) != shape:
+                raise GraphError(
+                    f"node {node.id} ({node.op_type}): inferred {shape} for "
+                    f"{out!r} but spec says {graph.shape(out)}"
+                )
+
+    # Every graph output must be reachable (produced or a graph input).
+    for name in graph.outputs:
+        if name not in produced and name not in graph.inputs:
+            raise GraphError(f"graph output {name!r} is never produced")

@@ -1,0 +1,163 @@
+"""View chains: sequences of pure relayout steps attached to an edge.
+
+When layout transformation elimination (Section 3.2.1) removes a chain of
+Reshape/Transpose-like operators, the chain does not vanish semantically -
+it becomes *index computation* inside the consumer kernel.  A ViewChain
+records that residual recipe.  It can be applied to a NumPy array (for the
+reference executor), converted to a symbolic IndexMap (by
+``repro.indexexpr``) for strength reduction, and costed (index arithmetic
+ops per element) by the cost model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from .tensor import Shape
+
+
+@dataclass(frozen=True)
+class ViewStep:
+    """One relayout step: ``kind`` is 'reshape', 'transpose' or 'slice'.
+
+    ``arg`` is the target shape for reshape, the permutation for transpose,
+    and a tuple of per-dim ``(start, stop, step)`` triples for slice.
+    depth_to_space / space_to_depth are lowered to equivalent
+    reshape+transpose+reshape triples before entering a chain.
+    """
+
+    kind: str
+    arg: tuple
+
+    def __post_init__(self) -> None:
+        if self.kind in ("reshape", "transpose"):
+            object.__setattr__(self, "arg", tuple(int(v) for v in self.arg))
+        elif self.kind == "slice":
+            object.__setattr__(
+                self, "arg",
+                tuple(tuple(int(v) for v in triple) for triple in self.arg))
+            for triple in self.arg:
+                if len(triple) != 3:
+                    raise ValueError(f"slice arg needs (start, stop, step): {self.arg}")
+        else:
+            raise ValueError(f"unknown view step kind {self.kind!r}")
+
+    def output_shape(self, in_shape: Shape) -> Shape:
+        if self.kind == "reshape":
+            if math.prod(self.arg) != math.prod(in_shape):
+                raise ValueError(f"reshape {in_shape} -> {self.arg} changes size")
+            return self.arg
+        if self.kind == "transpose":
+            if sorted(self.arg) != list(range(len(in_shape))):
+                raise ValueError(f"transpose perm {self.arg} invalid for {in_shape}")
+            return tuple(in_shape[p] for p in self.arg)
+        if len(self.arg) != len(in_shape):
+            raise ValueError(f"slice arg rank mismatch: {self.arg} vs {in_shape}")
+        out = []
+        for d, (start, stop, step) in zip(in_shape, self.arg):
+            if not (0 <= start < stop <= d and step > 0):
+                raise ValueError(f"invalid slice ({start},{stop},{step}) on dim {d}")
+            out.append(-(-(stop - start) // step))
+        return tuple(out)
+
+    def apply(self, array: np.ndarray) -> np.ndarray:
+        if self.kind == "reshape":
+            return array.reshape(self.arg)
+        if self.kind == "transpose":
+            return array.transpose(self.arg)
+        return array[tuple(slice(a, b, s) for a, b, s in self.arg)]
+
+
+@dataclass(frozen=True)
+class ViewChain:
+    """An ordered sequence of view steps from a source shape."""
+
+    in_shape: Shape
+    steps: tuple[ViewStep, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "in_shape", tuple(int(d) for d in self.in_shape))
+        shape = self.in_shape
+        for step in self.steps:
+            shape = step.output_shape(shape)
+        object.__setattr__(self, "_out_shape", shape)
+
+    @property
+    def out_shape(self) -> Shape:
+        return self._out_shape  # type: ignore[attr-defined]
+
+    @property
+    def is_identity(self) -> bool:
+        return not self.steps
+
+    def then(self, step: ViewStep) -> "ViewChain":
+        return ViewChain(self.in_shape, self.steps + (step,))
+
+    def then_reshape(self, shape: Iterable[int]) -> "ViewChain":
+        return self.then(ViewStep("reshape", tuple(shape)))
+
+    def then_transpose(self, perm: Iterable[int]) -> "ViewChain":
+        return self.then(ViewStep("transpose", tuple(perm)))
+
+    def then_slice(self, triples: Iterable[tuple[int, int, int]]) -> "ViewChain":
+        return self.then(ViewStep("slice", tuple(triples)))
+
+    def concat(self, other: "ViewChain") -> "ViewChain":
+        if other.in_shape != self.out_shape:
+            raise ValueError(
+                f"cannot concatenate: chain ends at {self.out_shape}, "
+                f"next starts at {other.in_shape}"
+            )
+        return ViewChain(self.in_shape, self.steps + other.steps)
+
+    def apply(self, array: np.ndarray) -> np.ndarray:
+        """Apply the chain to a NumPy array (views only; no copies forced)."""
+        if tuple(array.shape) != self.in_shape:
+            raise ValueError(f"array shape {array.shape} != chain input {self.in_shape}")
+        for step in self.steps:
+            array = step.apply(array)
+        return array
+
+    def to_json(self) -> dict:
+        return {
+            "in_shape": list(self.in_shape),
+            "steps": [{"kind": s.kind, "arg": list(s.arg)} for s in self.steps],
+        }
+
+    @staticmethod
+    def from_json(data: dict) -> "ViewChain":
+        return ViewChain(
+            tuple(data["in_shape"]),
+            tuple(ViewStep(s["kind"], tuple(s["arg"])) for s in data["steps"]),
+        )
+
+    @staticmethod
+    def identity(shape: Iterable[int]) -> "ViewChain":
+        return ViewChain(tuple(shape))
+
+
+def lower_depth_to_space(in_shape: Shape, block: int) -> ViewChain:
+    """depth_to_space as reshape/transpose/reshape (ONNX DCR semantics)."""
+    n, c, h, w = in_shape
+    oc = c // (block * block)
+    return (
+        ViewChain.identity(in_shape)
+        .then_reshape((n, block, block, oc, h, w))
+        .then_transpose((0, 3, 4, 1, 5, 2))
+        .then_reshape((n, oc, h * block, w * block))
+    )
+
+
+def lower_space_to_depth(in_shape: Shape, block: int) -> ViewChain:
+    """space_to_depth as reshape/transpose/reshape."""
+    n, c, h, w = in_shape
+    return (
+        ViewChain.identity(in_shape)
+        .then_reshape((n, c, h // block, block, w // block, block))
+        .then_transpose((0, 3, 5, 1, 2, 4))
+        .then_reshape((n, c * block * block, h // block, w // block))
+    )

@@ -1,0 +1,10 @@
+"""Memory substrate: cache simulator, address mapping, memory pool."""
+
+from .address import TensorStorage, traversal
+from .cache import CacheStats, SetAssociativeCache
+from .pool import MemoryPool, PoolReport, simulate_pool
+
+__all__ = [
+    "CacheStats", "MemoryPool", "PoolReport", "SetAssociativeCache",
+    "TensorStorage", "simulate_pool", "traversal",
+]

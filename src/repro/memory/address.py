@@ -1,0 +1,81 @@
+"""Address generation: where does element (i, j, ...) live in memory?
+
+Maps logical tensor coordinates to byte addresses under a Layout, for both
+1D buffers (strided linearization) and 2.5D textures (vec4 packing plus a
+width x height texel grid; Section 2.3 and Fig. 5).  Feeding these
+addresses to the cache simulator reproduces, exactly, the locality
+difference between a layout that stores the reduction dimension
+contiguously and one that does not.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from ..ir.layout import Layout, MemoryKind, TEXTURE_VECTOR_WIDTH
+from ..ir.tensor import Shape
+
+
+@dataclass(frozen=True)
+class TensorStorage:
+    """A tensor placed at a base address under a physical layout."""
+
+    shape: Shape
+    layout: Layout
+    elem_bytes: int
+    base_address: int = 0
+
+    def size_bytes(self) -> int:
+        if self.layout.memory is MemoryKind.TEXTURE_2D5:
+            return (self.layout.texel_count(self.shape)
+                    * TEXTURE_VECTOR_WIDTH * self.elem_bytes)
+        return math.prod(self.shape) * self.elem_bytes
+
+    def address_of(self, coords: tuple[int, ...]) -> int:
+        """Byte address of one element."""
+        if len(coords) != len(self.shape):
+            raise ValueError(f"coords {coords} rank != shape {self.shape}")
+        for c, d in zip(coords, self.shape):
+            if not 0 <= c < d:
+                raise ValueError(f"coords {coords} out of bounds for {self.shape}")
+        layout = self.layout
+        if layout.memory is MemoryKind.BUFFER_1D:
+            strides = layout.strides(self.shape)
+            offset = sum(c * s for c, s in zip(coords, strides))
+            return self.base_address + offset * self.elem_bytes
+        # texture: vector dim packs 4-wide inside a texel; remaining dims
+        # linearize in dim_order into a (height, width) grid of texels.
+        vec = layout.vector_dim
+        lane = coords[vec] % TEXTURE_VECTOR_WIDTH
+        vec_block = coords[vec] // TEXTURE_VECTOR_WIDTH
+        vec_blocks = -(-self.shape[vec] // TEXTURE_VECTOR_WIDTH)
+        texel_index = 0
+        for dim in layout.dim_order:
+            if dim == vec:
+                texel_index = texel_index * vec_blocks + vec_block
+            else:
+                texel_index = texel_index * self.shape[dim] + coords[dim]
+        byte = (texel_index * TEXTURE_VECTOR_WIDTH + lane) * self.elem_bytes
+        return self.base_address + byte
+
+    def addresses(self, coords_iter: Iterable[tuple[int, ...]]) -> Iterator[int]:
+        for coords in coords_iter:
+            yield self.address_of(coords)
+
+
+def traversal(shape: Shape, loop_order: tuple[int, ...]) -> Iterator[tuple[int, ...]]:
+    """All coordinates of ``shape``, iterated with ``loop_order`` outermost
+    to innermost (the access order of a kernel whose innermost loop runs
+    over ``loop_order[-1]``)."""
+    if sorted(loop_order) != list(range(len(shape))):
+        raise ValueError(f"loop order {loop_order} invalid for {shape}")
+    extents = [shape[d] for d in loop_order]
+    coords = [0] * len(shape)
+    for flat in range(math.prod(extents)):
+        rem = flat
+        for pos in reversed(range(len(extents))):
+            coords[loop_order[pos]] = rem % extents[pos]
+            rem //= extents[pos]
+        yield tuple(coords)

@@ -1,0 +1,67 @@
+"""Set-associative cache simulator.
+
+Used to validate the analytical cache-miss estimates of the cost model on
+small, fully traceable workloads (Figs. 7 and 9 report miss counts).  The
+simulator is exact: feed it an address trace, read back hit/miss counts.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterable
+
+
+@dataclass
+class CacheStats:
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class SetAssociativeCache:
+    """LRU set-associative cache over byte addresses."""
+
+    def __init__(self, size_bytes: int, line_bytes: int, associativity: int = 4):
+        if size_bytes % (line_bytes * associativity):
+            raise ValueError(
+                f"cache size {size_bytes} not divisible by "
+                f"line({line_bytes}) * ways({associativity})"
+            )
+        self.line_bytes = line_bytes
+        self.associativity = associativity
+        self.num_sets = size_bytes // (line_bytes * associativity)
+        self._sets: list[OrderedDict[int, None]] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+        self.stats = CacheStats()
+
+    def access(self, address: int) -> bool:
+        """Touch one byte address; returns True on hit."""
+        line = address // self.line_bytes
+        index = line % self.num_sets
+        ways = self._sets[index]
+        self.stats.accesses += 1
+        if line in ways:
+            ways.move_to_end(line)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        ways[line] = None
+        if len(ways) > self.associativity:
+            ways.popitem(last=False)
+        return False
+
+    def access_all(self, addresses: Iterable[int]) -> CacheStats:
+        for addr in addresses:
+            self.access(addr)
+        return self.stats
+
+    def reset(self) -> None:
+        for ways in self._sets:
+            ways.clear()
+        self.stats = CacheStats()

@@ -1,0 +1,10 @@
+"""The 18-model evaluation suite plus Table 1's motivation models."""
+
+from .registry import (
+    ALL_MODELS, EVAL_MODELS, ModelInfo, TABLE1_MODELS, build, model_names,
+)
+
+__all__ = [
+    "ALL_MODELS", "EVAL_MODELS", "ModelInfo", "TABLE1_MODELS", "build",
+    "model_names",
+]

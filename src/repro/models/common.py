@@ -1,0 +1,213 @@
+"""Shared building blocks for the model zoo.
+
+Every block reproduces the operator-level choreography of the original
+architectures - including the Reshape/Transpose sequences that windowed
+attention and hybrid models rely on, since those explicit layout
+transformations are precisely what the paper targets (Table 1).
+"""
+
+from __future__ import annotations
+
+from ..ir.builder import GraphBuilder
+
+
+# ---------------------------------------------------------------------------
+# transformer pieces (sequence layout: (B, N, C))
+# ---------------------------------------------------------------------------
+
+
+def mlp(b: GraphBuilder, x: str, ratio: float = 4.0, act: str = "gelu") -> str:
+    """Token-wise feed-forward network."""
+    c = b.shape(x)[-1]
+    h = b.dense(x, int(c * ratio))
+    h = b.unary(h, act)
+    return b.dense(h, c)
+
+
+def attention_core(b: GraphBuilder, q: str, k: str, v: str,
+                   bias_shape: tuple[int, ...] | None = None,
+                   causal: bool = False) -> str:
+    """Scaled dot-product attention on (..., T, d) operands."""
+    d = b.shape(q)[-1]
+    scale = b.param((1,), "attn_scale")
+    attn = b.matmul(q, k, transpose_b=True)
+    attn = b.mul(attn, scale)
+    if bias_shape is not None:
+        attn = b.add(attn, b.param(bias_shape, "attn_bias"))
+    if causal:
+        t = b.shape(attn)[-1]
+        attn = b.add(attn, b.param((t, t), "causal_mask"))
+    attn = b.softmax(attn)
+    return b.matmul(attn, v)
+
+
+def global_attention(b: GraphBuilder, x: str, heads: int,
+                     causal: bool = False) -> str:
+    """Standard multi-head self-attention with the usual qkv choreography:
+    Dense -> Reshape -> Transpose -> Slice x3 -> attention -> Transpose ->
+    Reshape -> Dense."""
+    batch, n, c = b.shape(x)
+    hd = c // heads
+    qkv = b.dense(x, 3 * c)
+    qkv = b.reshape(qkv, (batch, n, 3, heads, hd))
+    qkv = b.transpose(qkv, (2, 0, 3, 1, 4))  # (3, B, H, N, d)
+    q = b.reshape(b.slice_axis(qkv, 0, 0, 1), (batch, heads, n, hd))
+    k = b.reshape(b.slice_axis(qkv, 0, 1, 2), (batch, heads, n, hd))
+    v = b.reshape(b.slice_axis(qkv, 0, 2, 3), (batch, heads, n, hd))
+    o = attention_core(b, q, k, v, causal=causal)
+    o = b.transpose(o, (0, 2, 1, 3))
+    o = b.reshape(o, (batch, n, c))
+    return b.dense(o, c)
+
+
+def window_partition(b: GraphBuilder, x: str, h: int, w: int, ws: int) -> str:
+    """(B, H*W, C) -> (B*nW, ws*ws, C) via reshape/transpose (Swin-style)."""
+    batch, n, c = b.shape(x)
+    assert n == h * w, f"sequence length {n} != {h}x{w}"
+    x = b.reshape(x, (batch, h // ws, ws, w // ws, ws, c))
+    x = b.transpose(x, (0, 1, 3, 2, 4, 5))
+    return b.reshape(x, (batch * (h // ws) * (w // ws), ws * ws, c))
+
+
+def window_reverse(b: GraphBuilder, x: str, batch: int, h: int, w: int,
+                   ws: int) -> str:
+    """Inverse of window_partition."""
+    c = b.shape(x)[-1]
+    x = b.reshape(x, (batch, h // ws, w // ws, ws, ws, c))
+    x = b.transpose(x, (0, 1, 3, 2, 4, 5))
+    return b.reshape(x, (batch, h * w, c))
+
+
+def roll_sequence(b: GraphBuilder, x: str, h: int, w: int, shift: int) -> str:
+    """Cyclic shift of a (B, H*W, C) feature map (shifted windows)."""
+    batch, n, c = b.shape(x)
+    x = b.reshape(x, (batch, h, w, c))
+    top = b.slice_axis(x, 1, shift, h)
+    bottom = b.slice_axis(x, 1, 0, shift)
+    x = b.concat([top, bottom], axis=1)
+    left = b.slice_axis(x, 2, shift, w)
+    right = b.slice_axis(x, 2, 0, shift)
+    x = b.concat([left, right], axis=2)
+    return b.reshape(x, (batch, h * w, c))
+
+
+def window_attention(b: GraphBuilder, x: str, h: int, w: int, ws: int,
+                     heads: int, shift: int = 0) -> str:
+    """Swin-style (shifted-)window attention on a (B, H*W, C) map."""
+    batch, n, c = b.shape(x)
+    hd = c // heads
+    if shift:
+        x = roll_sequence(b, x, h, w, shift)
+    windows = window_partition(b, x, h, w, ws)
+    nw, t, _ = b.shape(windows)
+    qkv = b.dense(windows, 3 * c)
+    qkv = b.reshape(qkv, (nw, t, 3, heads, hd))
+    qkv = b.transpose(qkv, (2, 0, 3, 1, 4))
+    q = b.reshape(b.slice_axis(qkv, 0, 0, 1), (nw, heads, t, hd))
+    k = b.reshape(b.slice_axis(qkv, 0, 1, 2), (nw, heads, t, hd))
+    v = b.reshape(b.slice_axis(qkv, 0, 2, 3), (nw, heads, t, hd))
+    o = attention_core(b, q, k, v, bias_shape=(heads, t, t))
+    o = b.transpose(o, (0, 2, 1, 3))
+    o = b.reshape(o, (nw, t, c))
+    o = b.dense(o, c)
+    o = window_reverse(b, o, batch, h, w, ws)
+    if shift:
+        o = roll_sequence(b, o, h, w, h - shift)
+    return o
+
+
+def transformer_block(b: GraphBuilder, x: str, attn, ratio: float = 4.0,
+                      act: str = "gelu") -> str:
+    """Pre-norm residual block: x + attn(LN(x)); x + MLP(LN(x))."""
+    a = b.layernorm(x)
+    a = attn(b, a)
+    x = b.add(x, a)
+    m = b.layernorm(x)
+    m = mlp(b, m, ratio, act)
+    return b.add(x, m)
+
+
+def patch_embed(b: GraphBuilder, img: str, dim: int, patch: int) -> tuple[str, int, int]:
+    """Conv patchify + flatten to sequence: returns (tokens, H, W)."""
+    x = b.conv2d(img, dim, patch, stride=patch)
+    _, c, h, w = b.shape(x)
+    x = b.reshape(x, (b.shape(x)[0], c, h * w))
+    x = b.transpose(x, (0, 2, 1))
+    return x, h, w
+
+
+def patch_merging(b: GraphBuilder, x: str, h: int, w: int) -> tuple[str, int, int]:
+    """Swin downsampling: gather 2x2 neighbourhoods with slices, concat,
+    LayerNorm, and a linear reduction to 2C."""
+    batch, n, c = b.shape(x)
+    x = b.reshape(x, (batch, h, w, c))
+    parts = []
+    for di in range(2):
+        for dj in range(2):
+            part = b.slice(x, (0, di, dj, 0), (batch, h, w, c),
+                           (1, 2, 2, 1))
+            parts.append(part)
+    x = b.concat(parts, axis=3)
+    x = b.reshape(x, (batch, (h // 2) * (w // 2), 4 * c))
+    x = b.layernorm(x)
+    x = b.dense(x, 2 * c, bias=False)
+    return x, h // 2, w // 2
+
+
+def sequence_to_image(b: GraphBuilder, x: str, h: int, w: int) -> str:
+    """(B, H*W, C) -> (B, C, H, W)."""
+    batch, n, c = b.shape(x)
+    x = b.transpose(x, (0, 2, 1))
+    return b.reshape(x, (batch, c, h, w))
+
+
+def image_to_sequence(b: GraphBuilder, x: str) -> tuple[str, int, int]:
+    """(B, C, H, W) -> (B, H*W, C)."""
+    batch, c, h, w = b.shape(x)
+    x = b.reshape(x, (batch, c, h * w))
+    x = b.transpose(x, (0, 2, 1))
+    return x, h, w
+
+
+# ---------------------------------------------------------------------------
+# convolutional pieces (image layout: (B, C, H, W))
+# ---------------------------------------------------------------------------
+
+
+def conv_bn_act(b: GraphBuilder, x: str, channels: int, kernel: int,
+                stride: int = 1, padding: int | None = None,
+                groups: int = 1, act: str | None = "relu") -> str:
+    """Conv + folded BatchNorm + activation (the classic CNN stem)."""
+    if padding is None:
+        padding = kernel // 2
+    x = b.conv2d(x, channels, kernel, stride=stride, padding=padding,
+                 groups=groups, bias=False)
+    x = b.batchnorm(x)
+    if act:
+        x = b.unary(x, act)
+    return x
+
+
+def se_block(b: GraphBuilder, x: str, reduction: int = 4) -> str:
+    """Squeeze-and-excitation channel gating."""
+    c = b.shape(x)[1]
+    s = b.global_avgpool(x)
+    s = b.conv2d(s, max(1, c // reduction), 1)
+    s = b.relu(s)
+    s = b.conv2d(s, c, 1)
+    s = b.sigmoid(s)
+    return b.mul(x, s)
+
+
+def resnext_bottleneck(b: GraphBuilder, x: str, channels: int, stride: int,
+                       cardinality: int = 32, expansion: int = 2) -> str:
+    """ResNeXt's aggregated-transform bottleneck (grouped 3x3)."""
+    inner = channels * expansion // 2
+    out = channels * expansion
+    shortcut = x
+    if stride != 1 or b.shape(x)[1] != out:
+        shortcut = conv_bn_act(b, x, out, 1, stride=stride, act=None)
+    h = conv_bn_act(b, x, inner, 1)
+    h = conv_bn_act(b, h, inner, 3, stride=stride, groups=cardinality)
+    h = conv_bn_act(b, h, out, 1, act=None)
+    return b.relu(b.add(h, shortcut))

@@ -1,0 +1,70 @@
+"""Conformer (Gulati et al.): convolution-augmented transformer for
+speech.  A Hybrid/Global model in Table 7: its per-block conv module
+shuttles between sequence and image layouts, generating implicit
+transforms in conventional frameworks.
+"""
+
+from __future__ import annotations
+
+from ..ir.builder import GraphBuilder
+from ..ir.graph import Graph
+from .common import global_attention
+
+
+def _ffn_half(b: GraphBuilder, x: str, ratio: int = 4) -> str:
+    """Macaron half-step feed-forward (scaled by 0.5)."""
+    c = b.shape(x)[-1]
+    h = b.layernorm(x)
+    h = b.dense(h, c * ratio)
+    h = b.silu(h)
+    h = b.dense(h, c)
+    h = b.mul(h, b.param((1,), "ff_scale"))
+    return b.add(x, h)
+
+
+def _conv_module(b: GraphBuilder, x: str, kernel: int = 31) -> str:
+    """LayerNorm -> pointwise (2C) -> GLU -> depthwise conv1d -> BN ->
+    SiLU -> pointwise -> residual.  The 1-d depthwise conv runs as a
+    (k, 1) conv2d over a (B, C, T, 1) image, so sequence<->image
+    reshapes/transposes wrap it (the implicit-transform pattern)."""
+    batch, t, c = b.shape(x)
+    h = b.layernorm(x)
+    h = b.dense(h, 2 * c)
+    g1 = b.slice_axis(h, 2, 0, c)
+    g2 = b.slice_axis(h, 2, c, 2 * c)
+    h = b.mul(g1, b.sigmoid(g2))  # GLU
+    h = b.transpose(h, (0, 2, 1))
+    h = b.reshape(h, (batch, c, t, 1))
+    h = b.conv2d(h, c, (kernel, 1), padding=(kernel // 2, 0), groups=c)
+    h = b.batchnorm(h)
+    h = b.silu(h)
+    h = b.reshape(h, (batch, c, t))
+    h = b.transpose(h, (0, 2, 1))
+    h = b.dense(h, c)
+    return b.add(x, h)
+
+
+def build_conformer(batch: int = 1, frames: int = 3200, mels: int = 80,
+                    dim: int = 160, depth: int = 16, heads: int = 4) -> Graph:
+    """Conformer-S encoder over ``frames`` of ``mels`` filterbanks."""
+    b = GraphBuilder("conformer")
+    audio = b.input("audio", (batch, 1, frames, mels))
+    # conv subsampling (4x in time)
+    x = b.conv2d(audio, dim // 4, 3, stride=2, padding=1)
+    x = b.relu(x)
+    x = b.conv2d(x, dim // 4, 3, stride=2, padding=1)
+    x = b.relu(x)
+    _, c, t, f = b.shape(x)
+    x = b.transpose(x, (0, 2, 1, 3))
+    x = b.reshape(x, (batch, t, c * f))
+    x = b.dense(x, dim)
+    for _ in range(depth):
+        x = _ffn_half(b, x)
+        a = b.layernorm(x)
+        a = global_attention(b, a, heads)
+        x = b.add(x, a)
+        x = _conv_module(b, x)
+        x = _ffn_half(b, x)
+        x = b.layernorm(x)
+    b.output(b.dense(x, 1000))  # vocabulary projection
+    return b.finish()

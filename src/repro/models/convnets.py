@@ -1,0 +1,204 @@
+"""Convolutional model builders.
+
+ResNet50 and FST (fast style transfer) appear only in Table 1's motivation
+study; ConvNext, RegNet, ResNext and Yolo-V8 are evaluation workloads
+(Table 7).  ConvNext matters especially: it is the CNN with transformer
+habits - LayerNorm over channels-last features, implemented with the
+Transpose/LayerNorm/Transpose sandwich that gives SmartMem its 3.3x win
+over DNNFusion (Section 4.6).
+"""
+
+from __future__ import annotations
+
+from ..ir.builder import GraphBuilder
+from ..ir.graph import Graph
+from .common import conv_bn_act, image_to_sequence, resnext_bottleneck, sequence_to_image
+
+
+def build_resnet50(batch: int = 1, image: int = 224) -> Graph:
+    """ResNet-50 (Table 1 motivation row: few layout transforms)."""
+    b = GraphBuilder("resnet50")
+    img = b.input("image", (batch, 3, image, image))
+    x = conv_bn_act(b, img, 64, 7, stride=2, padding=3)
+    x = b.maxpool2d(x, 3, stride=2, padding=1)
+    for stage, (blocks, channels, stride) in enumerate(
+            [(3, 64, 1), (4, 128, 2), (6, 256, 2), (3, 512, 2)]):
+        for i in range(blocks):
+            s = stride if i == 0 else 1
+            shortcut = x
+            out_c = channels * 4
+            if s != 1 or b.shape(x)[1] != out_c:
+                shortcut = conv_bn_act(b, x, out_c, 1, stride=s, act=None)
+            h = conv_bn_act(b, x, channels, 1)
+            h = conv_bn_act(b, h, channels, 3, stride=s)
+            h = conv_bn_act(b, h, out_c, 1, act=None)
+            x = b.relu(b.add(h, shortcut))
+    x = b.global_avgpool(x)
+    x = b.reshape(x, (batch, b.shape(x)[1]))
+    b.output(b.dense(x, 1000))
+    return b.finish()
+
+
+def build_resnext(batch: int = 1, image: int = 224) -> Graph:
+    """ResNeXt-50 (32x4d): grouped convolutions make it layout sensitive."""
+    b = GraphBuilder("resnext")
+    img = b.input("image", (batch, 3, image, image))
+    x = conv_bn_act(b, img, 64, 7, stride=2, padding=3)
+    x = b.maxpool2d(x, 3, stride=2, padding=1)
+    for blocks, channels, stride in [(3, 128, 1), (4, 256, 2),
+                                     (6, 512, 2), (3, 1024, 2)]:
+        for i in range(blocks):
+            x = resnext_bottleneck(b, x, channels, stride if i == 0 else 1)
+    x = b.global_avgpool(x)
+    x = b.reshape(x, (batch, b.shape(x)[1]))
+    b.output(b.dense(x, 1000))
+    return b.finish()
+
+
+def build_regnet(batch: int = 1, image: int = 224) -> Graph:
+    """RegNetX-3.2GF-style: uniform grouped-bottleneck stages."""
+    b = GraphBuilder("regnet")
+    img = b.input("image", (batch, 3, image, image))
+    x = conv_bn_act(b, img, 32, 3, stride=2)
+    for blocks, channels, group_width in [(2, 96, 48), (6, 192, 48),
+                                          (15, 432, 48), (2, 1008, 48)]:
+        for i in range(blocks):
+            stride = 2 if i == 0 else 1
+            shortcut = x
+            if stride != 1 or b.shape(x)[1] != channels:
+                shortcut = conv_bn_act(b, x, channels, 1, stride=stride, act=None)
+            groups = max(1, channels // group_width)
+            h = conv_bn_act(b, x, channels, 1)
+            h = conv_bn_act(b, h, channels, 3, stride=stride, groups=groups)
+            h = conv_bn_act(b, h, channels, 1, act=None)
+            x = b.relu(b.add(h, shortcut))
+    x = b.global_avgpool(x)
+    x = b.reshape(x, (batch, b.shape(x)[1]))
+    b.output(b.dense(x, 1000))
+    return b.finish()
+
+
+def build_convnext(batch: int = 1, image: int = 224, dim: int = 96,
+                   depths: tuple[int, ...] = (3, 3, 9, 3)) -> Graph:
+    """ConvNext-T: each block is DWConv7x7 -> (transpose to channels-last)
+    -> LayerNorm -> Linear -> GELU -> Linear -> (transpose back) -> scale
+    -> residual.  The per-block transposes are exactly the implicit-layout
+    problem of Fig. 1."""
+    b = GraphBuilder("convnext")
+    img = b.input("image", (batch, 3, image, image))
+    x = b.conv2d(img, dim, 4, stride=4)
+    seq, h, w = image_to_sequence(b, x)
+    seq = b.layernorm(seq)
+    x = sequence_to_image(b, seq, h, w)
+    for stage, depth in enumerate(depths):
+        for _ in range(depth):
+            residual = x
+            c = b.shape(x)[1]
+            hx = b.depthwise_conv2d(x, 7, padding=3)
+            seq, h, w = image_to_sequence(b, hx)
+            seq = b.layernorm(seq)
+            seq = b.dense(seq, 4 * c)
+            seq = b.gelu(seq)
+            seq = b.dense(seq, c)
+            seq = b.mul(seq, b.param((1, 1, c), "ls_gamma"))  # layer scale
+            hx = sequence_to_image(b, seq, h, w)
+            x = b.add(residual, hx)
+        if stage < len(depths) - 1:
+            seq, h, w = image_to_sequence(b, x)
+            seq = b.layernorm(seq)
+            x = sequence_to_image(b, seq, h, w)
+            x = b.conv2d(x, b.shape(x)[1] * 2, 2, stride=2)
+    seq, h, w = image_to_sequence(b, x)
+    seq = b.layernorm(seq)
+    x = b.reduce(seq, "reduce_mean", axes=1)
+    b.output(b.dense(x, 1000))
+    return b.finish()
+
+
+def _c2f_block(b: GraphBuilder, x: str, channels: int, n: int = 1) -> str:
+    """Yolo-V8's C2f: split, a chain of residual 3x3 bottlenecks, concat."""
+    x = conv_bn_act(b, x, channels, 1, act="silu")
+    half = channels // 2
+    a = b.slice_axis(x, 1, 0, half)
+    y = b.slice_axis(x, 1, half, channels)
+    outs = [a, y]
+    for _ in range(n):
+        h = conv_bn_act(b, y, half, 3, act="silu")
+        h = conv_bn_act(b, h, half, 3, act="silu")
+        y = b.add(y, h)
+        outs.append(y)
+    x = b.concat(outs, axis=1)
+    return conv_bn_act(b, x, channels, 1, act="silu")
+
+
+def build_yolov8(batch: int = 1, image: int = 640) -> Graph:
+    """Yolo-V8n: CSP backbone + SPPF + PAN-FPN detection head (COCO)."""
+    b = GraphBuilder("yolov8")
+    img = b.input("image", (batch, 3, image, image))
+    w0 = 16
+    x = conv_bn_act(b, img, w0, 3, stride=2, act="silu")
+    x = conv_bn_act(b, x, w0 * 2, 3, stride=2, act="silu")
+    x = _c2f_block(b, x, w0 * 2, 1)
+    x = conv_bn_act(b, x, w0 * 4, 3, stride=2, act="silu")
+    p3 = _c2f_block(b, x, w0 * 4, 2)
+    x = conv_bn_act(b, p3, w0 * 8, 3, stride=2, act="silu")
+    p4 = _c2f_block(b, x, w0 * 8, 2)
+    x = conv_bn_act(b, p4, w0 * 16, 3, stride=2, act="silu")
+    x = _c2f_block(b, x, w0 * 16, 1)
+    # SPPF
+    s = conv_bn_act(b, x, w0 * 8, 1, act="silu")
+    m1 = b.maxpool2d(s, 5, stride=1, padding=2)
+    m2 = b.maxpool2d(m1, 5, stride=1, padding=2)
+    m3 = b.maxpool2d(m2, 5, stride=1, padding=2)
+    p5 = conv_bn_act(b, b.concat([s, m1, m2, m3], axis=1), w0 * 16, 1, act="silu")
+    # FPN top-down
+    u = b.upsample2d(p5, 2)
+    f4 = _c2f_block(b, b.concat([u, p4], axis=1), w0 * 8, 1)
+    u = b.upsample2d(f4, 2)
+    f3 = _c2f_block(b, b.concat([u, p3], axis=1), w0 * 4, 1)
+    # PAN bottom-up
+    d = conv_bn_act(b, f3, w0 * 4, 3, stride=2, act="silu")
+    f4 = _c2f_block(b, b.concat([d, f4], axis=1), w0 * 8, 1)
+    d = conv_bn_act(b, f4, w0 * 8, 3, stride=2, act="silu")
+    f5 = _c2f_block(b, b.concat([d, p5], axis=1), w0 * 16, 1)
+    # detection heads: box (64 = 4*16 DFL bins) + class (80) per scale
+    for feat in (f3, f4, f5):
+        box = conv_bn_act(b, feat, 64, 3, act="silu")
+        box = b.conv2d(box, 64, 1)
+        cls = conv_bn_act(b, feat, 80, 3, act="silu")
+        cls = b.conv2d(cls, 80, 1)
+        head = b.concat([box, cls], axis=1)
+        n, c, hh, ww = b.shape(head)
+        b.output(b.reshape(head, (n, c, hh * ww)))
+    return b.finish()
+
+
+def build_fst(batch: int = 1, image: int = 1024) -> Graph:
+    """Fast style transfer (Johnson et al.): conv/InstanceNorm/ReLU stacks.
+    InstanceNorm is the Fig. 1(b) example: frameworks like MNN wrap it in
+    implicit layout conversions, which is why FST spends 70% of its time
+    on transforms in Table 1."""
+    b = GraphBuilder("fst")
+    img = b.input("image", (batch, 3, image, image))
+
+    def cir(x, c, k, s):
+        x = b.conv2d(x, c, k, stride=s, padding=k // 2)
+        x = b.instancenorm(x)
+        return b.relu(x)
+
+    x = cir(img, 32, 9, 1)
+    x = cir(x, 64, 3, 2)
+    x = cir(x, 128, 3, 2)
+    for _ in range(5):  # residual blocks
+        h = cir(x, 128, 3, 1)
+        h = b.conv2d(h, 128, 3, padding=1)
+        h = b.instancenorm(h)
+        x = b.add(x, h)
+    # upsample decoder
+    x = b.upsample2d(x, 2)
+    x = cir(x, 64, 3, 1)
+    x = b.upsample2d(x, 2)
+    x = cir(x, 32, 3, 1)
+    x = b.conv2d(x, 3, 9, padding=4)
+    b.output(b.unary(x, "tanh"))
+    return b.finish()

@@ -1,0 +1,70 @@
+"""Pythia (decoder-only LLM, Biderman et al.).
+
+Pythia-1B: 16 GPT-NeoX layers, hidden 2048, 8 heads, parallel residual
+(x + attn(ln1 x) + mlp(ln2 x)), rotary embeddings on 25% of head dims.
+The rotary rotation is the LLM's layout-transform hot spot: per layer it
+costs slices, concats and elementwise muls over q and k.
+"""
+
+from __future__ import annotations
+
+from ..ir.builder import GraphBuilder
+from ..ir.dtype import DType
+from ..ir.graph import Graph
+
+
+def _rotary(b: GraphBuilder, x: str, rot_dims: int) -> str:
+    """Apply rotary position embedding to the first ``rot_dims`` of the
+    head dimension of a (B, H, T, d) tensor; pass the rest through."""
+    batch, heads, t, d = b.shape(x)
+    rot = b.slice_axis(x, 3, 0, rot_dims)
+    rest = b.slice_axis(x, 3, rot_dims, d)
+    cos = b.param((1, 1, t, rot_dims), "rope_cos")
+    sin = b.param((1, 1, t, rot_dims), "rope_sin")
+    # rotate_half: (-x2, x1)
+    half = rot_dims // 2
+    x1 = b.slice_axis(rot, 3, 0, half)
+    x2 = b.slice_axis(rot, 3, half, rot_dims)
+    rotated = b.concat([b.unary(x2, "neg"), x1], axis=3)
+    out = b.add(b.mul(rot, cos), b.mul(rotated, sin))
+    return b.concat([out, rest], axis=3)
+
+
+def build_pythia(batch: int = 1, seq: int = 128, hidden: int = 2048,
+                 depth: int = 16, heads: int = 8,
+                 vocab: int = 50304, rotary_pct: float = 0.25) -> Graph:
+    """Pythia-1B prefill pass over ``seq`` tokens."""
+    b = GraphBuilder("pythia")
+    ids = b.input("token_ids", (batch, seq), DType.INT32)
+    x = b.embedding(ids, vocab, hidden)
+    hd = hidden // heads
+    rot_dims = int(hd * rotary_pct)
+    for _ in range(depth):
+        # -- attention branch (GPT-NeoX parallel-residual form)
+        a = b.layernorm(x)
+        qkv = b.dense(a, 3 * hidden)
+        qkv = b.reshape(qkv, (batch, seq, heads, 3 * hd))
+        qkv = b.transpose(qkv, (0, 2, 1, 3))
+        q = b.slice_axis(qkv, 3, 0, hd)
+        k = b.slice_axis(qkv, 3, hd, 2 * hd)
+        v = b.slice_axis(qkv, 3, 2 * hd, 3 * hd)
+        q = _rotary(b, q, rot_dims)
+        k = _rotary(b, k, rot_dims)
+        scale = b.param((1,), "attn_scale")
+        attn = b.mul(b.matmul(q, k, transpose_b=True), scale)
+        attn = b.add(attn, b.param((seq, seq), "causal_mask"))
+        attn = b.softmax(attn)
+        o = b.matmul(attn, v)
+        o = b.transpose(o, (0, 2, 1, 3))
+        o = b.reshape(o, (batch, seq, hidden))
+        o = b.dense(o, hidden)
+        # -- mlp branch
+        m = b.layernorm(x)
+        m = b.dense(m, 4 * hidden)
+        m = b.gelu(m)
+        m = b.dense(m, hidden)
+        # parallel residual
+        x = b.add(b.add(x, o), m)
+    x = b.layernorm(x)
+    b.output(b.dense(x, vocab, bias=False))
+    return b.finish()

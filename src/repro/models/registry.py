@@ -1,0 +1,84 @@
+"""Model registry: the paper's full workload list with metadata.
+
+``EVAL_MODELS`` is Table 7's 18-model suite; ``TABLE1_MODELS`` adds the
+motivation-study models (ResNet50, FST) that only appear in Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..ir.graph import Graph
+from .conformer import build_conformer
+from .convnets import (
+    build_convnext, build_fst, build_regnet, build_resnet50, build_resnext,
+    build_yolov8,
+)
+from .llm import build_pythia
+from .stable_diffusion import (
+    build_sd_text_encoder, build_sd_unet, build_sd_vae_decoder,
+)
+from .vision_transformers import (
+    build_autoformer, build_biformer, build_crossformer, build_cswin,
+    build_efficientvit, build_flattenformer, build_smtformer, build_swin,
+    build_vit,
+)
+
+
+@dataclass(frozen=True)
+class ModelInfo:
+    """Catalog entry for one workload."""
+
+    name: str
+    factory: Callable[..., Graph]
+    model_type: str       # Transformer | ConvNet | Hybrid
+    input_type: str       # Image | Text | Audio
+    attention: str        # Local | Global | Decoder | N/A
+
+    def build(self, batch: int = 1, **overrides) -> Graph:
+        return self.factory(batch=batch, **overrides)
+
+
+EVAL_MODELS: dict[str, ModelInfo] = {m.name: m for m in [
+    ModelInfo("AutoFormer", build_autoformer, "Transformer", "Image", "Local"),
+    ModelInfo("BiFormer", build_biformer, "Hybrid", "Image", "Local"),
+    ModelInfo("CrossFormer", build_crossformer, "Transformer", "Image", "Local"),
+    ModelInfo("CSwin", build_cswin, "Hybrid", "Image", "Local"),
+    ModelInfo("EfficientVit", build_efficientvit, "Hybrid", "Image", "Local"),
+    ModelInfo("FlattenFormer", build_flattenformer, "Hybrid", "Image", "Local"),
+    ModelInfo("SMTFormer", build_smtformer, "Hybrid", "Image", "Local"),
+    ModelInfo("Swin", build_swin, "Transformer", "Image", "Local"),
+    ModelInfo("ViT", build_vit, "Transformer", "Image", "Global"),
+    ModelInfo("Conformer", build_conformer, "Hybrid", "Audio", "Global"),
+    ModelInfo("SD-TextEncoder", build_sd_text_encoder, "Transformer", "Text", "Global"),
+    ModelInfo("SD-UNet", build_sd_unet, "Hybrid", "Image", "Global"),
+    ModelInfo("SD-VAEDecoder", build_sd_vae_decoder, "Hybrid", "Image", "Global"),
+    ModelInfo("Pythia", build_pythia, "Transformer", "Text", "Decoder"),
+    ModelInfo("ConvNext", build_convnext, "ConvNet", "Image", "N/A"),
+    ModelInfo("RegNet", build_regnet, "ConvNet", "Image", "N/A"),
+    ModelInfo("ResNext", build_resnext, "ConvNet", "Image", "N/A"),
+    ModelInfo("Yolo-V8", build_yolov8, "ConvNet", "Image", "N/A"),
+]}
+
+TABLE1_MODELS: dict[str, ModelInfo] = {m.name: m for m in [
+    ModelInfo("ResNet50", build_resnet50, "ConvNet", "Image", "N/A"),
+    ModelInfo("FST", build_fst, "ConvNet", "Image", "N/A"),
+]}
+
+ALL_MODELS: dict[str, ModelInfo] = {**EVAL_MODELS, **TABLE1_MODELS}
+
+
+def build(name: str, batch: int = 1, **overrides) -> Graph:
+    """Build a model graph by catalog name."""
+    try:
+        info = ALL_MODELS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; available: {sorted(ALL_MODELS)}"
+        ) from None
+    return info.build(batch=batch, **overrides)
+
+
+def model_names(eval_only: bool = True) -> list[str]:
+    return list(EVAL_MODELS if eval_only else ALL_MODELS)

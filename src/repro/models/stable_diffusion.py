@@ -1,0 +1,175 @@
+"""Stable Diffusion pipeline models (Rombach et al.): the three networks
+the paper benchmarks separately - TextEncoder (CLIP), UNet, VAEDecoder.
+"""
+
+from __future__ import annotations
+
+from ..ir.builder import GraphBuilder
+from ..ir.dtype import DType
+from ..ir.graph import Graph
+from .common import global_attention, image_to_sequence, mlp, sequence_to_image
+
+
+def build_sd_text_encoder(batch: int = 1, seq: int = 77, width: int = 768,
+                          depth: int = 12, heads: int = 12,
+                          vocab: int = 49408) -> Graph:
+    """CLIP ViT-L/14 text encoder: causal global attention over 77 tokens."""
+    b = GraphBuilder("sd_text_encoder")
+    ids = b.input("token_ids", (batch, seq), DType.INT32)
+    x = b.embedding(ids, vocab, width)
+    x = b.add_const(x, (1, seq, width), "pos_embed")
+    for _ in range(depth):
+        a = b.layernorm(x)
+        a = global_attention(b, a, heads, causal=True)
+        x = b.add(x, a)
+        m = b.layernorm(x)
+        m = mlp(b, m, 4.0, act="gelu")
+        x = b.add(x, m)
+    b.output(b.layernorm(x))
+    return b.finish()
+
+
+def _resblock(b: GraphBuilder, x: str, out_c: int, time_emb: str | None) -> str:
+    """SD UNet residual block: GN -> SiLU -> Conv, time-emb add, GN ->
+    SiLU -> Conv, with a 1x1 skip when channels change."""
+    in_c = b.shape(x)[1]
+    h = b.groupnorm(x, groups=min(32, in_c))
+    h = b.silu(h)
+    h = b.conv2d(h, out_c, 3, padding=1)
+    if time_emb is not None:
+        emb = b.dense(time_emb, out_c)
+        emb = b.reshape(emb, (b.shape(x)[0], out_c, 1, 1))
+        h = b.add(h, emb)
+    h = b.groupnorm(h, groups=min(32, out_c))
+    h = b.silu(h)
+    h = b.conv2d(h, out_c, 3, padding=1)
+    skip = x if in_c == out_c else b.conv2d(x, out_c, 1)
+    return b.add(h, skip)
+
+
+def _cross_attention(b: GraphBuilder, x: str, context: str, heads: int) -> str:
+    """Attention where q comes from x and k/v from the text context."""
+    batch, n, c = b.shape(x)
+    _, m, cc = b.shape(context)
+    hd = c // heads
+    q = b.dense(x, c, bias=False)
+    k = b.dense(context, c, bias=False)
+    v = b.dense(context, c, bias=False)
+    q = b.transpose(b.reshape(q, (batch, n, heads, hd)), (0, 2, 1, 3))
+    k = b.transpose(b.reshape(k, (batch, m, heads, hd)), (0, 2, 1, 3))
+    v = b.transpose(b.reshape(v, (batch, m, heads, hd)), (0, 2, 1, 3))
+    scale = b.param((1,), "attn_scale")
+    attn = b.mul(b.matmul(q, k, transpose_b=True), scale)
+    attn = b.softmax(attn)
+    o = b.matmul(attn, v)
+    o = b.reshape(b.transpose(o, (0, 2, 1, 3)), (batch, n, c))
+    return b.dense(o, c)
+
+
+def _spatial_transformer(b: GraphBuilder, x: str, context: str,
+                         heads: int) -> str:
+    """GN -> 1x1 in-proj -> flatten -> [self-attn, cross-attn, GEGLU FF]
+    -> unflatten -> 1x1 out-proj, residual."""
+    residual = x
+    batch, c, h, w = b.shape(x)
+    hx = b.groupnorm(x, groups=min(32, c))
+    hx = b.conv2d(hx, c, 1)
+    seq, h, w = image_to_sequence(b, hx)
+    a = b.layernorm(seq)
+    a = global_attention(b, a, heads)
+    seq = b.add(seq, a)
+    a = b.layernorm(seq)
+    a = _cross_attention(b, a, context, heads)
+    seq = b.add(seq, a)
+    f = b.layernorm(seq)
+    # GEGLU feed-forward
+    g = b.dense(f, c * 8)
+    g1 = b.slice_axis(g, 2, 0, c * 4)
+    g2 = b.slice_axis(g, 2, c * 4, c * 8)
+    f = b.mul(g1, b.gelu(g2))
+    f = b.dense(f, c)
+    seq = b.add(seq, f)
+    hx = sequence_to_image(b, seq, h, w)
+    hx = b.conv2d(hx, c, 1)
+    return b.add(hx, residual)
+
+
+def build_sd_unet(batch: int = 1, latent: int = 32, model_c: int = 320,
+                  context_len: int = 77, context_dim: int = 768,
+                  heads: int = 8) -> Graph:
+    """SD v1.x UNet at 64x64 latents: res+attention down/mid/up path with
+    skip concats - the heaviest hybrid in the suite."""
+    b = GraphBuilder("sd_unet")
+    z = b.input("latent", (batch, 4, latent, latent))
+    t = b.input("time_emb", (batch, model_c * 4))
+    ctx_in = b.input("context", (batch, context_len, context_dim))
+    ctx = b.dense(ctx_in, model_c * 4)  # project text width once
+
+    x = b.conv2d(z, model_c, 3, padding=1)
+    skips = [x]
+    channels = (model_c, model_c * 2, model_c * 4, model_c * 4)
+    # -- down path
+    for level, ch in enumerate(channels):
+        for _ in range(2):
+            x = _resblock(b, x, ch, t)
+            if level < 3:
+                x = _spatial_transformer(b, x, ctx, heads)
+            skips.append(x)
+        if level < len(channels) - 1:
+            x = b.conv2d(x, ch, 3, stride=2, padding=1)
+            skips.append(x)
+    # -- mid
+    x = _resblock(b, x, channels[-1], t)
+    x = _spatial_transformer(b, x, ctx, heads)
+    x = _resblock(b, x, channels[-1], t)
+    # -- up path
+    for level in reversed(range(len(channels))):
+        ch = channels[level]
+        for _ in range(3):
+            skip = skips.pop()
+            x = b.concat([x, skip], axis=1)
+            x = _resblock(b, x, ch, t)
+            if level < 3:
+                x = _spatial_transformer(b, x, ctx, heads)
+        if level > 0:
+            x = b.upsample2d(x, 2)
+            x = b.conv2d(x, ch, 3, padding=1)
+    x = b.groupnorm(x, groups=min(32, b.shape(x)[1]))
+    x = b.silu(x)
+    b.output(b.conv2d(x, 4, 3, padding=1))
+    return b.finish()
+
+
+def build_sd_vae_decoder(batch: int = 1, latent: int = 32,
+                         base_c: int = 128) -> Graph:
+    """SD VAE decoder: 64x64x4 latents to a 512x512 image.  Almost pure
+    convolution at high resolution - the highest-GMACS model (Fig. 12's
+    best roofline point)."""
+    b = GraphBuilder("sd_vae_decoder")
+    z = b.input("latent", (batch, 4, latent, latent))
+    x = b.conv2d(z, 4, 1)
+    x = b.conv2d(x, base_c * 4, 3, padding=1)
+
+    def res(x, c):
+        return _resblock(b, x, c, None)
+
+    # mid block with one attention
+    x = res(x, base_c * 4)
+    residual = x
+    h = b.groupnorm(x, groups=min(32, b.shape(x)[1]))
+    seq, hh, ww = image_to_sequence(b, h)
+    seq = global_attention(b, seq, heads=1)
+    h = sequence_to_image(b, seq, hh, ww)
+    x = b.add(residual, h)
+    x = res(x, base_c * 4)
+    # up path: 512,512,256,128 channels with nearest upsample between
+    for i, mult in enumerate((4, 4, 2, 1)):
+        for _ in range(3):
+            x = res(x, base_c * mult)
+        if i < 3:
+            x = b.upsample2d(x, 2)
+            x = b.conv2d(x, b.shape(x)[1], 3, padding=1)
+    x = b.groupnorm(x, groups=min(32, b.shape(x)[1]))
+    x = b.silu(x)
+    b.output(b.conv2d(x, 3, 3, padding=1))
+    return b.finish()

@@ -1,0 +1,409 @@
+"""Vision Transformer and hybrid model builders (Table 7's workload list).
+
+Each builder reproduces the operator-level structure of the published
+architecture - block counts, dimensions, attention choreography, and in
+particular the explicit Reshape/Transpose/Slice/Gather traffic that makes
+these models layout-transformation-bound (Table 1).  Weights are synthetic;
+inference latency depends only on the graph (Section 4.1).
+"""
+
+from __future__ import annotations
+
+from ..ir.builder import GraphBuilder
+from ..ir.graph import Graph
+from .common import (
+    attention_core, conv_bn_act, global_attention, image_to_sequence, mlp,
+    patch_embed, patch_merging, sequence_to_image, transformer_block,
+    window_attention,
+)
+
+
+def build_vit(batch: int = 1, image: int = 224, dim: int = 768,
+              depth: int = 12, heads: int = 12, patch: int = 16) -> Graph:
+    """ViT-B/16: global attention, the only pure-global transformer in the
+    image set."""
+    b = GraphBuilder("vit")
+    img = b.input("image", (batch, 3, image, image))
+    x, h, w = patch_embed(b, img, dim, patch)
+    x = b.add_const(x, (1, h * w, dim), "pos_embed")
+    for _ in range(depth):
+        x = transformer_block(
+            b, x, lambda bb, t: global_attention(bb, t, heads))
+    x = b.layernorm(x)
+    x = b.reduce(x, "reduce_mean", axes=1)
+    b.output(b.dense(x, 1000))
+    return b.finish()
+
+
+def build_swin(batch: int = 1, image: int = 224, dim: int = 96,
+               depths: tuple[int, ...] = (2, 2, 6, 2),
+               heads: tuple[int, ...] = (3, 6, 12, 24),
+               window: int = 7) -> Graph:
+    """Swin-T: hierarchical shifted-window attention."""
+    b = GraphBuilder("swin")
+    img = b.input("image", (batch, 3, image, image))
+    x, h, w = patch_embed(b, img, dim, 4)
+    x = b.layernorm(x)
+    for stage, (depth, nh) in enumerate(zip(depths, heads)):
+        for blk in range(depth):
+            shift = window // 2 if blk % 2 == 1 else 0
+            x = transformer_block(
+                b, x,
+                lambda bb, t, _h=h, _w=w, _nh=nh, _s=shift:
+                    window_attention(bb, t, _h, _w, window, _nh, shift=_s))
+        if stage < len(depths) - 1:
+            x, h, w = patch_merging(b, x, h, w)
+    x = b.layernorm(x)
+    x = b.reduce(x, "reduce_mean", axes=1)
+    b.output(b.dense(x, 1000))
+    return b.finish()
+
+
+def build_autoformer(batch: int = 1, image: int = 224, dim: int = 384,
+                     depth: int = 14, heads: int = 6) -> Graph:
+    """AutoFormer-S: a searched ViT; per the paper's Table 7 it behaves as
+    a local-attention transformer - the searched subnet applies attention
+    within token windows at the searched resolution."""
+    b = GraphBuilder("autoformer")
+    img = b.input("image", (batch, 3, image, image))
+    x, h, w = patch_embed(b, img, dim, 16)
+    x = b.add_const(x, (1, h * w, dim), "pos_embed")
+    for blk in range(depth):
+        ws = 7 if blk % 2 == 0 else 14  # searched window sizes
+        x = transformer_block(
+            b, x,
+            lambda bb, t, _ws=ws: window_attention(bb, t, h, w, _ws, heads),
+            ratio=3.5)
+    x = b.layernorm(x)
+    x = b.reduce(x, "reduce_mean", axes=1)
+    b.output(b.dense(x, 1000))
+    return b.finish()
+
+
+def _lsda_long(b: GraphBuilder, x: str, h: int, w: int, group: int,
+               heads: int) -> str:
+    """CrossFormer's long-distance attention: tokens sampled at stride
+    ``h//group`` attend together - same window math, but partitioned with
+    an interleaving transpose (dispersed windows)."""
+    batch, n, c = b.shape(x)
+    g = group
+    s = h // g  # sampling stride
+    x = b.reshape(x, (batch, s, g, s, g, c))
+    x = b.transpose(x, (0, 2, 4, 1, 3, 5))
+    windows = b.reshape(x, (batch * g * g, s * s, c))
+    hd = c // heads
+    nw, t, _ = b.shape(windows)
+    qkv = b.dense(windows, 3 * c)
+    qkv = b.reshape(qkv, (nw, t, 3, heads, hd))
+    qkv = b.transpose(qkv, (2, 0, 3, 1, 4))
+    q = b.reshape(b.slice_axis(qkv, 0, 0, 1), (nw, heads, t, hd))
+    k = b.reshape(b.slice_axis(qkv, 0, 1, 2), (nw, heads, t, hd))
+    v = b.reshape(b.slice_axis(qkv, 0, 2, 3), (nw, heads, t, hd))
+    o = attention_core(b, q, k, v, bias_shape=(heads, t, t))
+    o = b.transpose(o, (0, 2, 1, 3))
+    o = b.reshape(o, (nw, t, c))
+    o = b.dense(o, c)
+    o = b.reshape(o, (batch, g, g, s, s, c))
+    o = b.transpose(o, (0, 3, 1, 4, 2, 5))
+    return b.reshape(o, (batch, h * w, c))
+
+
+def build_crossformer(batch: int = 1, image: int = 224, dim: int = 96,
+                      depths: tuple[int, ...] = (2, 2, 6, 2),
+                      heads: tuple[int, ...] = (3, 6, 12, 24)) -> Graph:
+    """CrossFormer-S: cross-scale patch embedding + alternating short/long
+    distance attention."""
+    b = GraphBuilder("crossformer")
+    img = b.input("image", (batch, 3, image, image))
+    # cross-scale embedding: parallel convs at kernel 4/8/16, concatenated
+    e4 = b.conv2d(img, dim // 2, 4, stride=4)
+    e8 = b.conv2d(img, dim // 4, 8, stride=4, padding=2)
+    e16 = b.conv2d(img, dim // 4, 16, stride=4, padding=6)
+    x = b.concat([e4, e8, e16], axis=1)
+    x, h, w = image_to_sequence(b, x)
+    x = b.layernorm(x)
+    for stage, (depth, nh) in enumerate(zip(depths, heads)):
+        group = 7
+        for blk in range(depth):
+            if blk % 2 == 0:
+                x = transformer_block(
+                    b, x, lambda bb, t, _h=h, _w=w, _nh=nh:
+                        window_attention(bb, t, _h, _w, 7, _nh))
+            else:
+                x = transformer_block(
+                    b, x, lambda bb, t, _h=h, _w=w, _nh=nh:
+                        _lsda_long(bb, t, _h, _w, group, _nh))
+        if stage < len(depths) - 1:
+            x, h, w = patch_merging(b, x, h, w)
+    x = b.layernorm(x)
+    x = b.reduce(x, "reduce_mean", axes=1)
+    b.output(b.dense(x, 1000))
+    return b.finish()
+
+
+def _cswin_stripe_attention(b: GraphBuilder, x: str, h: int, w: int,
+                            stripe: int, heads: int) -> str:
+    """CSwin's cross-shaped window: half the heads attend in horizontal
+    stripes, half in vertical stripes; outputs concatenate."""
+    batch, n, c = b.shape(x)
+    half = c // 2
+    h_heads = heads // 2 or 1
+    qkv = b.dense(x, 3 * c)
+
+    def stripes(split_idx: int, vertical: bool) -> str:
+        part = b.slice_axis(qkv, 2, split_idx * 3 * half, (split_idx + 1) * 3 * half)
+        grid = b.reshape(part, (batch, h, w, 3 * half))
+        if vertical:
+            grid = b.transpose(grid, (0, 2, 1, 3))
+        rows, cols = (w, h) if vertical else (h, w)
+        grid = b.reshape(grid, (batch, rows // stripe, stripe, cols, 3 * half))
+        windows = b.reshape(
+            b.transpose(grid, (0, 1, 2, 3, 4)),
+            (batch * (rows // stripe), stripe * cols, 3 * half))
+        nw, t, _ = b.shape(windows)
+        hd = half // h_heads
+        qkv_w = b.reshape(windows, (nw, t, 3, h_heads, hd))
+        qkv_w = b.transpose(qkv_w, (2, 0, 3, 1, 4))
+        q = b.reshape(b.slice_axis(qkv_w, 0, 0, 1), (nw, h_heads, t, hd))
+        k = b.reshape(b.slice_axis(qkv_w, 0, 1, 2), (nw, h_heads, t, hd))
+        v = b.reshape(b.slice_axis(qkv_w, 0, 2, 3), (nw, h_heads, t, hd))
+        o = attention_core(b, q, k, v)
+        o = b.transpose(o, (0, 2, 1, 3))
+        o = b.reshape(o, (nw, t, half))
+        o = b.reshape(o, (batch, rows // stripe, stripe, cols, half))
+        o = b.reshape(o, (batch, rows, cols, half))
+        if vertical:
+            o = b.transpose(o, (0, 2, 1, 3))
+        return b.reshape(o, (batch, h * w, half))
+
+    horizontal = stripes(0, vertical=False)
+    vertical = stripes(1, vertical=True)
+    out = b.concat([horizontal, vertical], axis=2)
+    return b.dense(out, c)
+
+
+def build_cswin(batch: int = 1, image: int = 224, dim: int = 64,
+                depths: tuple[int, ...] = (1, 2, 21, 1),
+                heads: tuple[int, ...] = (2, 4, 8, 16),
+                stripes: tuple[int, ...] = (1, 2, 7, 7)) -> Graph:
+    """CSwin-T: cross-shaped window attention, very deep third stage."""
+    b = GraphBuilder("cswin")
+    img = b.input("image", (batch, 3, image, image))
+    x = b.conv2d(img, dim, 7, stride=4, padding=2)
+    x, h, w = image_to_sequence(b, x)
+    x = b.layernorm(x)
+    for stage, (depth, nh, sw) in enumerate(zip(depths, heads, stripes)):
+        for _ in range(depth):
+            x = transformer_block(
+                b, x, lambda bb, t, _h=h, _w=w, _nh=nh, _sw=sw:
+                    _cswin_stripe_attention(bb, t, _h, _w, _sw, _nh))
+        if stage < len(depths) - 1:
+            # conv downsample between stages
+            x = sequence_to_image(b, x, h, w)
+            x = b.conv2d(x, b.shape(x)[1] * 2, 3, stride=2, padding=1)
+            x, h, w = image_to_sequence(b, x)
+    x = b.layernorm(x)
+    x = b.reduce(x, "reduce_mean", axes=1)
+    b.output(b.dense(x, 1000))
+    return b.finish()
+
+
+def _biformer_attention(b: GraphBuilder, x: str, h: int, w: int, heads: int,
+                        regions: int = 7, topk: int = 4) -> str:
+    """BiFormer's bi-level routing attention: coarse region affinity picks
+    top-k regions (a Gather - the token selection the paper highlights),
+    then fine-grained attention runs against the gathered tokens."""
+    batch, n, c = b.shape(x)
+    rh = h // regions
+    region_tokens = rh * rh
+    nr = regions * regions
+    # partition into regions
+    xr = b.reshape(x, (batch, regions, rh, regions, rh, c))
+    xr = b.transpose(xr, (0, 1, 3, 2, 4, 5))
+    xr = b.reshape(xr, (batch, nr, region_tokens, c))
+    q = b.dense(xr, c, bias=False)
+    k = b.dense(xr, c, bias=False)
+    v = b.dense(xr, c, bias=False)
+    # region-level routing: mean-pooled q/k affinity
+    qr = b.reduce(q, "reduce_mean", axes=2)          # (B, nr, C)
+    kr = b.reduce(k, "reduce_mean", axes=2)
+    affinity = b.matmul(qr, kr, transpose_b=True)    # (B, nr, nr)
+    _ = b.softmax(affinity)                          # routing scores
+    # top-k region gather (static routing pattern: neighbouring regions)
+    kg = b.reshape(k, (batch * nr, region_tokens, c))
+    vg = b.reshape(v, (batch * nr, region_tokens, c))
+    idx = [min(i, batch * nr - 1) for i in range(topk)]
+    k_sel = b.concat([b.gather(kg, idx, axis=0)], axis=0)
+    v_sel = b.concat([b.gather(vg, idx, axis=0)], axis=0)
+    k_sel = b.reshape(k_sel, (1, topk * region_tokens, c))
+    v_sel = b.reshape(v_sel, (1, topk * region_tokens, c))
+    # fine-grained attention: all query tokens vs gathered k/v
+    qf = b.reshape(q, (batch, n, c))
+    attn = b.matmul(qf, k_sel, transpose_b=True)
+    attn = b.softmax(attn)
+    o = b.matmul(attn, v_sel)
+    return b.dense(o, c)
+
+
+def build_biformer(batch: int = 1, image: int = 224, dim: int = 64,
+                   depths: tuple[int, ...] = (4, 4, 18, 4),
+                   heads: tuple[int, ...] = (2, 4, 8, 16)) -> Graph:
+    """BiFormer-S: bi-level routing attention hybrid."""
+    b = GraphBuilder("biformer")
+    img = b.input("image", (batch, 3, image, image))
+    x = conv_bn_act(b, img, dim, 7, stride=4, padding=3, act="gelu")
+    for stage, (depth, nh) in enumerate(zip(depths, heads)):
+        seq, h, w = image_to_sequence(b, x)
+        for _ in range(depth):
+            # depthwise positional conv branch
+            img_form = sequence_to_image(b, seq, h, w)
+            pos = b.depthwise_conv2d(img_form, 3, padding=1)
+            pos_seq, _, _ = image_to_sequence(b, pos)
+            seq = b.add(seq, pos_seq)
+            seq = transformer_block(
+                b, seq, lambda bb, t, _h=h, _w=w, _nh=nh:
+                    _biformer_attention(bb, t, _h, _w, _nh),
+                ratio=3.0)
+        x = sequence_to_image(b, seq, h, w)
+        if stage < len(depths) - 1:
+            x = conv_bn_act(b, x, b.shape(x)[1] * 2, 3, stride=2, act="gelu")
+    x = b.global_avgpool(x)
+    x = b.reshape(x, (batch, b.shape(x)[1]))
+    b.output(b.dense(x, 1000))
+    return b.finish()
+
+
+def _linear_attention(b: GraphBuilder, x: str, heads: int) -> str:
+    """EfficientViT's ReLU linear attention: O(n) via (q (k^T v))."""
+    batch, n, c = b.shape(x)
+    hd = c // heads
+    q = b.relu(b.dense(x, c, bias=False))
+    k = b.relu(b.dense(x, c, bias=False))
+    v = b.dense(x, c, bias=False)
+    q = b.transpose(b.reshape(q, (batch, n, heads, hd)), (0, 2, 1, 3))
+    k = b.transpose(b.reshape(k, (batch, n, heads, hd)), (0, 2, 1, 3))
+    v = b.transpose(b.reshape(v, (batch, n, heads, hd)), (0, 2, 1, 3))
+    kv = b.matmul(k, v, transpose_a=True)       # (B, H, d, d)
+    num = b.matmul(q, kv)                       # (B, H, n, d)
+    ksum = b.reduce(k, "reduce_sum", axes=2, keepdims=True)  # (B, H, 1, d)
+    den = b.matmul(q, ksum, transpose_b=True)   # (B, H, n, 1)
+    den = b.add(den, b.const(1e-6))             # relu'd q/k can zero out
+    o = b.div(num, den)
+    o = b.transpose(o, (0, 2, 1, 3))
+    o = b.reshape(o, (batch, n, c))
+    return b.dense(o, c)
+
+
+def build_efficientvit(batch: int = 1, image: int = 224, dim: int = 112,
+                       depths: tuple[int, ...] = (1, 2, 4, 4),
+                       heads: tuple[int, ...] = (2, 4, 8, 16)) -> Graph:
+    """EfficientViT: MBConv stages + linear-attention stages (hybrid with a
+    small operator count - 536 before optimization)."""
+    b = GraphBuilder("efficientvit")
+    img = b.input("image", (batch, 3, image, image))
+    x = conv_bn_act(b, img, dim, 3, stride=2, act="hardswish")
+    x = conv_bn_act(b, x, dim, 3, stride=2, act="hardswish")
+    for stage, (depth, nh) in enumerate(zip(depths, heads)):
+        for _ in range(depth):
+            if stage < 2:
+                # MBConv: expand, depthwise, project + residual
+                c = b.shape(x)[1]
+                hch = c * 4
+                hx = conv_bn_act(b, x, hch, 1, act="hardswish")
+                hx = conv_bn_act(b, hx, hch, 3, groups=hch, act="hardswish")
+                hx = conv_bn_act(b, hx, c, 1, act=None)
+                x = b.add(x, hx)
+            else:
+                seq, h, w = image_to_sequence(b, x)
+                seq = transformer_block(
+                    b, seq, lambda bb, t, _nh=nh: _linear_attention(bb, t, _nh))
+                x = sequence_to_image(b, seq, h, w)
+        if stage < len(depths) - 1:
+            x = conv_bn_act(b, x, b.shape(x)[1] * 2, 3, stride=2,
+                            act="hardswish")
+    x = b.global_avgpool(x)
+    x = b.reshape(x, (batch, b.shape(x)[1]))
+    b.output(b.dense(x, 1000))
+    return b.finish()
+
+
+def _focused_linear_attention(b: GraphBuilder, x: str, h: int, w: int,
+                              heads: int) -> str:
+    """FLatten Transformer's focused linear attention with the depthwise
+    rank-restoration branch."""
+    batch, n, c = b.shape(x)
+    o = _linear_attention(b, x, heads)
+    # DWC branch on v restores feature diversity
+    v_img = sequence_to_image(b, b.dense(x, c, bias=False), h, w)
+    dwc = b.depthwise_conv2d(v_img, 3, padding=1)
+    dwc_seq, _, _ = image_to_sequence(b, dwc)
+    return b.add(o, dwc_seq)
+
+
+def build_flattenformer(batch: int = 1, image: int = 224, dim: int = 88,
+                        depths: tuple[int, ...] = (2, 2, 14, 2),
+                        heads: tuple[int, ...] = (2, 4, 8, 16)) -> Graph:
+    """FLatten-Swin-S: focused linear attention in a Swin skeleton."""
+    b = GraphBuilder("flattenformer")
+    img = b.input("image", (batch, 3, image, image))
+    x, h, w = patch_embed(b, img, dim, 4)
+    x = b.layernorm(x)
+    for stage, (depth, nh) in enumerate(zip(depths, heads)):
+        for _ in range(depth):
+            x = transformer_block(
+                b, x, lambda bb, t, _h=h, _w=w, _nh=nh:
+                    _focused_linear_attention(bb, t, _h, _w, _nh))
+        if stage < len(depths) - 1:
+            x, h, w = patch_merging(b, x, h, w)
+    x = b.layernorm(x)
+    x = b.reduce(x, "reduce_mean", axes=1)
+    b.output(b.dense(x, 1000))
+    return b.finish()
+
+
+def _scale_aware_modulation(b: GraphBuilder, x_img: str) -> str:
+    """SMT's multi-scale depthwise modulation head."""
+    c = b.shape(x_img)[1]
+    branches = []
+    per = c // 4
+    start = 0
+    for kernel in (3, 5, 7, 9):
+        part = b.slice_axis(x_img, 1, start, start + per)
+        part = b.depthwise_conv2d(part, kernel, padding=kernel // 2)
+        branches.append(part)
+        start += per
+    mixed = b.concat(branches, axis=1)
+    gate = b.sigmoid(b.conv2d(mixed, c, 1))
+    return b.mul(x_img, gate)
+
+
+def build_smtformer(batch: int = 1, image: int = 224, dim: int = 64,
+                    depths: tuple[int, ...] = (3, 4, 18, 2),
+                    heads: tuple[int, ...] = (2, 4, 8, 16)) -> Graph:
+    """SMT-S: scale-aware modulation stages followed by attention stages."""
+    b = GraphBuilder("smtformer")
+    img = b.input("image", (batch, 3, image, image))
+    x = conv_bn_act(b, img, dim, 7, stride=4, padding=3, act="gelu")
+    for stage, (depth, nh) in enumerate(zip(depths, heads)):
+        for _ in range(depth):
+            if stage < 2:
+                seq, h, w = image_to_sequence(b, x)
+                seq_n = b.layernorm(seq)
+                mod = _scale_aware_modulation(
+                    b, sequence_to_image(b, seq_n, h, w))
+                mod_seq, _, _ = image_to_sequence(b, mod)
+                seq = b.add(seq, mod_seq)
+                seq_n = b.layernorm(seq)
+                seq = b.add(seq, mlp(b, seq_n))
+                x = sequence_to_image(b, seq, h, w)
+            else:
+                seq, h, w = image_to_sequence(b, x)
+                seq = transformer_block(
+                    b, seq, lambda bb, t, _nh=nh: global_attention(bb, t, _nh))
+                x = sequence_to_image(b, seq, h, w)
+        if stage < len(depths) - 1:
+            x = conv_bn_act(b, x, b.shape(x)[1] * 2, 3, stride=2, act="gelu")
+    x = b.global_avgpool(x)
+    x = b.reshape(x, (batch, b.shape(x)[1]))
+    b.output(b.dense(x, 1000))
+    return b.finish()

@@ -1,0 +1,20 @@
+"""Execution substrate: devices, reference executor, analytical cost model."""
+
+from .artifact import Artifact, plan_from_json, plan_to_json
+from .codegen import GeneratedKernel, generate_group, generate_kernel
+from .verify import VerificationReport, verify_equivalence
+from .cost_model import (
+    CostModelConfig, CostReport, KernelCost, estimate, peak_activation_bytes,
+)
+from .device import DEVICES, DIMENSITY700, DeviceSpec, SD835, SD8GEN2, V100, scaled
+from .executor import execute, make_inputs, outputs_equal
+from .kernels import get_kernel
+
+__all__ = [
+    "Artifact", "GeneratedKernel", "VerificationReport", "generate_group",
+    "generate_kernel", "plan_from_json", "plan_to_json", "verify_equivalence",
+    "CostModelConfig", "CostReport", "DEVICES", "DIMENSITY700", "DeviceSpec",
+    "KernelCost", "SD835", "SD8GEN2", "V100", "estimate", "execute",
+    "get_kernel", "make_inputs", "outputs_equal", "peak_activation_bytes",
+    "scaled",
+]

@@ -1,0 +1,93 @@
+"""Deployment artifacts: save/load an optimized module.
+
+A compiled SmartMem module is the pair (rewritten graph, layout plan).
+Serializing both means a model can be optimized once and redeployed
+without re-running the pipeline - and the test suite verifies a loaded
+artifact costs and executes identically to the original.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..core.layout_selection import LayoutPlan
+from ..core.pipeline import OptimizeResult
+from ..ir.graph import Graph
+from ..ir.layout import Layout
+from ..ir.serialize import graph_from_json, graph_to_json
+
+
+def plan_to_json(plan: LayoutPlan) -> dict:
+    return {
+        "quality": plan.quality,
+        "layouts": {name: layout.to_json()
+                    for name, layout in plan.layouts.items()},
+        "copies": {name: [l.to_json() for l in layouts]
+                   for name, layouts in plan.copies.items()},
+        "edge_assignment": [
+            [cid, idx, which]
+            for (cid, idx), which in plan.edge_assignment.items()
+        ],
+        "searched_edges": plan.searched_edges,
+        "merged_producers": plan.merged_producers,
+    }
+
+
+def plan_from_json(data: dict) -> LayoutPlan:
+    plan = LayoutPlan(quality=data.get("quality", "default"))
+    plan.layouts = {name: Layout.from_json(l)
+                    for name, l in data["layouts"].items()}
+    plan.copies = {name: [Layout.from_json(l) for l in layouts]
+                   for name, layouts in data.get("copies", {}).items()}
+    plan.edge_assignment = {
+        (cid, idx): which
+        for cid, idx, which in data.get("edge_assignment", [])
+    }
+    plan.searched_edges = data.get("searched_edges", 0)
+    plan.merged_producers = data.get("merged_producers", 0)
+    return plan
+
+
+@dataclass
+class Artifact:
+    """A deployable optimized module."""
+
+    graph: Graph
+    plan: LayoutPlan
+    extra_efficiency: float = 1.0
+    metadata: dict | None = None
+
+    @staticmethod
+    def from_result(result: OptimizeResult, metadata: dict | None = None) -> "Artifact":
+        return Artifact(graph=result.graph, plan=result.plan,
+                        extra_efficiency=result.extra_efficiency,
+                        metadata=metadata or {})
+
+    def to_json(self) -> dict:
+        return {
+            "format": "smartmem-artifact-v1",
+            "graph": graph_to_json(self.graph),
+            "plan": plan_to_json(self.plan),
+            "extra_efficiency": self.extra_efficiency,
+            "metadata": self.metadata or {},
+        }
+
+    @staticmethod
+    def from_json(data: dict) -> "Artifact":
+        if data.get("format") != "smartmem-artifact-v1":
+            raise ValueError(f"not a SmartMem artifact: {data.get('format')!r}")
+        return Artifact(
+            graph=graph_from_json(data["graph"]),
+            plan=plan_from_json(data["plan"]),
+            extra_efficiency=data.get("extra_efficiency", 1.0),
+            metadata=data.get("metadata", {}),
+        )
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.to_json()))
+
+    @staticmethod
+    def load(path: str | Path) -> "Artifact":
+        return Artifact.from_json(json.loads(Path(path).read_text()))

@@ -1,0 +1,154 @@
+"""Pseudo-OpenCL kernel generation for fused groups.
+
+The paper's Q3 (Section 2.2): "Implementing an operation efficiently for
+a chosen layout (distinct from the original layout), including deciding
+access pattern and simplifying index computations."  This module makes
+that step concrete: for a fused group it emits a readable OpenCL-style
+kernel showing
+
+* the storage-address computation for each input under its *chosen*
+  layout (buffer strides or texture coordinates),
+* the residual index expressions from eliminated layout transforms,
+  strength-reduced by ``repro.indexexpr`` (compare ``simplify=False`` to
+  see exactly what Index Comprehension removes),
+* the loop nest ordered so the innermost loop runs along the consumer's
+  reduction dimension (the layout-selection contract).
+
+The emitted source is documentation/inspection output - it is not
+compiled - but every index expression in it is the same ``Expr`` object
+the cost model charges for, so tests can hold the two together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.layout_selection import LayoutPlan, consumer_preferences
+from ..indexexpr.expr import Expr
+from ..indexexpr.index_map import IndexMap
+from ..ir.graph import Graph, Node
+from ..ir.layout import Layout, MemoryKind, TEXTURE_VECTOR_WIDTH
+
+
+def _expr_to_c(e: Expr) -> str:
+    """Render an index expression as C source (// -> /, since operands
+    are non-negative integers)."""
+    text = repr(e)
+    return text.replace("//", "/")
+
+
+def _buffer_address(name: str, layout: Layout, shape, coord_exprs) -> str:
+    strides = layout.strides(shape)
+    terms = []
+    for expr, stride in zip(coord_exprs, strides):
+        if stride == 0:
+            continue
+        rendered = _expr_to_c(expr)
+        terms.append(rendered if stride == 1 else f"({rendered}) * {stride}")
+    body = " + ".join(terms) if terms else "0"
+    return f"{name}[{body}]"
+
+
+def _texture_address(name: str, layout: Layout, shape, coord_exprs) -> str:
+    vec = layout.vector_dim
+    lane = f"({_expr_to_c(coord_exprs[vec])}) % {TEXTURE_VECTOR_WIDTH}"
+    vec_block = f"({_expr_to_c(coord_exprs[vec])}) / {TEXTURE_VECTOR_WIDTH}"
+    vec_blocks = -(-shape[vec] // TEXTURE_VECTOR_WIDTH)
+    texel_terms = []
+    scale = 1
+    # linearize dim_order from innermost outwards
+    for dim in reversed(layout.dim_order):
+        if dim == vec:
+            term, extent = vec_block, vec_blocks
+        else:
+            term, extent = _expr_to_c(coord_exprs[dim]), shape[dim]
+        texel_terms.append(f"({term}) * {scale}" if scale != 1 else f"({term})")
+        scale *= extent
+    texel = " + ".join(texel_terms)
+    return f"read_imageh({name}, ({texel}))[{lane}]"
+
+
+@dataclass
+class GeneratedKernel:
+    name: str
+    source: str
+    index_cost_units: int
+    inputs: list[str]
+    outputs: list[str]
+
+
+def generate_kernel(
+    graph: Graph,
+    node: Node,
+    plan: LayoutPlan | None = None,
+    simplify_index: bool = True,
+) -> GeneratedKernel:
+    """Emit a pseudo-OpenCL kernel for one operator with its views.
+
+    The loop nest covers the kernel's observed input shape for input 0;
+    the innermost loop is the consumer's first reduction dimension when
+    one exists (layout selection stores that dimension unit-stride, so
+    the generated inner loop is the coalesced one).
+    """
+    plan = plan or LayoutPlan()
+    tensor = node.inputs[0]
+    stored_shape = graph.shape(tensor)
+    view = node.input_views.get(0)
+    if view is not None:
+        imap = IndexMap.from_view_chain(view, simplified=simplify_index)
+    else:
+        imap = IndexMap.identity(stored_shape)
+    observed = imap.out_shape
+
+    prefs = consumer_preferences(graph, node, 0)
+    rank = len(observed)
+    inner = prefs[0] if prefs else rank - 1
+    loop_order = [d for d in range(rank) if d != inner] + [inner]
+
+    layout = plan.layouts.get(tensor, Layout.row_major(len(stored_shape)))
+    if layout.memory is MemoryKind.TEXTURE_2D5:
+        load = _texture_address(tensor, layout, stored_shape, imap.exprs)
+    else:
+        load = _buffer_address(tensor, layout, stored_shape, imap.exprs)
+
+    lines = [
+        f"// kernel for {node.id} ({node.op_type})",
+        f"// observed input shape {list(observed)}; stored as "
+        f"{list(stored_shape)} in "
+        f"{'texture' if layout.memory is MemoryKind.TEXTURE_2D5 else 'buffer'}"
+        f" layout {list(layout.dim_order)}",
+    ]
+    if view is not None:
+        kinds = ", ".join(s.kind for s in view.steps)
+        lines.append(f"// absorbs eliminated transforms: {kinds} "
+                     f"(index cost {imap.cost()} units/elem)")
+    lines.append(f"__kernel void {node.id}(...) {{")
+    indent = "  "
+    for depth, dim in enumerate(loop_order):
+        var = f"o{dim}"
+        lines.append(f"{indent * (depth + 1)}for (int {var} = 0; "
+                     f"{var} < {observed[dim]}; ++{var}) {{"
+                     + ("  // reduction dim, unit stride" if dim == inner
+                        and prefs else ""))
+    body_indent = indent * (rank + 1)
+    lines.append(f"{body_indent}half v = {load};")
+    lines.append(f"{body_indent}acc = {node.op_type}_step(acc, v);")
+    for depth in reversed(range(rank)):
+        lines.append(f"{indent * (depth + 1)}}}")
+    lines.append("}")
+    return GeneratedKernel(
+        name=node.id,
+        source="\n".join(lines),
+        index_cost_units=imap.cost(),
+        inputs=list(node.inputs),
+        outputs=list(node.outputs),
+    )
+
+
+def generate_group(graph: Graph, group_id: int,
+                   plan: LayoutPlan | None = None) -> list[GeneratedKernel]:
+    """Kernels for every member of a fusion group, in execution order."""
+    members = [n for n in graph.topo_order() if n.group == group_id]
+    if not members:
+        raise ValueError(f"no nodes in group {group_id}")
+    return [generate_kernel(graph, node, plan) for node in members]

@@ -1,0 +1,407 @@
+"""Analytical latency / memory-traffic model.
+
+This is the hardware substitute for the paper's phone measurements.  Each
+fused kernel (fusion group) is costed as::
+
+    kernel_us = max(compute_us, memory_us) + index_us + launch_us
+
+* ``compute_us``: MACs at the device's peak throughput scaled by a
+  per-operator efficiency (group/depthwise convolutions use hardware
+  worse than dense ones), plus elementwise FLOPs.
+* ``memory_us``: bytes crossing the kernel boundary over the bandwidth of
+  whichever memory class each tensor lives in (global buffer vs texture),
+  amplified when the consumer's reduction dimension is not stored
+  unit-stride (bad locality = wasted cache lines).  Intermediate values
+  inside a fused group never touch memory: that is why fusion and
+  elimination pay off.
+* ``index_us``: residual index arithmetic from eliminated layout
+  transforms (ViewChains); strength reduction lowers the per-element cost
+  units, reproducing the Index Comprehension contribution of Section 4.3.
+* ``launch_us``: fixed dispatch overhead per kernel - fewer operators
+  (Table 7) means fewer launches.
+
+The model also produces memory-access and cache-miss estimates (Figs. 7
+and 9) and liveness-based peak memory (Section 4.6); the estimates are
+cross-validated against the exact cache simulator in ``repro.memory`` on
+small graphs by the test suite.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..core.fusion import groups_of
+from ..core.layout_selection import LayoutPlan, consumer_preferences
+from ..indexexpr.index_map import IndexMap
+from ..ir.graph import Graph, Node
+from ..ir.layout import Layout, MemoryKind
+from ..ir.ops import Mapping
+from .device import DeviceSpec
+
+EXPLICIT_TRANSFORMS = ("reshape", "transpose", "depth_to_space", "space_to_depth")
+
+# FLOPs per element for operators whose cost is not MAC-based.
+ELEMENT_OPS = {
+    "unary": 4.0, "binary": 1.0, "softmax": 8.0, "layernorm": 8.0,
+    "rmsnorm": 6.0, "instancenorm": 8.0, "groupnorm": 8.0, "batchnorm": 2.0,
+    "reduce_mean": 1.0, "reduce_sum": 1.0, "reduce_max": 1.0,
+    "global_avgpool": 1.0, "upsample2d": 0.5, "gather": 0.5, "concat": 0.5,
+    "pad": 0.5, "embedding": 0.5, "slice": 0.5, "split": 0.5,
+    "reshape": 0.0, "transpose": 0.0, "layout_convert": 0.0,
+    "depth_to_space": 0.0, "space_to_depth": 0.0,
+    "maxpool2d": 1.0, "avgpool2d": 1.0,
+}
+
+
+@dataclass(frozen=True)
+class CostModelConfig:
+    """Tunable knobs (framework-independent unless overridden)."""
+
+    conv_efficiency: float = 0.17
+    matmul_efficiency: float = 0.10
+    depthwise_efficiency: float = 0.05
+    groupconv_efficiency: float = 0.05
+    default_layout_eff: float = 0.55
+    """Compute-efficiency multiplier when tensors use generic framework
+    layouts instead of reduction-dimension-selected ones: unselected
+    layouts break SIMD loads and coalescing inside the MAC loops
+    (Section 3.2.2; this is the 'Layout Selecting' gain of Fig. 8)."""
+    relayout_bytes_factor: float = 1.0
+    """Traffic multiplier for relayout work (MNN stages image<->buffer
+    conversions through fp32 and round-trips the texture path: factor 4)."""
+    fused_mover_discount: float = 0.75
+    """Data-movement ops fused into a compute kernel still shuffle their
+    data, at this fraction of the standalone cost (one side is on-chip)."""
+    small_channel_ref: int = 64
+    """Convs narrower than this many output channels underutilize the GPU
+    (Yolo-style early layers); efficiency scales down proportionally."""
+    depthwise_area_scaling: bool = False
+    """Efficiency of depthwise convs additionally degrades with kernel
+    area (TVM's missing depthwise schedules; Section 4.2's ConvNext)."""
+    untuned_factor: float = 0.7
+    """Efficiency multiplier when the framework has no auto-tuner."""
+    tuned: bool = True
+    extra_efficiency: float = 1.0
+    """Multiplier from kernel-config auto-tuning (the GA tuner's output)."""
+    suboptimal_write_factor: float = 1.25
+    """Write amplification when the selected output layout is not the
+    producer's natural order (Section 3.2.2: cheaper than bad reads)."""
+    texture_cache_miss_factor: float = 0.6
+    """Dedicated texture cache absorbs a fraction of would-be misses."""
+    simplify_index: bool = True
+    """Strength-reduce eliminated-transform index expressions (Index
+    Comprehension); False reproduces the ablation of Section 4.3."""
+    efficiency_overrides: dict = field(default_factory=dict)
+    """op_type (or 'group_conv') -> efficiency; lets baselines model gaps
+    such as TVM's missing GroupConvolution layout (Section 4.2)."""
+
+
+@dataclass
+class KernelCost:
+    group: int
+    op_types: tuple[str, ...]
+    macs: int
+    compute_us: float
+    memory_us: float
+    index_us: float
+    launch_us: float
+    bytes_read: int
+    bytes_written: int
+    mem_accesses: int
+    cache_misses: int
+    category: str  # 'compute' | 'explicit' | 'implicit'
+
+    @property
+    def total_us(self) -> float:
+        return max(self.compute_us, self.memory_us) + self.index_us + self.launch_us
+
+
+@dataclass
+class CostReport:
+    device: DeviceSpec
+    kernels: list[KernelCost]
+    peak_memory_bytes: int
+    param_bytes: int
+    copy_bytes: int
+
+    @property
+    def latency_ms(self) -> float:
+        return sum(k.total_us for k in self.kernels) / 1000.0
+
+    @property
+    def total_macs(self) -> int:
+        return sum(k.macs for k in self.kernels)
+
+    @property
+    def gmacs_per_s(self) -> float:
+        latency_s = self.latency_ms / 1000.0
+        if latency_s == 0:
+            return 0.0
+        return self.total_macs / 1e9 / latency_s
+
+    @property
+    def num_kernels(self) -> int:
+        return len(self.kernels)
+
+    @property
+    def mem_access_total(self) -> int:
+        return sum(k.mem_accesses for k in self.kernels)
+
+    @property
+    def cache_miss_total(self) -> int:
+        return sum(k.cache_misses for k in self.kernels)
+
+    def breakdown(self) -> dict[str, float]:
+        """Latency percentage per category (Table 1's Imp./Exp./Comp.)."""
+        total = sum(k.total_us for k in self.kernels) or 1.0
+        out = {"implicit": 0.0, "explicit": 0.0, "compute": 0.0}
+        for k in self.kernels:
+            out[k.category] += k.total_us
+        return {key: 100.0 * value / total for key, value in out.items()}
+
+
+def _op_efficiency(node: Node, graph: Graph, config: CostModelConfig) -> float:
+    if node.op_type == "conv2d":
+        groups = int(node.attrs.get("groups", 1))
+        in_channels = graph.shape(node.inputs[0])[1]
+        out_channels = graph.shape(node.outputs[0])[1]
+        narrow = min(1.0, out_channels / config.small_channel_ref)
+        if groups > 1 and groups == in_channels:  # depthwise
+            eff = config.efficiency_overrides.get(
+                "depthwise", config.depthwise_efficiency)
+            if config.depthwise_area_scaling:
+                kh, kw = node.attrs.get("kernel", (3, 3))
+                eff *= 9.0 / (kh * kw)
+            return eff
+        if groups > 1:
+            return config.efficiency_overrides.get(
+                "group_conv", config.groupconv_efficiency) * narrow
+        return config.efficiency_overrides.get(
+            "conv2d", config.conv_efficiency) * narrow
+    if node.op_type in ("matmul", "dense"):
+        return config.efficiency_overrides.get(
+            node.op_type, config.matmul_efficiency)
+    return config.efficiency_overrides.get(node.op_type, 1.0)
+
+
+def _kernel_category(members: list[Node]) -> str:
+    kinds = {m.op_type for m in members}
+    if kinds <= {"layout_convert"}:
+        return "implicit"
+    if kinds <= set(EXPLICIT_TRANSFORMS):
+        return "explicit"
+    return "compute"
+
+
+def estimate(
+    graph: Graph,
+    device: DeviceSpec,
+    plan: LayoutPlan | None = None,
+    config: CostModelConfig | None = None,
+) -> CostReport:
+    """Cost every fusion group of ``graph`` on ``device``.
+
+    The graph must already carry fusion groups (run a fusion policy or
+    assign each node its own group).  ``plan`` carries per-tensor layouts;
+    without one, row-major buffers are assumed.
+    """
+    config = config or CostModelConfig()
+    plan = plan or LayoutPlan()
+    kernels: list[KernelCost] = []
+    tune = (1.0 if config.tuned else config.untuned_factor) * config.extra_efficiency
+
+    layout_eff = 1.0 if plan.quality == "selected" else config.default_layout_eff
+
+    for group_id, members in groups_of(graph).items():
+        member_ids = {m.id for m in members}
+        category = _kernel_category(members)
+        is_relayout_kernel = all(
+            m.opdef.mapping in (Mapping.REORGANIZE, Mapping.EXPAND)
+            for m in members)
+
+        macs = 0
+        compute_us = 0.0
+        index_us = 0.0
+        bytes_read = 0
+        bytes_written = 0
+        accesses = 0
+        misses = 0.0
+        global_bytes = 0.0
+        texture_bytes = 0.0
+
+        for node in members:
+            in_shapes = [node.view_for(i, graph.shape(t)).out_shape
+                         for i, t in enumerate(node.inputs)]
+            out_shapes = [graph.shape(t) for t in node.outputs]
+            node_macs = node.opdef.macs(in_shapes, out_shapes, node.attrs)
+            macs += node_macs
+            if node_macs:
+                eff = _op_efficiency(node, graph, config) * tune * layout_eff
+                compute_us += node_macs / (device.peak_gmacs * 1e3 * eff)
+            else:
+                elems = sum(math.prod(s) for s in out_shapes)
+                eops = ELEMENT_OPS.get(node.op_type, 1.0) * elems
+                # FLOP rate assumed 2x MAC rate
+                compute_us += eops / (device.peak_gmacs * 2e3 * tune)
+
+            # Data-movement ops shuffle their whole output even when fused:
+            # fused movers pay a discounted cost (one side stays on-chip).
+            if (node.opdef.mapping in (Mapping.REORGANIZE, Mapping.EXPAND)
+                    and not is_relayout_kernel):
+                mover_bytes = sum(
+                    math.prod(s) for s in out_shapes
+                ) * graph.tensors[node.outputs[0]].dtype.size_bytes
+                mover_bytes *= config.relayout_bytes_factor
+                index_us += (mover_bytes * config.fused_mover_discount
+                             / (device.relayout_bw_gbps * 1e3))
+
+            # -- reads that cross the group boundary --------------------
+            for idx, name in enumerate(node.inputs):
+                producer = graph.producer(name)
+                if producer is not None and producer.id in member_ids:
+                    continue  # internal to the fused kernel: stays on chip
+                spec = graph.tensors[name]
+                view = node.input_views.get(idx)
+                read_elems = (math.prod(view.out_shape) if view is not None
+                              else spec.num_elements)
+                base = read_elems * spec.dtype.size_bytes
+                if spec.is_param:
+                    # weights are relaid out offline: always streamed at
+                    # full bandwidth from the constant/texture path
+                    texture = device.has_texture
+                    factor = 1.0
+                else:
+                    layout = plan.layout_for_edge(name, node.id, idx) \
+                        if name in plan.layouts else Layout.row_major(spec.rank)
+                    texture = layout.memory is MemoryKind.TEXTURE_2D5
+                    prefs = consumer_preferences(graph, node, idx)
+                    if not prefs or layout.is_unit_stride(prefs[0]):
+                        factor = 1.0
+                    else:
+                        factor = (device.texture_strided_penalty if texture
+                                  else device.strided_penalty)
+                if view is not None:
+                    imap = _cached_map(view, config.simplify_index)
+                    # A kernel can always fall back to one linearization +
+                    # per-dim div/mod, so the per-element index cost is
+                    # bounded even for deeply stacked unsimplified chains.
+                    unit_cost = min(imap.cost(), 12 * len(imap.in_shape))
+                    index_us += (read_elems * unit_cost
+                                 * device.index_ns_per_unit) / 1000.0
+                effective = base * factor
+                bytes_read += int(effective)
+                accesses += read_elems
+                line = device.cache.line_bytes
+                miss = effective / line
+                if texture:
+                    miss *= config.texture_cache_miss_factor
+                misses += miss
+                if texture:
+                    texture_bytes += effective
+                else:
+                    global_bytes += effective
+
+            # -- writes that leave the group ------------------------------
+            for out in node.outputs:
+                consumed_outside = any(
+                    c.id not in member_ids for c, _ in graph.consumers(out))
+                if not (consumed_outside or out in graph.outputs):
+                    continue
+                spec = graph.tensors[out]
+                layout = plan.layouts.get(out, Layout.row_major(spec.rank))
+                texture = layout.memory is MemoryKind.TEXTURE_2D5
+                factor = 1.0
+                if layout.innermost_dim != spec.rank - 1 and \
+                        not layout.is_unit_stride(spec.rank - 1):
+                    factor = config.suboptimal_write_factor
+                copies = 1 + len(plan.copies.get(out, ()))
+                effective = spec.size_bytes * factor * copies
+                bytes_written += int(effective)
+                accesses += spec.num_elements * copies
+                miss = effective / device.cache.line_bytes
+                if texture:
+                    miss *= config.texture_cache_miss_factor
+                    texture_bytes += effective
+                else:
+                    global_bytes += effective
+                misses += miss
+
+        if is_relayout_kernel:
+            # Standalone data-reorganization kernel: two-sided uncoalesced
+            # moves sustain only the device's relayout bandwidth, and some
+            # frameworks stage them through wider dtypes.
+            total = (global_bytes + texture_bytes) * config.relayout_bytes_factor
+            memory_us = total / (device.relayout_bw_gbps * 1e3)
+            bytes_read = int(bytes_read * config.relayout_bytes_factor)
+            bytes_written = int(bytes_written * config.relayout_bytes_factor)
+            misses *= config.relayout_bytes_factor
+        else:
+            memory_us = (global_bytes / (device.global_bw_gbps * 1e3)
+                         + texture_bytes / (device.bandwidth_gbps(True) * 1e3))
+        kernels.append(KernelCost(
+            group=group_id,
+            op_types=tuple(m.op_type for m in members),
+            macs=macs,
+            compute_us=compute_us,
+            memory_us=memory_us,
+            index_us=index_us,
+            launch_us=device.kernel_launch_us,
+            bytes_read=bytes_read,
+            bytes_written=bytes_written,
+            mem_accesses=accesses,
+            cache_misses=int(misses),
+            category=category,
+        ))
+
+    param_bytes = sum(s.size_bytes for s in graph.tensors.values() if s.is_param)
+    copy_bytes = sum(
+        graph.tensors[name].size_bytes * len(copies)
+        for name, copies in plan.copies.items()
+    )
+    peak = peak_activation_bytes(graph, pooled=True) + param_bytes + copy_bytes
+    return CostReport(device=device, kernels=kernels, peak_memory_bytes=peak,
+                      param_bytes=param_bytes, copy_bytes=copy_bytes)
+
+
+_MAP_CACHE: dict = {}
+
+
+def _cached_map(view, simplified: bool = True) -> IndexMap:
+    key = (view, simplified)
+    found = _MAP_CACHE.get(key)
+    if found is None:
+        found = IndexMap.from_view_chain(view, simplified=simplified)
+        _MAP_CACHE[key] = found
+    return found
+
+
+def peak_activation_bytes(graph: Graph, pooled: bool = True) -> int:
+    """Peak concurrent activation memory.
+
+    ``pooled=True`` models a memory pool with liveness reuse (SmartMem,
+    TVM, DNNFusion; Section 4.6); ``pooled=False`` models naive per-tensor
+    allocation (all intermediates resident), which is what makes large
+    models and batch sizes fail on small devices in Figs. 10 and 11.
+    """
+    order = graph.topo_order()
+    if not pooled:
+        return sum(graph.tensors[t].size_bytes
+                   for node in order for t in node.outputs)
+    last_use: dict[str, int] = {}
+    for step, node in enumerate(order):
+        for t in node.inputs:
+            last_use[t] = step
+    for t in graph.outputs:
+        last_use[t] = len(order)
+    live = sum(graph.tensors[t].size_bytes for t in graph.inputs)
+    peak = live
+    for step, node in enumerate(order):
+        for t in node.outputs:
+            live += graph.tensors[t].size_bytes
+        peak = max(peak, live)
+        for t in set(node.inputs) | set(node.outputs):
+            if last_use.get(t) == step and not graph.tensors[t].is_param \
+                    and t not in graph.outputs:
+                live -= graph.tensors[t].size_bytes
+    return peak

@@ -1,0 +1,121 @@
+"""Device models for the platforms the paper evaluates.
+
+Absolute phone latencies cannot be reproduced without the hardware; these
+specs parameterize the analytical cost model with *published* numbers so
+the latency shape is faithful:
+
+* Snapdragon 8 Gen 2 / Adreno 740: 2.0 TMACs/s peak, 55 GB/s global
+  memory bandwidth, 511 GB/s texture bandwidth (all three straight from
+  the paper's roofline analysis, Fig. 12), 16 GB unified memory.
+* Snapdragon 835 / Adreno 540 and Dimensity 700 / Mali-G57: scaled specs
+  from public datasheets; both are the paper's portability targets
+  (Fig. 11) with 6 GB and 4 GB memory.
+* Tesla V100: the desktop GPU of Table 9 - no texture path (Section 6:
+  desktop implementations "mainly rely on shared memory and cache"),
+  FP32, high bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class CacheSpec:
+    """Parameters of the GPU's last-level/texture cache."""
+
+    size_bytes: int
+    line_bytes: int
+    associativity: int = 4
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """An execution platform for the cost model."""
+
+    name: str
+    peak_gmacs: float
+    """Peak multiply-accumulate throughput, giga-MACs per second."""
+    global_bw_gbps: float
+    """1D buffer (global) memory bandwidth, GB/s."""
+    texture_bw_gbps: float
+    """2.5D texture path bandwidth, GB/s (== global when no texture unit)."""
+    has_texture: bool
+    memory_bytes: int
+    kernel_launch_us: float
+    """Fixed dispatch overhead per kernel (fused group)."""
+    relayout_bw_gbps: float = 6.0
+    """Effective bandwidth of standalone data-reorganization kernels
+    (transpose / reshape / layout converts).  Mobile GPUs sustain only a
+    small fraction of peak bandwidth on these uncoalesced two-sided moves
+    (cf. Romou's mobile-GPU kernel study); this is the single largest
+    reason layout transformations dominate Table 1."""
+    strided_penalty: float = 4.0
+    """Traffic amplification for non-unit-stride buffer access."""
+    texture_strided_penalty: float = 2.0
+    """Texture accesses off the fast axes still enjoy 2D cache locality."""
+    index_ns_per_unit: float = 0.025
+    """Nanoseconds per index-arithmetic cost unit per element (div/mod
+    heavy index math slows kernels; strength reduction lowers the units)."""
+    cache: CacheSpec = CacheSpec(size_bytes=128 * 1024, line_bytes=64)
+
+    def bandwidth_gbps(self, texture: bool) -> float:
+        return self.texture_bw_gbps if (texture and self.has_texture) else self.global_bw_gbps
+
+
+GB = 1024 ** 3
+
+SD8GEN2 = DeviceSpec(
+    name="snapdragon-8gen2-adreno740",
+    peak_gmacs=2000.0,
+    global_bw_gbps=55.0,
+    texture_bw_gbps=511.0,
+    has_texture=True,
+    memory_bytes=16 * GB,
+    kernel_launch_us=18.0,
+    relayout_bw_gbps=4.0,
+)
+
+SD835 = DeviceSpec(
+    name="snapdragon-835-adreno540",
+    peak_gmacs=350.0,
+    global_bw_gbps=25.0,
+    texture_bw_gbps=180.0,
+    has_texture=True,
+    memory_bytes=6 * GB,
+    kernel_launch_us=30.0,
+    relayout_bw_gbps=2.0,
+    cache=CacheSpec(size_bytes=64 * 1024, line_bytes=64),
+)
+
+DIMENSITY700 = DeviceSpec(
+    name="dimensity-700-mali-g57",
+    peak_gmacs=250.0,
+    global_bw_gbps=17.0,
+    texture_bw_gbps=90.0,
+    has_texture=True,
+    memory_bytes=4 * GB,
+    kernel_launch_us=35.0,
+    relayout_bw_gbps=1.5,
+    cache=CacheSpec(size_bytes=64 * 1024, line_bytes=64),
+)
+
+V100 = DeviceSpec(
+    name="tesla-v100",
+    peak_gmacs=7800.0,
+    global_bw_gbps=900.0,
+    texture_bw_gbps=900.0,
+    has_texture=False,
+    memory_bytes=16 * GB,
+    kernel_launch_us=6.0,
+    strided_penalty=3.0,
+    relayout_bw_gbps=250.0,
+    cache=CacheSpec(size_bytes=6 * 1024 * 1024, line_bytes=128),
+)
+
+DEVICES = {d.name: d for d in (SD8GEN2, SD835, DIMENSITY700, V100)}
+
+
+def scaled(device: DeviceSpec, **overrides) -> DeviceSpec:
+    """A modified copy of a device (used by ablation benchmarks)."""
+    return replace(device, **overrides)

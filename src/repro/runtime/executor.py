@@ -1,0 +1,83 @@
+"""Reference executor: runs a graph with NumPy.
+
+Purpose: *semantic verification* of optimizer rewrites.  Input views
+attached by layout transformation elimination are applied before each
+kernel runs; fusion groups are ignored (grouping does not change values).
+The test suite uses ``outputs_equal(original, optimized)`` on every model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ir.dtype import DType
+from ..ir.graph import Graph
+from .kernels import get_kernel
+
+
+def make_inputs(graph: Graph, seed: int = 0) -> dict[str, np.ndarray]:
+    """Deterministic random inputs (and parameters) for a graph."""
+    rng = np.random.default_rng(seed)
+    values: dict[str, np.ndarray] = {}
+    for name, spec in graph.tensors.items():
+        if spec.is_param or name in graph.inputs:
+            if spec.const_value is not None:
+                values[name] = np.full(spec.shape, spec.const_value,
+                                       dtype=spec.dtype.numpy_dtype)
+            elif spec.dtype in (DType.INT32, DType.INT64):
+                values[name] = rng.integers(
+                    0, 8, size=spec.shape).astype(spec.dtype.numpy_dtype)
+            else:
+                values[name] = rng.standard_normal(spec.shape).astype(
+                    spec.dtype.numpy_dtype) * 0.1
+    return values
+
+
+def execute(graph: Graph, inputs: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+    """Run the graph; returns values of the graph outputs."""
+    values = dict(inputs)
+    for node in graph.topo_order():
+        args = []
+        for idx, name in enumerate(node.inputs):
+            value = values[name]
+            view = node.input_views.get(idx)
+            if view is not None:
+                value = view.apply(value)
+            args.append(value)
+        result = get_kernel(node.op_type)(args, node.attrs)
+        outputs = result if isinstance(result, (tuple, list)) else (result,)
+        for out_name, out_value in zip(node.outputs, outputs):
+            expected = graph.shape(out_name)
+            if tuple(out_value.shape) != expected:
+                raise RuntimeError(
+                    f"kernel {node.op_type} ({node.id}) produced shape "
+                    f"{out_value.shape}, spec says {expected}"
+                )
+            values[out_name] = out_value
+    return {name: values[name] for name in graph.outputs}
+
+
+def outputs_equal(
+    a: Graph,
+    b: Graph,
+    seed: int = 0,
+    rtol: float = 1e-4,
+    atol: float = 1e-5,
+) -> bool:
+    """True when both graphs produce numerically equal outputs.
+
+    Graph ``b`` may use different internal tensor names (rewrites rename
+    nothing in this codebase, but output order is what matters).
+    """
+    inputs = make_inputs(a, seed)
+    # b shares input/param names with a by construction (rewrites only
+    # remove intermediates); restrict to what b declares.
+    b_inputs = {name: inputs[name] for name in inputs if name in b.tensors}
+    out_a = execute(a, inputs)
+    out_b = execute(b, b_inputs)
+    if list(out_a) != list(out_b):
+        return False
+    return all(
+        np.allclose(out_a[name], out_b[name], rtol=rtol, atol=atol)
+        for name in out_a
+    )

@@ -1,0 +1,376 @@
+"""NumPy reference kernels for every operator.
+
+These kernels define operator *semantics*.  They exist so that every graph
+rewrite in the optimizer (fusion grouping, layout transformation
+elimination, view absorption) can be verified numerically: the executor
+runs the original and optimized graphs on the same inputs and the test
+suite requires identical outputs.
+
+They are written for clarity and correctness, not speed; model-scale
+latency numbers come from the analytical cost model, never from timing
+these kernels.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import numpy as np
+
+_KERNELS: dict[str, Callable] = {}
+
+
+def kernel(op_type: str):
+    def decorate(fn):
+        _KERNELS[op_type] = fn
+        return fn
+    return decorate
+
+
+def get_kernel(op_type: str) -> Callable:
+    try:
+        return _KERNELS[op_type]
+    except KeyError:
+        raise KeyError(f"no reference kernel for operator {op_type!r}") from None
+
+
+def _pair(value):
+    return (value, value) if isinstance(value, int) else tuple(value)
+
+
+# ---------------------------------------------------------------------------
+# convolution
+# ---------------------------------------------------------------------------
+
+
+@kernel("conv2d")
+def conv2d(inputs, attrs):
+    x, w = inputs[0], inputs[1]
+    bias = inputs[2] if len(inputs) > 2 else None
+    groups = int(attrs.get("groups", 1))
+    sh, sw = _pair(attrs.get("stride", 1))
+    ph, pw = _pair(attrs.get("padding", 0))
+    dh, dw = _pair(attrs.get("dilation", 1))
+    n, c, h, wd = x.shape
+    oc, cpg, kh, kw = w.shape
+    xp = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    oh = (h + 2 * ph - (dh * (kh - 1) + 1)) // sh + 1
+    ow = (wd + 2 * pw - (dw * (kw - 1) + 1)) // sw + 1
+    ocpg = oc // groups
+    out = np.zeros((n, oc, oh, ow), dtype=x.dtype)
+    # im2col per group
+    for g in range(groups):
+        xg = xp[:, g * cpg:(g + 1) * cpg]
+        cols = np.empty((n, cpg * kh * kw, oh * ow), dtype=x.dtype)
+        col = 0
+        for ci in range(cpg):
+            for ki in range(kh):
+                for kj in range(kw):
+                    patch = xg[:, ci,
+                               ki * dh: ki * dh + oh * sh: sh,
+                               kj * dw: kj * dw + ow * sw: sw]
+                    cols[:, col] = patch.reshape(n, -1)
+                    col += 1
+        wg = w[g * ocpg:(g + 1) * ocpg].reshape(ocpg, -1)
+        res = np.einsum("ok,nkp->nop", wg, cols)
+        out[:, g * ocpg:(g + 1) * ocpg] = res.reshape(n, ocpg, oh, ow)
+    if bias is not None:
+        out = out + bias.reshape(1, -1, 1, 1)
+    return out
+
+
+@kernel("matmul")
+def matmul(inputs, attrs):
+    a, b = inputs
+    if attrs.get("transpose_a"):
+        a = np.swapaxes(a, -1, -2)
+    if attrs.get("transpose_b"):
+        b = np.swapaxes(b, -1, -2)
+    return np.matmul(a, b)
+
+
+@kernel("dense")
+def dense(inputs, attrs):
+    x, w = inputs[0], inputs[1]
+    out = x @ w.T
+    if len(inputs) > 2:
+        out = out + inputs[2]
+    return out
+
+
+# ---------------------------------------------------------------------------
+# elementwise
+# ---------------------------------------------------------------------------
+
+_UNARY_IMPL = {
+    "relu": lambda x: np.maximum(x, 0),
+    "relu6": lambda x: np.clip(x, 0, 6),
+    "gelu": lambda x: 0.5 * x * (1 + np.tanh(np.sqrt(2 / np.pi) * (x + 0.044715 * x ** 3))),
+    "silu": lambda x: x / (1 + np.exp(-x)),
+    "sigmoid": lambda x: 1 / (1 + np.exp(-x)),
+    "tanh": np.tanh,
+    "exp": np.exp,
+    "sqrt": lambda x: np.sqrt(np.abs(x)),
+    "rsqrt": lambda x: 1 / np.sqrt(np.abs(x) + 1e-12),
+    "neg": np.negative,
+    "abs": np.abs,
+    "erf": lambda x: np.vectorize(math.erf)(x).astype(x.dtype),
+    "identity": lambda x: x,
+    "leaky_relu": lambda x: np.where(x > 0, x, 0.01 * x),
+    "hardswish": lambda x: x * np.clip(x + 3, 0, 6) / 6,
+}
+
+
+@kernel("unary")
+def unary(inputs, attrs):
+    return _UNARY_IMPL[attrs["func"]](inputs[0]).astype(inputs[0].dtype)
+
+
+_BINARY_IMPL = {
+    "add": np.add, "sub": np.subtract, "mul": np.multiply,
+    "div": np.divide, "pow": np.power,
+    "maximum": np.maximum, "minimum": np.minimum,
+}
+
+
+@kernel("binary")
+def binary(inputs, attrs):
+    return _BINARY_IMPL[attrs["func"]](inputs[0], inputs[1]).astype(inputs[0].dtype)
+
+
+# ---------------------------------------------------------------------------
+# normalization / softmax / reduce
+# ---------------------------------------------------------------------------
+
+
+@kernel("softmax")
+def softmax(inputs, attrs):
+    x = inputs[0]
+    axis = int(attrs.get("axis", -1))
+    shifted = x - x.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return (e / e.sum(axis=axis, keepdims=True)).astype(x.dtype)
+
+
+def _norm(x, axes, eps):
+    mean = x.mean(axis=axes, keepdims=True)
+    var = x.var(axis=axes, keepdims=True)
+    return (x - mean) / np.sqrt(var + eps)
+
+
+def _axes_tuple(attrs, rank):
+    axes = attrs.get("axes", -1)
+    if isinstance(axes, int):
+        axes = (axes,)
+    return tuple(sorted(a % rank for a in axes))
+
+
+@kernel("layernorm")
+def layernorm(inputs, attrs):
+    x = inputs[0]
+    axes = _axes_tuple(attrs, x.ndim)
+    out = _norm(x, axes, attrs.get("eps", 1e-5))
+    if len(inputs) > 1:
+        shape = [x.shape[a] if a in axes else 1 for a in range(x.ndim)]
+        out = out * inputs[1].reshape(shape)
+        if len(inputs) > 2:
+            out = out + inputs[2].reshape(shape)
+    return out.astype(x.dtype)
+
+
+@kernel("rmsnorm")
+def rmsnorm(inputs, attrs):
+    x = inputs[0]
+    axes = _axes_tuple(attrs, x.ndim)
+    rms = np.sqrt((x ** 2).mean(axis=axes, keepdims=True) + attrs.get("eps", 1e-6))
+    out = x / rms
+    if len(inputs) > 1:
+        shape = [x.shape[a] if a in axes else 1 for a in range(x.ndim)]
+        out = out * inputs[1].reshape(shape)
+    return out.astype(x.dtype)
+
+
+@kernel("instancenorm")
+def instancenorm(inputs, attrs):
+    x = inputs[0]
+    out = _norm(x, (2, 3), attrs.get("eps", 1e-5))
+    if len(inputs) > 1:
+        out = out * inputs[1].reshape(1, -1, 1, 1)
+        if len(inputs) > 2:
+            out = out + inputs[2].reshape(1, -1, 1, 1)
+    return out.astype(x.dtype)
+
+
+@kernel("groupnorm")
+def groupnorm(inputs, attrs):
+    x = inputs[0]
+    n, c, h, w = x.shape
+    groups = int(attrs.get("groups", 32))
+    grouped = x.reshape(n, groups, c // groups, h, w)
+    out = _norm(grouped, (2, 3, 4), attrs.get("eps", 1e-5)).reshape(n, c, h, w)
+    if len(inputs) > 1:
+        out = out * inputs[1].reshape(1, -1, 1, 1)
+        if len(inputs) > 2:
+            out = out + inputs[2].reshape(1, -1, 1, 1)
+    return out.astype(x.dtype)
+
+
+@kernel("batchnorm")
+def batchnorm(inputs, attrs):
+    x = inputs[0]
+    shape = [1] * x.ndim
+    if x.ndim >= 2:
+        shape[1] = -1
+    else:
+        shape[0] = -1
+    out = x
+    if len(inputs) > 1:
+        out = out * inputs[1].reshape(shape)
+    if len(inputs) > 2:
+        out = out + inputs[2].reshape(shape)
+    return out
+
+
+def _reduce_impl(fn):
+    def run(inputs, attrs):
+        x = inputs[0]
+        raw = attrs.get("axes", tuple(range(x.ndim)))
+        if isinstance(raw, int):
+            raw = (raw,)
+        axes = tuple(sorted(a % x.ndim for a in raw))
+        keepdims = bool(attrs.get("keepdims", False))
+        out = fn(x, axis=axes, keepdims=keepdims)
+        if not keepdims and out.ndim == 0:
+            out = out.reshape(1)
+        return out.astype(x.dtype)
+    return run
+
+
+kernel("reduce_mean")(_reduce_impl(np.mean))
+kernel("reduce_sum")(_reduce_impl(np.sum))
+kernel("reduce_max")(_reduce_impl(np.max))
+
+
+# ---------------------------------------------------------------------------
+# layout / reorganization
+# ---------------------------------------------------------------------------
+
+
+@kernel("reshape")
+def reshape(inputs, attrs):
+    return inputs[0].reshape(attrs["shape"])
+
+
+@kernel("transpose")
+def transpose(inputs, attrs):
+    return inputs[0].transpose(attrs["perm"])
+
+
+@kernel("layout_convert")
+def layout_convert(inputs, attrs):
+    # Physically reorders data between layout domains; semantically identity.
+    return inputs[0].copy()
+
+
+@kernel("slice")
+def slice_(inputs, attrs):
+    x = inputs[0]
+    steps = attrs.get("steps", (1,) * x.ndim)
+    index = tuple(
+        slice(start % (d + 1), min(stop, d), step)
+        for d, start, stop, step in zip(x.shape, attrs["starts"], attrs["stops"], steps)
+    )
+    return x[index]
+
+
+@kernel("gather")
+def gather(inputs, attrs):
+    return np.take(inputs[0], np.asarray(attrs["indices"]),
+                   axis=int(attrs.get("axis", 0)))
+
+
+@kernel("concat")
+def concat(inputs, attrs):
+    return np.concatenate(inputs, axis=int(attrs.get("axis", 0)))
+
+
+@kernel("split")
+def split(inputs, attrs):
+    return tuple(np.split(inputs[0], int(attrs["sections"]),
+                          axis=int(attrs.get("axis", 0))))
+
+
+@kernel("pad")
+def pad(inputs, attrs):
+    return np.pad(inputs[0], tuple(tuple(p) for p in attrs["pads"]))
+
+
+@kernel("depth_to_space")
+def depth_to_space(inputs, attrs):
+    x = inputs[0]
+    n, c, h, w = x.shape
+    b = int(attrs.get("block", 2))
+    return (x.reshape(n, b, b, c // (b * b), h, w)
+             .transpose(0, 3, 4, 1, 5, 2)
+             .reshape(n, c // (b * b), h * b, w * b))
+
+
+@kernel("space_to_depth")
+def space_to_depth(inputs, attrs):
+    x = inputs[0]
+    n, c, h, w = x.shape
+    b = int(attrs.get("block", 2))
+    return (x.reshape(n, c, h // b, b, w // b, b)
+             .transpose(0, 3, 5, 1, 2, 4)
+             .reshape(n, c * b * b, h // b, w // b))
+
+
+# ---------------------------------------------------------------------------
+# pooling / resampling / lookup
+# ---------------------------------------------------------------------------
+
+
+def _pool_impl(reducer):
+    def run(inputs, attrs):
+        x = inputs[0]
+        kh, kw = _pair(attrs["kernel"])
+        sh, sw = _pair(attrs.get("stride", (kh, kw)))
+        ph, pw = _pair(attrs.get("padding", 0))
+        pad_value = -np.inf if reducer is np.max else 0.0
+        xp = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)),
+                    constant_values=pad_value)
+        n, c, h, w = xp.shape
+        oh = (h - kh) // sh + 1
+        ow = (w - kw) // sw + 1
+        stacked = np.empty((kh * kw, n, c, oh, ow), dtype=x.dtype)
+        for ki in range(kh):
+            for kj in range(kw):
+                stacked[ki * kw + kj] = xp[:, :, ki: ki + oh * sh: sh,
+                                           kj: kj + ow * sw: sw]
+        if reducer is np.max:
+            return stacked.max(axis=0)
+        # average pooling: divide by window size (count_include_pad=True)
+        return (stacked.sum(axis=0) / (kh * kw)).astype(x.dtype)
+    return run
+
+
+kernel("maxpool2d")(_pool_impl(np.max))
+kernel("avgpool2d")(_pool_impl(np.mean))
+
+
+@kernel("global_avgpool")
+def global_avgpool(inputs, attrs):
+    return inputs[0].mean(axis=(2, 3), keepdims=True).astype(inputs[0].dtype)
+
+
+@kernel("upsample2d")
+def upsample2d(inputs, attrs):
+    scale = int(attrs.get("scale", 2))
+    return inputs[0].repeat(scale, axis=2).repeat(scale, axis=3)
+
+
+@kernel("embedding")
+def embedding(inputs, attrs):
+    table, ids = inputs
+    return table[ids.astype(np.int64)]

@@ -1,0 +1,11 @@
+"""Genetic-algorithm kernel auto-tuning (Section 3.3, 'Other opt')."""
+
+from .config_space import KernelConfig, KernelShape, fitness
+from .genetic import GAParams, GAResult, run_ga
+from .tuner import TunedKernel, TuningReport, kernel_shapes, tune_graph, tune_kernel
+
+__all__ = [
+    "GAParams", "GAResult", "KernelConfig", "KernelShape", "TunedKernel",
+    "TuningReport", "fitness", "kernel_shapes", "run_ga", "tune_graph",
+    "tune_kernel",
+]

@@ -1,0 +1,134 @@
+"""Kernel execution-configuration space.
+
+Section 3.3 ("Other optimizations"): SmartMem auto-tunes GPU execution
+configurations - block dimensions, unrolling factors, and tiling shapes -
+with a genetic algorithm inherited from DNNFusion.  This module defines
+the discrete configuration space and a deterministic analytic fitness
+function (occupancy x reuse x vectorization match) standing in for
+on-device measurement.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+WORKGROUP_SIZES = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+TILE_SIZES = (1, 2, 4, 8, 16, 32)
+UNROLL_FACTORS = (1, 2, 4, 8)
+VECTOR_WIDTHS = (1, 2, 4)
+
+
+@dataclass(frozen=True)
+class KernelConfig:
+    """One point in the execution-configuration space."""
+
+    workgroup_x: int = 64
+    workgroup_y: int = 1
+    tile_m: int = 4
+    tile_n: int = 4
+    unroll: int = 4
+    vector_width: int = 4
+
+    def __post_init__(self):
+        if self.workgroup_x not in WORKGROUP_SIZES:
+            raise ValueError(f"workgroup_x {self.workgroup_x} not in space")
+        if self.workgroup_y not in WORKGROUP_SIZES:
+            raise ValueError(f"workgroup_y {self.workgroup_y} not in space")
+        if self.tile_m not in TILE_SIZES or self.tile_n not in TILE_SIZES:
+            raise ValueError("tile sizes out of space")
+        if self.unroll not in UNROLL_FACTORS:
+            raise ValueError(f"unroll {self.unroll} out of space")
+        if self.vector_width not in VECTOR_WIDTHS:
+            raise ValueError(f"vector width {self.vector_width} out of space")
+
+    @property
+    def threads(self) -> int:
+        return self.workgroup_x * self.workgroup_y
+
+    def as_genes(self) -> tuple[int, ...]:
+        return (
+            WORKGROUP_SIZES.index(self.workgroup_x),
+            WORKGROUP_SIZES.index(self.workgroup_y),
+            TILE_SIZES.index(self.tile_m),
+            TILE_SIZES.index(self.tile_n),
+            UNROLL_FACTORS.index(self.unroll),
+            VECTOR_WIDTHS.index(self.vector_width),
+        )
+
+    @staticmethod
+    def from_genes(genes: Sequence[int]) -> "KernelConfig":
+        return KernelConfig(
+            workgroup_x=WORKGROUP_SIZES[genes[0] % len(WORKGROUP_SIZES)],
+            workgroup_y=WORKGROUP_SIZES[genes[1] % len(WORKGROUP_SIZES)],
+            tile_m=TILE_SIZES[genes[2] % len(TILE_SIZES)],
+            tile_n=TILE_SIZES[genes[3] % len(TILE_SIZES)],
+            unroll=UNROLL_FACTORS[genes[4] % len(UNROLL_FACTORS)],
+            vector_width=VECTOR_WIDTHS[genes[5] % len(VECTOR_WIDTHS)],
+        )
+
+    @staticmethod
+    def gene_space() -> tuple[int, ...]:
+        """Number of alleles per gene position."""
+        return (len(WORKGROUP_SIZES), len(WORKGROUP_SIZES), len(TILE_SIZES),
+                len(TILE_SIZES), len(UNROLL_FACTORS), len(VECTOR_WIDTHS))
+
+
+@dataclass(frozen=True)
+class KernelShape:
+    """The iteration space being tuned: an (M, N, K) work shape with a
+    preferred SIMD width (4 on texture-backed tensors)."""
+
+    m: int
+    n: int
+    k: int
+    simd_width: int = 4
+    max_threads: int = 1024
+    registers_per_thread: int = 64
+
+
+def fitness(config: KernelConfig, shape: KernelShape) -> float:
+    """Deterministic efficiency estimate in (0, 1].
+
+    Rewards: full workgroups (occupancy), square-ish tiles (register
+    reuse), vector width matching the storage vector width, unrolling
+    that divides K.  Penalizes: register spill (too much tile x unroll),
+    workgroups larger than the work, tile waste on non-divisible shapes.
+    """
+    if config.threads > shape.max_threads:
+        return 1e-6
+
+    # occupancy: prefer 64..256 threads
+    occ = min(1.0, config.threads / 64.0)
+    if config.threads > 256:
+        occ *= 256.0 / config.threads
+
+    # utilization: don't launch more threads than work items along x/y
+    work_x = max(1, shape.n // max(1, config.tile_n))
+    work_y = max(1, shape.m // max(1, config.tile_m))
+    util_x = min(1.0, work_x / config.workgroup_x)
+    util_y = min(1.0, work_y / config.workgroup_y)
+
+    # register pressure: tile_m*tile_n accumulators + unroll staging
+    regs = config.tile_m * config.tile_n + config.unroll * config.vector_width
+    spill = 1.0 if regs <= shape.registers_per_thread else \
+        shape.registers_per_thread / regs
+
+    # data reuse grows with tile area but saturates
+    reuse = math.tanh(config.tile_m * config.tile_n / 16.0) * 0.5 + 0.5
+
+    # vectorization: matching the memory vector width is free bandwidth
+    vec = config.vector_width / shape.simd_width
+    vec = vec if vec <= 1.0 else 1.0 / vec
+
+    # unroll should divide K
+    unroll_fit = 1.0 if shape.k % config.unroll == 0 else 0.8
+
+    # tile waste on ragged edges
+    waste_m = (shape.m % config.tile_m) / max(shape.m, 1)
+    waste_n = (shape.n % config.tile_n) / max(shape.n, 1)
+    waste = 1.0 - 0.5 * (waste_m + waste_n)
+
+    return occ * util_x * util_y * spill * reuse * (0.5 + 0.5 * vec) \
+        * unroll_fit * waste

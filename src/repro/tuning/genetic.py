@@ -1,0 +1,84 @@
+"""Generic genetic algorithm (Section 3.3's auto-tuning mechanism).
+
+A small, deterministic (seeded) GA over integer gene vectors: tournament
+selection, single-point crossover, per-gene mutation, elitism.  Used by
+the tuner to search kernel configurations, and directly testable against
+exhaustive search on small spaces.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+Genes = tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class GAParams:
+    population: int = 32
+    generations: int = 25
+    tournament: int = 3
+    crossover_rate: float = 0.8
+    mutation_rate: float = 0.15
+    elites: int = 2
+    seed: int = 0
+
+
+@dataclass
+class GAResult:
+    best: Genes
+    best_fitness: float
+    history: list[float]
+    evaluations: int
+
+
+def run_ga(
+    gene_space: Sequence[int],
+    fitness_fn: Callable[[Genes], float],
+    params: GAParams = GAParams(),
+) -> GAResult:
+    """Maximize ``fitness_fn`` over the integer box defined by gene_space."""
+    if not gene_space:
+        raise ValueError("gene space must be non-empty")
+    rng = random.Random(params.seed)
+    evaluations = 0
+
+    def random_genes() -> Genes:
+        return tuple(rng.randrange(size) for size in gene_space)
+
+    def evaluate(genes: Genes) -> float:
+        nonlocal evaluations
+        evaluations += 1
+        return fitness_fn(genes)
+
+    population = [random_genes() for _ in range(params.population)]
+    scored = sorted(((evaluate(g), g) for g in population), reverse=True)
+    history = [scored[0][0]]
+
+    def tournament() -> Genes:
+        entrants = rng.sample(scored, min(params.tournament, len(scored)))
+        return max(entrants)[1]
+
+    for _ in range(params.generations):
+        next_pop: list[Genes] = [g for _, g in scored[: params.elites]]
+        while len(next_pop) < params.population:
+            a, b = tournament(), tournament()
+            if rng.random() < params.crossover_rate and len(gene_space) > 1:
+                cut = rng.randrange(1, len(gene_space))
+                child = a[:cut] + b[cut:]
+            else:
+                child = a
+            child = tuple(
+                rng.randrange(gene_space[i])
+                if rng.random() < params.mutation_rate else allele
+                for i, allele in enumerate(child)
+            )
+            next_pop.append(child)
+        scored = sorted(((evaluate(g), g) for g in next_pop), reverse=True)
+        history.append(scored[0][0])
+
+    best_fit, best = scored[0]
+    return GAResult(best=best, best_fitness=best_fit, history=history,
+                    evaluations=evaluations)

@@ -1,0 +1,77 @@
+"""Shared fixtures: small graphs that exercise every optimizer path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir import GraphBuilder
+
+
+@pytest.fixture
+def linear_graph():
+    """input -> conv -> relu -> reshape -> transpose -> layernorm -> dense."""
+    b = GraphBuilder("linear")
+    x = b.input("x", (1, 8, 8, 8))
+    y = b.conv2d(x, 16, 3, padding=1)
+    y = b.relu(y)
+    y = b.reshape(y, (1, 16, 64))
+    y = b.transpose(y, (0, 2, 1))
+    y = b.layernorm(y)
+    y = b.dense(y, 32)
+    b.output(y)
+    return b.finish()
+
+
+@pytest.fixture
+def attention_graph():
+    """A miniature attention block with the full qkv choreography."""
+    b = GraphBuilder("attention")
+    x = b.input("x", (1, 16, 24))
+    h = b.layernorm(x)
+    qkv = b.dense(h, 72)
+    qkv = b.reshape(qkv, (1, 16, 3, 2, 12))
+    qkv = b.transpose(qkv, (2, 0, 3, 1, 4))
+    q = b.reshape(b.slice_axis(qkv, 0, 0, 1), (2, 16, 12))
+    k = b.reshape(b.slice_axis(qkv, 0, 1, 2), (2, 16, 12))
+    v = b.reshape(b.slice_axis(qkv, 0, 2, 3), (2, 16, 12))
+    attn = b.matmul(q, k, transpose_b=True)
+    attn = b.softmax(attn)
+    o = b.matmul(attn, v)
+    o = b.transpose(o, (1, 0, 2))
+    o = b.reshape(o, (1, 16, 24))
+    o = b.dense(o, 24)
+    b.output(b.add(o, x))
+    return b.finish()
+
+
+@pytest.fixture
+def multi_consumer_graph():
+    """One producer feeding consumers with different reduction dims."""
+    b = GraphBuilder("fanout")
+    x = b.input("x", (4, 8, 16))
+    y = b.dense(x, 16)
+    r1 = b.reduce(y, "reduce_sum", axes=1)   # wants dim 1 contiguous
+    r2 = b.reduce(y, "reduce_sum", axes=2)   # wants dim 2 contiguous
+    m = b.matmul(y, y, transpose_b=True)     # wants dim 2 contiguous
+    b.output(r1)
+    b.output(r2)
+    b.output(m)
+    return b.finish()
+
+
+@pytest.fixture
+def conv_net_graph():
+    """Small CNN: conv/bn/relu stacks with a residual."""
+    b = GraphBuilder("cnn")
+    x = b.input("x", (1, 3, 16, 16))
+    y = b.conv2d(x, 8, 3, padding=1, bias=False)
+    y = b.batchnorm(y)
+    y = b.relu(y)
+    z = b.conv2d(y, 8, 3, padding=1, bias=False)
+    z = b.batchnorm(z)
+    y = b.relu(b.add(y, z))
+    y = b.maxpool2d(y, 2)
+    y = b.global_avgpool(y)
+    y = b.reshape(y, (1, 8))
+    b.output(b.dense(y, 10))
+    return b.finish()

@@ -1,0 +1,87 @@
+"""Tests for automatic operator categorization (Sec 6 future work)."""
+
+import pytest
+
+from repro.core.auto_classify import (
+    agreement_with_registry, auto_classify, auto_classify_all,
+    probe_layout_sensitivity,
+)
+from repro.ir import GraphBuilder, Quadrant
+from repro.models import build
+
+
+class TestStructuralClassification:
+    def graph_with(self, emit):
+        b = GraphBuilder()
+        out = emit(b)
+        b.output(out)
+        g = b.finish()
+        return g, g.producer(out)
+
+    def test_conv_is_ild_variable(self):
+        g, node = self.graph_with(
+            lambda b: b.conv2d(b.input("x", (1, 4, 8, 8)), 8, 3, padding=1))
+        ev = auto_classify(g, node)
+        assert ev.quadrant is Quadrant.ILD_VARIABLE
+        assert "reduction" in ev.reason_ild
+
+    def test_relu_is_ili_variable(self):
+        g, node = self.graph_with(lambda b: b.relu(b.input("x", (4, 4))))
+        assert auto_classify(g, node).quadrant is Quadrant.ILI_VARIABLE
+
+    def test_transpose_is_ild_fixed(self):
+        g, node = self.graph_with(
+            lambda b: b.transpose(b.input("x", (4, 4)), (1, 0)))
+        ev = auto_classify(g, node)
+        assert ev.quadrant is Quadrant.ILD_FIXED
+        assert "definition" in ev.reason_output
+
+    def test_slice_is_ili_fixed(self):
+        g, node = self.graph_with(
+            lambda b: b.slice_axis(b.input("x", (8, 4)), 0, 0, 4))
+        assert auto_classify(g, node).quadrant is Quadrant.ILI_FIXED
+
+    def test_softmax_is_ild_variable(self):
+        g, node = self.graph_with(lambda b: b.softmax(b.input("x", (4, 8))))
+        assert auto_classify(g, node).quadrant is Quadrant.ILD_VARIABLE
+
+    def test_gather_fixed(self):
+        g, node = self.graph_with(
+            lambda b: b.gather(b.input("x", (8, 4)), [0, 3], axis=0))
+        assert auto_classify(g, node).quadrant is Quadrant.ILI_FIXED
+
+
+class TestBehaviouralProbe:
+    def test_reuse_pattern_is_layout_sensitive(self):
+        """Re-reading reduction slices under a bad layout thrashes the
+        cache: the probe's miss ratio clearly exceeds 1."""
+        ratio = probe_layout_sensitivity((64, 64), reduction_dim=1, reuse=4)
+        assert ratio > 2.0
+
+    def test_small_tensor_insensitive(self):
+        """When the whole tensor fits in cache, layout cannot matter."""
+        ratio = probe_layout_sensitivity((4, 8), reduction_dim=1, reuse=4)
+        assert ratio == pytest.approx(1.0, abs=0.3)
+
+
+@pytest.mark.parametrize("name", ["Swin", "ResNext", "Pythia", "Conformer"])
+def test_full_agreement_with_registry(name):
+    """The paper's validation criterion: the automated tool reproduces the
+    hand classification on whole real models."""
+    configs = {
+        "Swin": dict(image=56, dim=24, depths=(1, 1), heads=(2, 4)),
+        "ResNext": dict(image=32),
+        "Pythia": dict(seq=8, hidden=32, depth=1, heads=2, vocab=64),
+        "Conformer": dict(frames=32, mels=8, dim=16, depth=1, heads=2),
+    }
+    g = build(name, **configs[name])
+    assert agreement_with_registry(g) == 1.0
+
+
+def test_evidence_is_complete(attention_graph):
+    for evidence in auto_classify_all(attention_graph).values():
+        assert evidence.reason_ild
+        assert evidence.reason_output
+        assert evidence.quadrant.input_layout_dependent == \
+            evidence.input_layout_dependent
+        assert evidence.quadrant.output_variable == evidence.output_variable

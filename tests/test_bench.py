@@ -1,0 +1,186 @@
+"""Shape tests for the benchmark harness: every experiment must regenerate
+the paper's qualitative result, not just run.
+
+Full-suite experiments (all 18 models x 6 frameworks) run in the
+benchmarks/ directory; here each experiment runs on a representative
+subset so the whole test suite stays fast.
+"""
+
+import pytest
+
+from repro.bench import (
+    EXPERIMENTS, fig7, fig8, fig9, fig10, fig11, fig12, geomean,
+    memory_footprint, micro_rw, table1, table7, table8, table9,
+)
+
+
+class TestHarness:
+    def test_geomean(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geomean([]) == 0.0
+
+    def test_experiment_registry_complete(self):
+        assert set(EXPERIMENTS) == {
+            "table1", "table7", "table8", "table9", "fig7", "fig8", "fig9",
+            "fig10", "fig11", "fig12", "micro_rw", "memory_footprint",
+            "ablations",
+        }
+
+
+class TestTable1:
+    def test_transformers_dominated_by_transforms(self):
+        exp = table1.run(models=["ResNet50", "Swin"])
+        resnet = exp.data["ResNet50"]
+        swin = exp.data["Swin"]
+        transform_pct = lambda d: d["implicit_pct"] + d["explicit_pct"]
+        assert transform_pct(resnet) < 25
+        assert transform_pct(swin) > 35
+        assert resnet["gmacs"] > 3 * swin["gmacs"]
+
+    def test_transform_counts(self):
+        exp = table1.run(models=["ResNet50", "Swin"])
+        assert exp.data["Swin"]["transforms"] > 20 * max(
+            1, exp.data["ResNet50"]["transforms"])
+
+
+class TestTable7:
+    MODELS = ["Swin", "ResNext"]
+
+    def test_ours_has_fewest_operators(self):
+        exp = table7.run(models=self.MODELS)
+        for name in self.MODELS:
+            counts = exp.data[name]
+            supported = {k: v for k, v in counts.items()
+                         if k != "unoptimized" and v}
+            assert min(supported, key=supported.get) == "Ours"
+
+    def test_unsupported_marked(self):
+        exp = table7.run(models=["Swin"])
+        assert exp.data["Swin"]["NCNN"] is None
+        assert exp.data["Swin"]["TFLite"] is None
+
+    def test_cnn_supported_by_all(self):
+        exp = table7.run(models=["ResNext"])
+        assert all(v for k, v in exp.data["ResNext"].items())
+
+
+class TestTable8:
+    MODELS = ["Swin", "ResNext", "EfficientVit"]
+
+    def test_ours_fastest(self):
+        exp = table8.run(models=self.MODELS)
+        for name in self.MODELS:
+            lat = exp.data[name]
+            ours = lat["Ours"]
+            assert all(v >= ours for v in lat.values() if v is not None)
+
+    def test_geomean_ordering(self):
+        exp = table8.run(models=self.MODELS)
+        gm = exp.data["geomean"]
+        # DNNFusion is the strongest baseline (smallest geomean ratio)
+        others = [gm[f] for f in ("MNN", "TVM") if gm.get(f)]
+        assert all(gm["DNNF"] <= v for v in others)
+
+
+class TestTable9:
+    def test_modest_desktop_speedup(self):
+        exp = table9.run(models=["Swin"])
+        speedup = exp.data["Swin"]["speedup"]
+        assert 1.0 < speedup < 2.0  # paper: 1.23x
+
+
+class TestFig7:
+    def test_normalized_to_ours(self):
+        exp = fig7.run(models=["ResNext"])
+        for metric in ("mem access", "cache miss"):
+            values = exp.data["ResNext"][metric]
+            assert values["Ours"] == pytest.approx(1.0)
+            assert all(v is None or v >= 0.99 for v in values.values())
+
+
+class TestFig8:
+    MODELS = ["Swin", "ResNext"]
+
+    def test_stages_cumulative(self):
+        exp = fig8.run(models=self.MODELS)
+        for name in self.MODELS:
+            d = exp.data[name]
+            assert d["+LTE"] <= d["+LayoutSelect"] + 1e-9
+            assert d["+LayoutSelect"] <= d["+OtherOpt"] + 1e-9
+            assert d["+OtherOpt"] > 1.3
+
+    def test_transformer_lte_gain_larger(self):
+        exp = fig8.run(models=["Swin", "ResNext"])
+        assert exp.data["Swin"]["+LTE"] > exp.data["ResNext"]["+LTE"]
+
+    def test_index_comprehension_contribution(self):
+        exp = fig8.run(models=["Swin"])
+        gain = exp.data["Swin"]["index_comprehension"]
+        assert 1.0 <= gain < 1.5  # paper: 1.1-1.3x
+
+
+class TestFig9:
+    def test_lte_cuts_accesses(self):
+        exp = fig9.run(models=["CSwin"])
+        accesses = exp.data["CSwin"]["mem access"]
+        assert accesses["DNNF"] > accesses["+LTE"]
+
+
+class TestFig10:
+    def test_speedup_stable_across_batches(self):
+        exp = fig10.run(batches=[1, 4])
+        for batch in (1, 4):
+            lat = exp.data[batch]
+            assert lat["Ours"] < lat["DNNF"] < lat["MNN"]
+        # latency roughly scales with batch
+        assert exp.data[4]["Ours"] > 2.5 * exp.data[1]["Ours"]
+
+
+class TestFig11:
+    def test_portability(self):
+        experiments = fig11.run(models=["Swin", "ResNext"])
+        assert len(experiments) == 2
+        for exp in experiments:
+            for name in ("Swin", "ResNext"):
+                lat = exp.data[name]
+                supported = [v for v in lat.values() if v is not None]
+                assert min(supported) == lat["Ours"]
+
+    def test_slower_devices_slower(self):
+        d700, sd835 = fig11.run(models=["ResNext"])
+        assert d700.data["ResNext"]["Ours"] > sd835.data["ResNext"]["Ours"]
+
+
+class TestFig12:
+    def test_gmacs_ordering(self):
+        exp = fig12.run()
+        gmacs = {m: exp.data[m]["gmacs"] for m in exp.data}
+        assert (gmacs["Swin"] < gmacs["ViT"] < gmacs["ResNext"]
+                < gmacs["SD-VAEDecoder"])
+
+    def test_below_roofline(self):
+        exp = fig12.run()
+        for name, d in exp.data.items():
+            assert d["gmacs"] <= d["roof"]
+
+
+class TestMicroRW:
+    def test_paper_ordering(self):
+        exp = micro_rw.run()
+        assert exp.data["conv2d"] > exp.data["matmul"] > exp.data["activation"]
+        assert exp.data["activation"] > 1.0
+
+    def test_magnitudes(self):
+        exp = micro_rw.run()
+        assert exp.data["conv2d"] == pytest.approx(1.7, abs=0.4)
+        assert exp.data["matmul"] == pytest.approx(1.4, abs=0.3)
+        assert exp.data["activation"] == pytest.approx(1.1, abs=0.15)
+
+
+class TestMemoryFootprint:
+    def test_reductions(self):
+        exp = memory_footprint.run(models=["Swin"])
+        d = exp.data["Swin"]
+        assert d["op_reduction_pct"] > 15
+        assert d["memory_reduction_pct"] > 5
+        assert d["max_copy_mb"] < 10

@@ -1,0 +1,38 @@
+"""Tests for the benchmark CLI (python -m repro.bench)."""
+
+import json
+
+import pytest
+
+from repro.bench.__main__ import main as bench_main
+
+
+class TestBenchCli:
+    def test_single_experiment(self, capsys):
+        assert bench_main(["micro_rw"]) == 0
+        out = capsys.readouterr().out
+        assert "Micro (Sec 3.2.2)" in out
+        assert "conv2d" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert bench_main(["table99"]) == 2
+        assert "unknown experiments" in capsys.readouterr().out
+
+    def test_json_export(self, tmp_path, capsys):
+        path = tmp_path / "out.json"
+        assert bench_main(["micro_rw", "--json", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert len(data) == 1
+        assert data[0]["name"] == "Micro (Sec 3.2.2)"
+        assert data[0]["data"]["conv2d"] > 1.0
+
+    def test_json_missing_path(self, capsys):
+        assert bench_main(["micro_rw", "--json"]) == 2
+
+    def test_multi_experiment_fig11_list(self, tmp_path):
+        """fig11 returns a list of experiments (one per device); the CLI
+        flattens it."""
+        path = tmp_path / "out.json"
+        assert bench_main(["table9", "--json", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert data[0]["name"] == "Table 9"

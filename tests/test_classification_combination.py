@@ -1,0 +1,133 @@
+"""Tests for operator classification (Sec 3.1) and combination tables
+(Sec 3.2, Tables 5 and 6)."""
+
+import pytest
+
+from repro.core import (
+    Action, SearchPolicy, action_for, classify, classify_all, decision_for,
+    needs_layout_search, quadrant_histogram,
+)
+from repro.ir import GraphBuilder, Quadrant
+
+
+class TestClassify:
+    def test_defaults_pass_through(self, attention_graph):
+        kinds = classify_all(attention_graph)
+        by_type = {}
+        for node in attention_graph.iter_nodes():
+            by_type.setdefault(node.op_type, kinds[node.id])
+        assert by_type["dense"] is Quadrant.ILD_VARIABLE
+        assert by_type["softmax"] is Quadrant.ILD_VARIABLE
+        assert by_type["reshape"] is Quadrant.ILD_FIXED
+        assert by_type["slice"] is Quadrant.ILI_FIXED
+
+    def test_same_shape_binary_is_ili(self):
+        b = GraphBuilder()
+        x = b.input("x", (2, 4))
+        y = b.input("y", (2, 4))
+        out = b.add(x, y)
+        g = b.finish()
+        assert classify(g, g.producer(out)) is Quadrant.ILI_VARIABLE
+
+    def test_broadcast_binary_becomes_ild(self):
+        b = GraphBuilder()
+        x = b.input("x", (2, 8, 4))
+        y = b.input("y", (8, 1))
+        out = b.add(x, y)
+        g = b.finish()
+        assert classify(g, g.producer(out)) is Quadrant.ILD_VARIABLE
+
+    def test_param_broadcast_stays_ili(self):
+        # bias adds (param operand) keep the Table 3 ILI classification
+        b = GraphBuilder()
+        x = b.input("x", (2, 8, 4))
+        out = b.add_const(x, (1, 1, 4))
+        g = b.finish()
+        assert classify(g, g.producer(out)) is Quadrant.ILI_VARIABLE
+
+    def test_histogram_counts_everything(self, attention_graph):
+        hist = quadrant_histogram(attention_graph)
+        assert sum(hist.values()) == len(attention_graph.nodes)
+
+
+class TestTable5:
+    """Every cell of the combination-action table."""
+
+    Q = Quadrant
+
+    def test_keep_both_only_double_ild_variable(self):
+        assert action_for(self.Q.ILD_VARIABLE, self.Q.ILD_VARIABLE) is Action.KEEP_BOTH
+
+    @pytest.mark.parametrize("first,second", [
+        (Quadrant.ILD_VARIABLE, Quadrant.ILI_VARIABLE),
+        (Quadrant.ILI_VARIABLE, Quadrant.ILD_VARIABLE),
+        (Quadrant.ILI_VARIABLE, Quadrant.ILI_VARIABLE),
+    ])
+    def test_try_fuse_cells(self, first, second):
+        assert action_for(first, second) is Action.TRY_FUSE
+
+    @pytest.mark.parametrize("first", [Quadrant.ILD_VARIABLE, Quadrant.ILI_VARIABLE])
+    @pytest.mark.parametrize("second", [Quadrant.ILD_FIXED, Quadrant.ILI_FIXED])
+    def test_eliminate_second(self, first, second):
+        assert action_for(first, second) is Action.ELIMINATE_SECOND
+
+    @pytest.mark.parametrize("first", [Quadrant.ILD_FIXED, Quadrant.ILI_FIXED])
+    @pytest.mark.parametrize("second", [Quadrant.ILD_VARIABLE, Quadrant.ILI_VARIABLE])
+    def test_eliminate_first(self, first, second):
+        assert action_for(first, second) is Action.ELIMINATE_FIRST
+
+    @pytest.mark.parametrize("first", [Quadrant.ILD_FIXED, Quadrant.ILI_FIXED])
+    @pytest.mark.parametrize("second", [Quadrant.ILD_FIXED, Quadrant.ILI_FIXED])
+    def test_eliminate_both(self, first, second):
+        assert action_for(first, second) is Action.ELIMINATE_BOTH
+
+    def test_fixed_ops_always_eliminated(self):
+        """Any pair involving a Fixed-output op never survives intact."""
+        for first in Quadrant:
+            for second in Quadrant:
+                action = action_for(first, second)
+                if not first.output_variable or not second.output_variable:
+                    assert action in (Action.ELIMINATE_FIRST,
+                                      Action.ELIMINATE_SECOND,
+                                      Action.ELIMINATE_BOTH)
+
+
+class TestTable6:
+    def test_conv_reshape_example(self):
+        """The paper's worked example: Conv + Reshape eliminates the
+        Reshape, keeps an ILD&Variable operator, searches the first."""
+        d = decision_for(Quadrant.ILD_VARIABLE, Quadrant.ILD_FIXED)
+        assert d.action is Action.ELIMINATE_SECOND
+        assert d.result_type is Quadrant.ILD_VARIABLE
+        assert d.search is SearchPolicy.SEARCH_FIRST
+
+    def test_double_ild_searches_both(self):
+        d = decision_for(Quadrant.ILD_VARIABLE, Quadrant.ILD_VARIABLE)
+        assert d.search is SearchPolicy.SEARCH_BOTH
+
+    def test_fused_pairs(self):
+        d = decision_for(Quadrant.ILI_VARIABLE, Quadrant.ILD_VARIABLE)
+        assert d.result_type is Quadrant.ILD_VARIABLE
+        assert d.search is SearchPolicy.SEARCH_FUSED
+
+    def test_result_type_dominance(self):
+        """The surviving type is the more optimization-complex one: an
+        ILD&Variable anywhere in the pair dominates."""
+        for first in Quadrant:
+            for second in Quadrant:
+                d = decision_for(first, second)
+                if Quadrant.ILD_VARIABLE in (first, second):
+                    assert d.result_type is Quadrant.ILD_VARIABLE
+
+    def test_search_only_for_ild_variable_pairs(self):
+        """Section 3.2: 'the layout search only happens for the operator
+        pairs involving ILD & Variable'."""
+        for first in Quadrant:
+            for second in Quadrant:
+                if needs_layout_search(first, second):
+                    assert Quadrant.ILD_VARIABLE in (first, second)
+
+    def test_fixed_fixed_has_no_result_type(self):
+        d = decision_for(Quadrant.ILD_FIXED, Quadrant.ILI_FIXED)
+        assert d.result_type is None
+        assert d.search is SearchPolicy.NO_SEARCH

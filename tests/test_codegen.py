@@ -1,0 +1,102 @@
+"""Tests for pseudo-kernel generation (repro.runtime.codegen)."""
+
+import pytest
+
+from repro.core import smartmem_optimize
+from repro.ir import GraphBuilder, Layout
+from repro.runtime.codegen import generate_group, generate_kernel
+
+
+def eliminated_graph():
+    b = GraphBuilder()
+    x = b.input("x", (2, 12, 4))
+    t = b.reshape(x, (2, 3, 4, 4))
+    t = b.transpose(t, (0, 2, 1, 3))
+    out = b.softmax(t, axis=-1)
+    b.output(out)
+    g = b.finish()
+    return smartmem_optimize(g)
+
+
+class TestGenerateKernel:
+    def test_plain_kernel(self):
+        b = GraphBuilder()
+        x = b.input("x", (4, 8))
+        out = b.softmax(x)
+        b.output(out)
+        g = b.finish()
+        node = g.producer(out)
+        kernel = generate_kernel(g, node)
+        assert "__kernel" in kernel.source
+        assert "for (int o0" in kernel.source
+        assert kernel.index_cost_units == 0
+
+    def test_view_absorbed_kernel(self):
+        result = eliminated_graph()
+        node = next(n for n in result.graph.iter_nodes()
+                    if n.op_type == "softmax")
+        kernel = generate_kernel(result.graph, node, result.plan)
+        assert "absorbs eliminated transforms" in kernel.source
+        assert "reshape" in kernel.source
+        assert kernel.index_cost_units > 0
+
+    def test_strength_reduction_visible_in_source(self):
+        result = eliminated_graph()
+        node = next(n for n in result.graph.iter_nodes()
+                    if n.op_type == "softmax")
+        simplified = generate_kernel(result.graph, node, result.plan,
+                                     simplify_index=True)
+        raw = generate_kernel(result.graph, node, result.plan,
+                              simplify_index=False)
+        assert simplified.index_cost_units <= raw.index_cost_units
+        # raw form carries more division/modulo operators
+        assert raw.source.count("%") >= simplified.source.count("%")
+
+    def test_reduction_dim_is_innermost_loop(self):
+        b = GraphBuilder()
+        x = b.input("x", (4, 8))
+        out = b.softmax(x, axis=0)   # reduction over dim 0
+        b.output(out)
+        g = b.finish()
+        kernel = generate_kernel(g, g.producer(out))
+        lines = [l for l in kernel.source.splitlines() if "for (int" in l]
+        assert "o0" in lines[-1]     # dim 0 innermost
+        assert "reduction dim" in lines[-1]
+
+    def test_texture_load_emitted(self):
+        from repro.core.layout_selection import LayoutPlan
+        b = GraphBuilder()
+        x = b.input("x", (4, 8))
+        out = b.softmax(x)
+        b.output(out)
+        g = b.finish()
+        plan = LayoutPlan()
+        plan.layouts["x"] = Layout.texture((0, 1), vector_dim=1)
+        kernel = generate_kernel(g, g.producer(out), plan)
+        assert "read_imageh" in kernel.source
+
+    def test_buffer_strides_in_address(self):
+        b = GraphBuilder()
+        x = b.input("x", (4, 8))
+        out = b.relu(x)
+        b.output(out)
+        g = b.finish()
+        kernel = generate_kernel(g, g.producer(out))
+        assert "x[" in kernel.source
+        assert "* 8" in kernel.source  # row stride of the (4, 8) tensor
+
+
+class TestGenerateGroup:
+    def test_group_in_order(self, attention_graph):
+        result = smartmem_optimize(attention_graph)
+        groups = {n.group for n in result.graph.iter_nodes()}
+        some_group = sorted(groups)[0]
+        kernels = generate_group(result.graph, some_group, result.plan)
+        assert kernels
+        for k in kernels:
+            assert "__kernel" in k.source
+
+    def test_unknown_group(self, attention_graph):
+        result = smartmem_optimize(attention_graph)
+        with pytest.raises(ValueError):
+            generate_group(result.graph, 10 ** 9, result.plan)

@@ -1,0 +1,167 @@
+"""Tests for the analytical cost model and device specs."""
+
+import pytest
+
+from repro.core import (
+    PipelineStages, default_plan, fuse, SMARTMEM_POLICY, smartmem_optimize,
+)
+from repro.ir import GraphBuilder
+from repro.runtime import (
+    CostModelConfig, DIMENSITY700, SD835, SD8GEN2, V100, estimate,
+    peak_activation_bytes, scaled,
+)
+
+
+def singleton_groups(graph):
+    for i, node in enumerate(graph.iter_nodes()):
+        node.group = i
+    return graph
+
+
+class TestDevices:
+    def test_paper_roofline_numbers(self):
+        """The SD 8 Gen 2 parameters come straight from Fig. 12."""
+        assert SD8GEN2.peak_gmacs == 2000.0
+        assert SD8GEN2.global_bw_gbps == 55.0
+        assert SD8GEN2.texture_bw_gbps == 511.0
+
+    def test_memory_sizes(self):
+        gb = 1024 ** 3
+        assert SD8GEN2.memory_bytes == 16 * gb
+        assert SD835.memory_bytes == 6 * gb
+        assert DIMENSITY700.memory_bytes == 4 * gb
+
+    def test_v100_has_no_texture(self):
+        assert not V100.has_texture
+        assert V100.bandwidth_gbps(texture=True) == V100.global_bw_gbps
+
+    def test_scaled(self):
+        dev = scaled(SD8GEN2, peak_gmacs=100.0)
+        assert dev.peak_gmacs == 100.0
+        assert dev.global_bw_gbps == SD8GEN2.global_bw_gbps
+
+
+class TestEstimate:
+    def test_fusion_reduces_latency(self, attention_graph):
+        g1 = singleton_groups(attention_graph.clone())
+        p1 = default_plan(g1)
+        unfused = estimate(g1, SD8GEN2, p1)
+        g2 = attention_graph.clone()
+        fuse(g2, SMARTMEM_POLICY)
+        p2 = default_plan(g2)
+        fused = estimate(g2, SD8GEN2, p2)
+        assert fused.latency_ms < unfused.latency_ms
+        assert fused.num_kernels < unfused.num_kernels
+
+    def test_elimination_reduces_traffic(self, attention_graph):
+        base = singleton_groups(attention_graph.clone())
+        before = estimate(base, SD8GEN2, default_plan(base))
+        result = smartmem_optimize(attention_graph)
+        after = estimate(result.graph, SD8GEN2, result.plan)
+        assert after.mem_access_total < before.mem_access_total
+
+    def test_macs_invariant_under_optimization(self, attention_graph):
+        base = singleton_groups(attention_graph.clone())
+        before = estimate(base, SD8GEN2, default_plan(base))
+        result = smartmem_optimize(attention_graph)
+        after = estimate(result.graph, SD8GEN2, result.plan)
+        assert before.total_macs == after.total_macs
+
+    def test_selected_plan_beats_default(self, attention_graph):
+        result = smartmem_optimize(attention_graph)
+        good = estimate(result.graph, SD8GEN2, result.plan)
+        bad_plan = default_plan(result.graph)
+        bad = estimate(result.graph, SD8GEN2, bad_plan)
+        assert good.latency_ms < bad.latency_ms
+
+    def test_faster_device_is_faster(self, conv_net_graph):
+        g = singleton_groups(conv_net_graph)
+        plan = default_plan(g)
+        fast = estimate(g, SD8GEN2, plan)
+        slow = estimate(g, DIMENSITY700, plan)
+        assert fast.latency_ms < slow.latency_ms
+
+    def test_untuned_slower(self, conv_net_graph):
+        g = singleton_groups(conv_net_graph)
+        plan = default_plan(g)
+        tuned = estimate(g, SD8GEN2, plan, CostModelConfig(tuned=True))
+        untuned = estimate(g, SD8GEN2, plan, CostModelConfig(tuned=False))
+        assert untuned.latency_ms > tuned.latency_ms
+
+    def test_efficiency_override(self, conv_net_graph):
+        g = singleton_groups(conv_net_graph)
+        plan = default_plan(g)
+        base = estimate(g, SD8GEN2, plan)
+        crippled = estimate(g, SD8GEN2, plan, CostModelConfig(
+            efficiency_overrides={"conv2d": 0.001}))
+        assert crippled.latency_ms > base.latency_ms * 5
+
+    def test_breakdown_sums_to_100(self, attention_graph):
+        g = singleton_groups(attention_graph)
+        report = estimate(g, SD8GEN2, default_plan(g))
+        assert sum(report.breakdown().values()) == pytest.approx(100.0)
+
+    def test_transform_kernels_categorized(self, attention_graph):
+        g = singleton_groups(attention_graph.clone())
+        report = estimate(g, SD8GEN2, default_plan(g))
+        categories = {k.category for k in report.kernels}
+        assert "explicit" in categories
+        assert "compute" in categories
+
+    def test_simplify_index_ablation(self, attention_graph):
+        result = smartmem_optimize(attention_graph)
+        fast = estimate(result.graph, SD8GEN2, result.plan,
+                        CostModelConfig(simplify_index=True))
+        slow = estimate(result.graph, SD8GEN2, result.plan,
+                        CostModelConfig(simplify_index=False))
+        assert slow.latency_ms >= fast.latency_ms
+
+    def test_gmacs_consistency(self, conv_net_graph):
+        g = singleton_groups(conv_net_graph)
+        report = estimate(g, SD8GEN2, default_plan(g))
+        expected = report.total_macs / 1e9 / (report.latency_ms / 1e3)
+        assert report.gmacs_per_s == pytest.approx(expected)
+
+
+class TestMoverCosts:
+    def test_standalone_transpose_uses_relayout_bw(self):
+        b = GraphBuilder()
+        x = b.input("x", (512, 512))
+        t = b.transpose(x, (1, 0))
+        b.output(b.relu(t))
+        g = singleton_groups(b.finish())
+        report = estimate(g, SD8GEN2, default_plan(g))
+        transpose_kernel = next(k for k in report.kernels
+                                if k.op_types == ("transpose",))
+        relu_kernel = next(k for k in report.kernels
+                           if k.op_types == ("unary",))
+        # same bytes, but the transform runs at relayout bandwidth
+        assert transpose_kernel.memory_us > relu_kernel.memory_us * 3
+
+    def test_mnn_staging_factor(self):
+        b = GraphBuilder()
+        x = b.input("x", (256, 256))
+        t = b.transpose(x, (1, 0))
+        b.output(b.relu(t))
+        g = singleton_groups(b.finish())
+        plan = default_plan(g)
+        normal = estimate(g, SD8GEN2, plan)
+        staged = estimate(g, SD8GEN2, plan,
+                          CostModelConfig(relayout_bytes_factor=4.0))
+        k_n = next(k for k in normal.kernels if k.op_types == ("transpose",))
+        k_s = next(k for k in staged.kernels if k.op_types == ("transpose",))
+        assert k_s.memory_us == pytest.approx(k_n.memory_us * 4.0)
+
+
+class TestPeakMemory:
+    def test_pooled_below_unpooled(self, attention_graph):
+        pooled = peak_activation_bytes(attention_graph, pooled=True)
+        unpooled = peak_activation_bytes(attention_graph, pooled=False)
+        assert pooled < unpooled
+
+    def test_peak_at_least_largest_tensor(self, attention_graph):
+        peak = peak_activation_bytes(attention_graph, pooled=True)
+        largest = max(
+            attention_graph.tensors[t].size_bytes
+            for node in attention_graph.iter_nodes() for t in node.outputs)
+        assert peak >= largest

@@ -1,0 +1,78 @@
+"""Tests for repro.ir.dtype and repro.ir.tensor."""
+
+import numpy as np
+import pytest
+
+from repro.ir.dtype import DType, parse_dtype
+from repro.ir.tensor import TensorSpec, normalize_shape
+
+
+class TestDType:
+    def test_sizes(self):
+        assert DType.FP16.size_bytes == 2
+        assert DType.FP32.size_bytes == 4
+        assert DType.INT8.size_bytes == 1
+        assert DType.INT32.size_bytes == 4
+        assert DType.INT64.size_bytes == 8
+        assert DType.BOOL.size_bytes == 1
+
+    def test_fp16_executes_as_fp32(self):
+        # reference kernels verify semantics, not rounding
+        assert DType.FP16.numpy_dtype == np.dtype(np.float32)
+
+    def test_parse_from_string(self):
+        assert parse_dtype("fp16") is DType.FP16
+        assert parse_dtype("int32") is DType.INT32
+
+    def test_parse_passthrough(self):
+        assert parse_dtype(DType.FP32) is DType.FP32
+
+    def test_parse_unknown(self):
+        with pytest.raises(ValueError, match="unknown dtype"):
+            parse_dtype("float64x")
+
+
+class TestShape:
+    def test_normalize(self):
+        assert normalize_shape([1, 2, 3]) == (1, 2, 3)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            normalize_shape((1, 0, 3))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            normalize_shape((-1, 3))
+
+
+class TestTensorSpec:
+    def test_basic_facts(self):
+        spec = TensorSpec("t", (2, 3, 4), DType.FP16)
+        assert spec.rank == 3
+        assert spec.num_elements == 24
+        assert spec.size_bytes == 48
+
+    def test_param_flag(self):
+        spec = TensorSpec("w", (4, 4), DType.FP16, is_param=True)
+        assert spec.is_param
+
+    def test_with_shape(self):
+        spec = TensorSpec("t", (2, 3), DType.FP32)
+        new = spec.with_shape((6,))
+        assert new.shape == (6,)
+        assert new.dtype is DType.FP32
+        assert spec.shape == (2, 3)  # original untouched
+
+    def test_with_name(self):
+        assert TensorSpec("a", (1,)).with_name("b").name == "b"
+
+    def test_string_dtype_coerced(self):
+        assert TensorSpec("t", (1,), "fp32").dtype is DType.FP32
+
+    def test_json_roundtrip(self):
+        spec = TensorSpec("t", (5, 7), DType.INT32, is_param=True)
+        assert TensorSpec.from_json(spec.to_json()) == spec
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(ValueError):
+            TensorSpec("t", (0,))

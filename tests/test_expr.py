@@ -1,0 +1,199 @@
+"""Tests for the symbolic index algebra (repro.indexexpr.expr)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.indexexpr.expr import (
+    BinOp, Const, Var, add, classify_dependency, floordiv, mod, mul, simplify,
+)
+
+
+class TestConstFolding:
+    def test_add(self):
+        assert add(Const(2), Const(3)) == Const(5)
+
+    def test_mul(self):
+        assert mul(Const(2), Const(3)) == Const(6)
+
+    def test_div(self):
+        assert floordiv(Const(7), Const(2)) == Const(3)
+
+    def test_mod(self):
+        assert mod(Const(7), Const(4)) == Const(3)
+
+    def test_negative_const_rejected(self):
+        with pytest.raises(ValueError):
+            Const(-1)
+
+    def test_div_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            floordiv(Var("i", 4), Const(0))
+
+    def test_mod_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            mod(Var("i", 4), Const(0))
+
+
+class TestIdentities:
+    def setup_method(self):
+        self.i = Var("i", 100)
+
+    def test_add_zero(self):
+        assert add(self.i, Const(0)) == self.i
+
+    def test_mul_one(self):
+        assert mul(self.i, Const(1)) == self.i
+
+    def test_mul_zero(self):
+        assert mul(self.i, Const(0)) == Const(0)
+
+    def test_div_one(self):
+        assert floordiv(self.i, Const(1)) == self.i
+
+    def test_mod_one(self):
+        assert mod(self.i, Const(1)) == Const(0)
+
+    def test_mod_below_bound(self):
+        # i < 100, so i % 128 == i
+        assert mod(self.i, Const(128)) == self.i
+
+    def test_div_above_bound(self):
+        assert floordiv(self.i, Const(128)) == Const(0)
+
+
+class TestPaperRules:
+    """The strength-reduction rules called out in Section 3.2.1."""
+
+    def test_mod_mod_collapse(self):
+        # i % Ca % Cb -> i % Cb when Ca % Cb == 0
+        i = Var("i", 1000)
+        assert mod(mod(i, Const(12)), Const(4)) == mod(i, Const(4))
+
+    def test_nested_div_merge(self):
+        i = Var("i", 1000)
+        assert floordiv(floordiv(i, Const(4)), Const(8)) == floordiv(i, Const(32))
+
+    def test_merge_then_split_identity(self):
+        # (i*C + j) // C == i and (i*C + j) % C == j for j < C
+        i, j = Var("i", 8), Var("j", 4)
+        linear = add(mul(i, Const(4)), j)
+        assert floordiv(linear, Const(4)) == i
+        assert mod(linear, Const(4)) == j
+
+    def test_mul_div_divisible(self):
+        i = Var("i", 8)
+        assert floordiv(mul(i, Const(32)), Const(8)) == mul(i, Const(4))
+
+    def test_mul_div_inverse_factor(self):
+        i = Var("i", 16)
+        assert floordiv(mul(i, Const(4)), Const(8)) == floordiv(i, Const(2))
+
+    def test_mul_mod_zero(self):
+        i = Var("i", 16)
+        assert mod(mul(i, Const(8)), Const(4)) == Const(0)
+
+    def test_carry_free_split(self):
+        # (i*128 + j) // 1024 with j < 128 -> i // 8
+        i, j = Var("i", 16), Var("j", 128)
+        linear = add(mul(i, Const(128)), j)
+        assert floordiv(linear, Const(1024)) == floordiv(i, Const(8))
+
+
+class TestBounds:
+    def test_var(self):
+        assert Var("i", 10).bounds() == (0, 9)
+
+    def test_add(self):
+        e = add(Var("i", 4), Var("j", 5))
+        assert e.bounds() == (0, 7)
+
+    def test_mul(self):
+        assert mul(Var("i", 4), Const(3)).bounds() == (0, 9)
+
+    def test_mod_tight(self):
+        assert mod(Var("i", 100), Const(7)).bounds() == (0, 6)
+
+    def test_div(self):
+        assert floordiv(Var("i", 100), Const(10)).bounds() == (0, 9)
+
+
+class TestCost:
+    def test_div_mod_expensive(self):
+        i = Var("i", 100)
+        cheap = add(i, Const(1))
+        costly = mod(floordiv(i, Const(7)), Const(3))
+        assert cheap.cost() == 1
+        assert costly.cost() == 8
+
+    def test_leaf_cost_zero(self):
+        assert Var("i", 5).cost() == 0
+        assert Const(3).cost() == 0
+
+
+class TestClassify:
+    def test_identity(self):
+        assert classify_dependency(Var("o0", 4)) == "identity"
+
+    def test_split(self):
+        i = Var("o0", 64)
+        assert classify_dependency(BinOp("%", BinOp("//", i, Const(4)), Const(4))) == "split"
+
+    def test_merge(self):
+        e = BinOp("+", BinOp("*", Var("o0", 4), Const(8)), Var("o1", 8))
+        assert classify_dependency(e) == "merge"
+
+    def test_compound(self):
+        e = BinOp("%", BinOp("+", BinOp("*", Var("o0", 4), Const(8)),
+                             Var("o1", 8)), Const(3))
+        assert classify_dependency(e) == "compound"
+
+
+# -- property-based: every rewrite preserves value ---------------------------
+
+
+@st.composite
+def exprs(draw, depth=3):
+    if depth == 0 or draw(st.booleans()):
+        if draw(st.booleans()):
+            return draw(st.sampled_from(
+                [Var("i", 8), Var("j", 12), Var("k", 64)]))
+        return Const(draw(st.integers(0, 20)))
+    op = draw(st.sampled_from(["+", "*", "//", "%"]))
+    lhs = draw(exprs(depth=depth - 1))
+    if op in ("//", "%"):
+        rhs = Const(draw(st.integers(1, 16)))
+    else:
+        rhs = draw(exprs(depth=depth - 1))
+    return BinOp(op, lhs, rhs)
+
+
+@given(exprs())
+@settings(max_examples=200, deadline=None)
+def test_simplify_preserves_value(e):
+    simplified = simplify(e)
+    # evaluate over a grid of all variable values
+    ii, jj, kk = np.meshgrid(np.arange(8), np.arange(12), np.arange(64),
+                             indexing="ij")
+    env = {"i": ii, "j": jj, "k": kk}
+    grid = ii.shape
+    before = np.broadcast_to(np.asarray(e.evaluate(env)), grid)
+    after = np.broadcast_to(np.asarray(simplified.evaluate(env)), grid)
+    assert np.array_equal(before, after)
+
+
+@given(exprs())
+@settings(max_examples=200, deadline=None)
+def test_simplify_never_increases_cost(e):
+    assert simplify(e).cost() <= e.cost()
+
+
+@given(exprs())
+@settings(max_examples=200, deadline=None)
+def test_bounds_are_sound(e):
+    lo, hi = e.bounds()
+    ii, jj, kk = np.meshgrid(np.arange(8), np.arange(12), np.arange(64),
+                             indexing="ij")
+    values = np.asarray(e.evaluate({"i": ii, "j": jj, "k": kk}))
+    assert values.min() >= lo
+    assert values.max() <= hi

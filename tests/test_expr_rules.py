@@ -1,0 +1,146 @@
+"""Exhaustive per-rule coverage of the strength-reduction algebra.
+
+Each smart-constructor branch in repro.indexexpr.expr gets a direct test
+pinning its exact rewrite, complementing the property tests that only
+check value preservation.
+"""
+
+import pytest
+
+from repro.indexexpr.expr import (
+    BinOp, Const, Var, add, floordiv, mod, mul, simplify,
+)
+
+
+class TestAddBranches:
+    def test_const_normalized_right(self):
+        i = Var("i", 8)
+        e = add(Const(3), i)
+        assert isinstance(e, BinOp) and e.lhs == i and e.rhs == Const(3)
+
+    def test_reassociation(self):
+        i = Var("i", 8)
+        e = add(add(i, Const(2)), Const(5))
+        assert e == add(i, Const(7))
+
+    def test_operator_sugar(self):
+        i = Var("i", 8)
+        assert (i + 0) == i
+        assert (i + 2) == add(i, Const(2))
+
+
+class TestMulBranches:
+    def test_const_collapse(self):
+        i = Var("i", 8)
+        assert mul(mul(i, Const(3)), Const(4)) == mul(i, Const(12))
+
+    def test_distribute_enables_collapse(self):
+        # (i*4 + j) * 8 distributes so that a later //32 can split it
+        i, j = Var("i", 8), Var("j", 4)
+        e = mul(add(mul(i, Const(4)), j), Const(8))
+        collapsed = floordiv(e, Const(32))
+        assert collapsed == i
+
+    def test_sugar(self):
+        i = Var("i", 8)
+        assert (i * 1) == i
+        assert (i * 0) == Const(0)
+
+
+class TestDivBranches:
+    def test_nested_div(self):
+        i = Var("i", 100)
+        assert (i // 2) // 5 == i // 10
+
+    def test_exact_term_extraction(self):
+        i, j = Var("i", 8), Var("j", 4)
+        # (i*12 + j) // 4 -> i*3 + j//4 -> i*3 + 0
+        assert floordiv(add(mul(i, Const(12)), j), Const(4)) == mul(i, Const(3))
+
+    def test_extraction_right_operand(self):
+        i, j = Var("i", 8), Var("j", 4)
+        assert floordiv(add(j, mul(i, Const(12))), Const(4)) == mul(i, Const(3))
+
+    def test_mul_factor_divides(self):
+        i = Var("i", 8)
+        assert floordiv(mul(i, Const(12)), Const(4)) == mul(i, Const(3))
+
+    def test_divisor_divides_factor_inverse(self):
+        i = Var("i", 32)
+        assert floordiv(mul(i, Const(4)), Const(12)) == floordiv(i, Const(3))
+
+    def test_carry_free_requires_bound(self):
+        # (i*3 + j)//3 with j < 4 is NOT carry-free (j can reach 3)
+        i, j = Var("i", 8), Var("j", 4)
+        e = floordiv(add(mul(i, Const(3)), j), Const(3))
+        # exact extraction applies (3 | 3): i + j//3, which is NOT just i
+        assert e == add(i, floordiv(j, Const(3)))
+
+
+class TestModBranches:
+    def test_paper_rule_exact(self):
+        i = Var("i", 10 ** 6)
+        assert mod(mod(i, Const(64)), Const(16)) == mod(i, Const(16))
+
+    def test_paper_rule_requires_divisibility(self):
+        i = Var("i", 10 ** 6)
+        e = mod(mod(i, Const(10)), Const(4))
+        # 4 does not divide 10: must stay nested
+        assert isinstance(e, BinOp) and e.op == "%"
+        assert isinstance(e.lhs, BinOp) and e.lhs.op == "%"
+
+    def test_term_drop(self):
+        i, j = Var("i", 8), Var("j", 4)
+        assert mod(add(mul(i, Const(8)), j), Const(4)) == j
+
+    def test_mul_multiple_vanishes(self):
+        i = Var("i", 8)
+        assert mod(mul(i, Const(12)), Const(4)) == Const(0)
+
+    def test_mul_factor_divides_modulus(self):
+        i = Var("i", 100)
+        # (i*4) % 12 == (i % 3) * 4
+        assert mod(mul(i, Const(4)), Const(12)) == mul(mod(i, Const(3)), Const(4))
+
+    def test_bound_elision(self):
+        j = Var("j", 4)
+        assert mod(j, Const(7)) == j
+
+
+class TestSimplifyFixpoint:
+    def test_deep_chain_collapses(self):
+        i = Var("i", 64)
+        e = BinOp("%", BinOp("%", BinOp("%", i, Const(48)), Const(24)),
+                  Const(8))
+        assert simplify(e) == mod(i, Const(8))
+
+    def test_idempotent(self):
+        i, j = Var("i", 8), Var("j", 4)
+        e = mod(floordiv(add(mul(i, Const(4)), j), Const(2)), Const(8))
+        once = simplify(e)
+        assert simplify(once) == once
+
+    def test_returns_cheapest_seen(self):
+        # distribution alone would raise cost; simplify must not regress
+        i = Var("i", 8)
+        e = BinOp("*", BinOp("+", i, i), Const(2))
+        assert simplify(e).cost() <= e.cost()
+
+
+class TestEvaluation:
+    def test_scalar_env(self):
+        i, j = Var("i", 8), Var("j", 4)
+        e = add(mul(i, Const(4)), j)
+        assert e.evaluate({"i": 3, "j": 2}) == 14
+
+    def test_free_vars(self):
+        i, j = Var("i", 8), Var("j", 4)
+        assert add(mul(i, Const(4)), j).free_vars() == {"i", "j"}
+
+    def test_bad_binop(self):
+        with pytest.raises(ValueError):
+            BinOp("**", Var("i", 4), Const(2))
+
+    def test_coercion_rejects_floats(self):
+        with pytest.raises(TypeError):
+            Var("i", 4) + 1.5

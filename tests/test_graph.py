@@ -1,0 +1,141 @@
+"""Tests for the Graph DAG (repro.ir.graph)."""
+
+import pytest
+
+from repro.ir import Graph, GraphBuilder, GraphError
+
+
+def small_graph() -> Graph:
+    b = GraphBuilder("g")
+    x = b.input("x", (2, 4))
+    y = b.dense(x, 8)
+    z = b.relu(y)
+    b.output(z)
+    return b.finish()
+
+
+class TestConstruction:
+    def test_duplicate_tensor(self):
+        g = Graph()
+        g.add_input("x", (2,))
+        with pytest.raises(GraphError):
+            g.add_input("x", (3,))
+
+    def test_unknown_input_tensor(self):
+        g = Graph()
+        with pytest.raises(GraphError):
+            g.add_node("unary", ["missing"], ["y"], {"func": "relu"})
+
+    def test_double_producer(self):
+        b = GraphBuilder()
+        x = b.input("x", (2,))
+        g = b.graph
+        from repro.ir.tensor import TensorSpec
+        g.add_tensor(TensorSpec("y", (2,)))
+        g.add_node("unary", [x], ["y"], {"func": "relu"})
+        with pytest.raises(GraphError):
+            g.add_node("unary", [x], ["y"], {"func": "relu"})
+
+    def test_arity_check(self):
+        b = GraphBuilder()
+        x = b.input("x", (2,))
+        from repro.ir.tensor import TensorSpec
+        b.graph.add_tensor(TensorSpec("y", (2,)))
+        with pytest.raises(GraphError):
+            b.graph.add_node("binary", [x], ["y"], {"func": "add"})
+
+    def test_mark_unknown_output(self):
+        g = Graph()
+        with pytest.raises(GraphError):
+            g.mark_output("nope")
+
+
+class TestQueries:
+    def test_producer_consumer(self):
+        g = small_graph()
+        dense = next(n for n in g.iter_nodes() if n.op_type == "dense")
+        relu = next(n for n in g.iter_nodes() if n.op_type == "unary")
+        out = dense.outputs[0]
+        assert g.producer(out) is dense
+        assert [(n.id, i) for n, i in g.consumers(out)] == [(relu.id, 0)]
+
+    def test_consumer_cache_tracks_replace(self):
+        g = small_graph()
+        relu = next(n for n in g.iter_nodes() if n.op_type == "unary")
+        g.consumers(relu.inputs[0])  # warm the cache
+        g.replace_input(relu, 0, "x")
+        assert (relu, 0) in [(n, i) for n, i in g.consumers("x")]
+
+    def test_topo_order(self):
+        g = small_graph()
+        order = [n.op_type for n in g.topo_order()]
+        assert order == ["dense", "unary"]
+
+    def test_cycle_detected(self):
+        g = small_graph()
+        # wire the dense's input to the relu's output -> cycle
+        dense = next(n for n in g.iter_nodes() if n.op_type == "dense")
+        relu = next(n for n in g.iter_nodes() if n.op_type == "unary")
+        dense.inputs[0] = relu.outputs[0]
+        with pytest.raises(GraphError, match="cycle"):
+            g.topo_order()
+
+    def test_counts(self):
+        g = small_graph()
+        assert g.num_operators == 2
+        assert g.num_params == 4 * 8 + 8
+        assert g.total_macs() == 2 * 4 * 8
+        assert g.count_op_types() == {"dense": 1, "unary": 1}
+
+    def test_group_counting(self):
+        g = small_graph()
+        for node in g.iter_nodes():
+            node.group = 0
+        assert g.num_operators == 1
+
+
+class TestRewrites:
+    def test_remove_leaf_node(self):
+        b = GraphBuilder()
+        x = b.input("x", (2,))
+        y = b.relu(x)
+        dead = b.relu(x)
+        b.output(y)
+        g = b.graph
+        dead_node = g.producer(dead)
+        g.remove_node(dead_node.id)
+        assert dead not in g.tensors
+        assert len(g.nodes) == 1
+
+    def test_remove_consumed_node_fails(self):
+        g = small_graph()
+        dense = next(n for n in g.iter_nodes() if n.op_type == "dense")
+        with pytest.raises(GraphError):
+            g.remove_node(dense.id)
+
+    def test_remove_output_node_fails(self):
+        g = small_graph()
+        relu = next(n for n in g.iter_nodes() if n.op_type == "unary")
+        with pytest.raises(GraphError):
+            g.remove_node(relu.id)
+
+    def test_replace_input_unknown(self):
+        g = small_graph()
+        relu = next(n for n in g.iter_nodes() if n.op_type == "unary")
+        with pytest.raises(GraphError):
+            g.replace_input(relu, 0, "ghost")
+
+    def test_clone_is_deep_structurally(self):
+        g = small_graph()
+        clone = g.clone()
+        relu = next(n for n in clone.iter_nodes() if n.op_type == "unary")
+        clone.replace_input(relu, 0, "x")
+        original_relu = next(n for n in g.iter_nodes() if n.op_type == "unary")
+        assert original_relu.inputs[0] != "x"
+
+    def test_clone_fresh_ids_do_not_collide(self):
+        g = small_graph()
+        clone = g.clone()
+        new_id = clone.fresh_id("t")
+        assert new_id not in clone.nodes
+        assert new_id not in clone.tensors

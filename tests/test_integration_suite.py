@@ -1,0 +1,110 @@
+"""Full-suite integration: all 18 evaluation models under all frameworks.
+
+Structure-level checks only (no numeric execution at full scale), so the
+whole matrix runs in seconds; the latency shape assertions live in
+benchmarks/.
+"""
+
+import pytest
+
+from repro.baselines import ALL_FRAMEWORKS, make_framework
+from repro.bench.paper_data import TABLE7
+from repro.core.elimination import count_layout_transforms
+from repro.ir import validate
+from repro.models import EVAL_MODELS
+from repro.runtime import SD8GEN2
+
+from repro.bench.harness import cached_model
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    """(model, framework) -> FrameworkResult for the full matrix."""
+    out = {}
+    for name in EVAL_MODELS:
+        graph = cached_model(name)
+        for fw in ALL_FRAMEWORKS:
+            out[(name, fw)] = make_framework(fw).compile(
+                graph, SD8GEN2, check_memory=False)
+    return out
+
+
+def test_support_matrix_matches_table7(compiled):
+    for name in EVAL_MODELS:
+        paper_counts = TABLE7[name][1]
+        for fw in ALL_FRAMEWORKS:
+            expected_supported = paper_counts[fw] is not None
+            actual = compiled[(name, fw)].supported
+            assert actual == expected_supported, (name, fw)
+
+
+def test_all_supported_graphs_validate(compiled):
+    for (name, fw), result in compiled.items():
+        if result.supported:
+            validate(result.graph)
+
+
+def test_ours_eliminates_everything(compiled):
+    """Every layout transform is gone except ones producing graph outputs
+    (those must stay materialized - their value leaves the graph)."""
+    for name in EVAL_MODELS:
+        result = compiled[(name, "Ours")]
+        g = result.graph
+        for node in g.iter_nodes():
+            if node.opdef.is_layout_transform:
+                assert any(t in g.outputs for t in node.outputs), (name, node.id)
+        assert g.count_op_types().get("layout_convert", 0) == 0
+
+
+def test_baselines_keep_transforms(compiled):
+    for name, info in EVAL_MODELS.items():
+        if info.model_type == "ConvNet" and name in ("RegNet", "ResNext"):
+            continue  # plain ConvNets have almost no transforms to keep
+        dnnf = compiled[(name, "DNNF")]
+        assert count_layout_transforms(dnnf.graph) > 0, name
+
+
+def test_operator_count_ordering(compiled):
+    """Ours <= DNNF <= TVM <= MNN wherever all are supported."""
+    for name in EVAL_MODELS:
+        counts = {}
+        for fw in ("MNN", "TVM", "DNNF", "Ours"):
+            result = compiled[(name, fw)]
+            if result.supported:
+                counts[fw] = result.operator_count
+        assert counts["Ours"] <= counts["DNNF"], name
+        assert counts["DNNF"] <= counts["TVM"], name
+        assert counts["TVM"] <= counts["MNN"] * 1.05, name
+
+
+def test_elimination_ratio_band(compiled):
+    """SmartMem's elimination gain over DNNFusion stays in a plausible
+    band: >1.05x on transformer/hybrid models, ~1x on plain ConvNets."""
+    for name, info in EVAL_MODELS.items():
+        ours = compiled[(name, "Ours")].operator_count
+        dnnf = compiled[(name, "DNNF")].operator_count
+        ratio = dnnf / ours
+        if info.model_type in ("Transformer", "Hybrid"):
+            assert 1.05 < ratio < 3.0, (name, ratio)
+        else:
+            assert 0.95 < ratio < 2.5, (name, ratio)
+
+
+def test_mnn_inserts_converts_on_hybrids(compiled):
+    hybrid_hits = 0
+    for name, info in EVAL_MODELS.items():
+        result = compiled[(name, "MNN")]
+        if result.implicit_converts > 0:
+            hybrid_hits += 1
+    # a solid majority of the suite crosses layout domains under MNN
+    assert hybrid_hits >= 10
+
+
+def test_plans_cover_graphs(compiled):
+    for (name, fw), result in compiled.items():
+        if not result.supported:
+            continue
+        g = result.graph
+        for node in g.iter_nodes():
+            for out in node.outputs:
+                assert out in result.plan.layouts, (name, fw, out)

@@ -1,0 +1,166 @@
+"""Cross-cutting optimizer invariants, enforced on fixtures and models.
+
+These are the properties a downstream user relies on without reading the
+implementation: fusion groups form a DAG, plans cover every activation,
+optimization never changes MACs or semantics, and the printer never
+crashes on any graph state.
+"""
+
+from collections import defaultdict
+
+import pytest
+
+from repro.core import (
+    DNNFUSION_POLICY, SMARTMEM_POLICY, fuse, groups_of, smartmem_optimize,
+)
+from repro.ir import validate
+from repro.ir.printer import format_graph, summarize
+from repro.models import build
+
+SMALL = {
+    "Swin": dict(image=56, dim=24, depths=(1, 1), heads=(2, 4)),
+    "Pythia": dict(seq=8, hidden=32, depth=1, heads=2, vocab=64),
+    "Yolo-V8": dict(image=64),
+    "ConvNext": dict(image=32, dim=16, depths=(1, 1)),
+}
+
+
+def quotient_is_acyclic(graph) -> bool:
+    """Kahn's algorithm over the group-contracted graph."""
+    edges = set()
+    for node in graph.iter_nodes():
+        for tensor in node.inputs:
+            producer = graph.producer(tensor)
+            if producer is not None and producer.group != node.group:
+                edges.add((producer.group, node.group))
+    nodes = {n.group for n in graph.iter_nodes()}
+    indeg = defaultdict(int)
+    adj = defaultdict(list)
+    for a, b in edges:
+        adj[a].append(b)
+        indeg[b] += 1
+    queue = [n for n in nodes if indeg[n] == 0]
+    seen = 0
+    while queue:
+        n = queue.pop()
+        seen += 1
+        for m in adj[n]:
+            indeg[m] -= 1
+            if indeg[m] == 0:
+                queue.append(m)
+    return seen == len(nodes)
+
+
+class TestFusionInvariants:
+    @pytest.mark.parametrize("name", sorted(SMALL))
+    def test_quotient_acyclic(self, name):
+        g = build(name, **SMALL[name])
+        fuse(g, DNNFUSION_POLICY)
+        assert quotient_is_acyclic(g)
+
+    @pytest.mark.parametrize("name", sorted(SMALL))
+    def test_quotient_acyclic_after_elimination(self, name):
+        result = smartmem_optimize(build(name, **SMALL[name]))
+        assert quotient_is_acyclic(result.graph)
+
+    @pytest.mark.parametrize("name", sorted(SMALL))
+    def test_one_heavy_per_group(self, name):
+        from repro.core.fusion import HEAVY
+        g = build(name, **SMALL[name])
+        fuse(g, SMARTMEM_POLICY)
+        for members in groups_of(g).values():
+            heavies = [m for m in members if m.opdef.mapping in HEAVY]
+            assert len(heavies) <= 1
+
+    @pytest.mark.parametrize("name", sorted(SMALL))
+    def test_groups_are_connected_regions(self, name):
+        """Every fusion group is weakly connected through its own edges
+        (no kernel made of unrelated islands)."""
+        g = build(name, **SMALL[name])
+        fuse(g, SMARTMEM_POLICY)
+        for group_id, members in groups_of(g).items():
+            if len(members) == 1:
+                continue
+            ids = {m.id for m in members}
+            adj = defaultdict(set)
+            for m in members:
+                for t in m.inputs:
+                    producer = g.producer(t)
+                    if producer is not None and producer.id in ids:
+                        adj[m.id].add(producer.id)
+                        adj[producer.id].add(m.id)
+            # BFS from any member
+            start = next(iter(ids))
+            seen = {start}
+            stack = [start]
+            while stack:
+                cur = stack.pop()
+                for other in adj[cur]:
+                    if other not in seen:
+                        seen.add(other)
+                        stack.append(other)
+            assert seen == ids, f"group {group_id} is disconnected"
+
+
+class TestPlanInvariants:
+    @pytest.mark.parametrize("name", sorted(SMALL))
+    def test_plan_covers_all_activations(self, name):
+        result = smartmem_optimize(build(name, **SMALL[name]))
+        g = result.graph
+        for node in g.iter_nodes():
+            for out in node.outputs:
+                assert out in result.plan.layouts, out
+        for inp in g.inputs:
+            assert inp in result.plan.layouts
+
+    @pytest.mark.parametrize("name", sorted(SMALL))
+    def test_layout_ranks_match(self, name):
+        result = smartmem_optimize(build(name, **SMALL[name]))
+        for tensor, layout in result.plan.layouts.items():
+            assert layout.rank == len(result.graph.shape(tensor))
+
+    @pytest.mark.parametrize("name", sorted(SMALL))
+    def test_macs_preserved(self, name):
+        g = build(name, **SMALL[name])
+        result = smartmem_optimize(g)
+        assert result.graph.total_macs() == g.total_macs()
+
+    @pytest.mark.parametrize("name", sorted(SMALL))
+    def test_params_preserved(self, name):
+        g = build(name, **SMALL[name])
+        result = smartmem_optimize(g)
+        # elimination never touches weights
+        assert result.graph.num_params == g.num_params
+
+    @pytest.mark.parametrize("name", sorted(SMALL))
+    def test_validates_after_every_stage(self, name):
+        from repro.core import PipelineStages
+        g = build(name, **SMALL[name])
+        for stages in (PipelineStages(lte=False), PipelineStages(fusion=False),
+                       PipelineStages(layout_selection=False),
+                       PipelineStages()):
+            validate(smartmem_optimize(g, stages).graph)
+
+
+class TestPrinter:
+    def test_format_plain(self, attention_graph):
+        text = format_graph(attention_graph)
+        assert "graph" in text
+        assert "dense" in text
+        assert "input" in text
+
+    def test_format_optimized(self, attention_graph):
+        result = smartmem_optimize(attention_graph)
+        text = format_graph(result.graph)
+        assert "[view:" in text     # attached views are visible
+        assert " g" in text         # groups are visible
+        assert "@" in text          # layouts are visible
+
+    def test_truncation(self, attention_graph):
+        text = format_graph(attention_graph, max_nodes=3)
+        assert "more nodes" in text
+
+    def test_summarize(self, attention_graph):
+        text = summarize(attention_graph)
+        assert "operators" in text
+        assert "params" in text

@@ -1,0 +1,252 @@
+"""Reference-kernel correctness tests against NumPy oracles."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.kernels import get_kernel
+
+
+def run(op, inputs, attrs=None):
+    return get_kernel(op)(inputs, attrs or {})
+
+
+class TestConv:
+    def test_identity_kernel(self):
+        x = np.random.default_rng(0).standard_normal((1, 3, 5, 5)).astype(np.float32)
+        w = np.zeros((3, 3, 1, 1), dtype=np.float32)
+        for i in range(3):
+            w[i, i, 0, 0] = 1.0
+        out = run("conv2d", [x, w], {"kernel": (1, 1)})
+        assert np.allclose(out, x)
+
+    def test_sum_kernel(self):
+        x = np.ones((1, 2, 4, 4), dtype=np.float32)
+        w = np.ones((1, 2, 3, 3), dtype=np.float32)
+        out = run("conv2d", [x, w], {"kernel": (3, 3)})
+        assert out.shape == (1, 1, 2, 2)
+        assert np.allclose(out, 18.0)
+
+    def test_stride_and_padding(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        w = np.ones((1, 1, 1, 1), dtype=np.float32)
+        out = run("conv2d", [x, w], {"kernel": (1, 1), "stride": 2})
+        assert np.allclose(out[0, 0], x[0, 0, ::2, ::2])
+
+    def test_groups(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((1, 4, 6, 6)).astype(np.float32)
+        w = rng.standard_normal((4, 2, 3, 3)).astype(np.float32)
+        out = run("conv2d", [x, w], {"kernel": (3, 3), "groups": 2, "padding": 1})
+        # group 0 must not see channels 2,3: compare against explicit split
+        w0, w1 = w[:2], w[2:]
+        o0 = run("conv2d", [x[:, :2], w0], {"kernel": (3, 3), "padding": 1})
+        o1 = run("conv2d", [x[:, 2:], w1], {"kernel": (3, 3), "padding": 1})
+        assert np.allclose(out, np.concatenate([o0, o1], axis=1), atol=1e-5)
+
+    def test_bias(self):
+        x = np.zeros((1, 1, 2, 2), dtype=np.float32)
+        w = np.zeros((3, 1, 1, 1), dtype=np.float32)
+        b = np.array([1.0, 2.0, 3.0], dtype=np.float32)
+        out = run("conv2d", [x, w, b], {"kernel": (1, 1)})
+        assert np.allclose(out[0, :, 0, 0], b)
+
+    def test_dilation(self):
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((1, 1, 7, 7)).astype(np.float32)
+        w = rng.standard_normal((1, 1, 3, 3)).astype(np.float32)
+        out = run("conv2d", [x, w], {"kernel": (3, 3), "dilation": 2})
+        # hand-computed single output position
+        expected = sum(x[0, 0, dh * 2, dw * 2] * w[0, 0, dh, dw]
+                       for dh in range(3) for dw in range(3))
+        assert np.allclose(out[0, 0, 0, 0], expected, atol=1e-5)
+
+
+class TestMatmulDense:
+    def test_matmul(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.standard_normal((3, 4)), rng.standard_normal((4, 5))
+        assert np.allclose(run("matmul", [a, b]), a @ b)
+
+    def test_matmul_transposes(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.standard_normal((4, 3)), rng.standard_normal((5, 4))
+        out = run("matmul", [a, b], {"transpose_a": True, "transpose_b": True})
+        assert np.allclose(out, a.T @ b.T)
+
+    def test_batched(self):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((2, 3, 4, 5))
+        b = rng.standard_normal((2, 3, 5, 6))
+        assert np.allclose(run("matmul", [a, b]), a @ b)
+
+    def test_dense(self):
+        rng = np.random.default_rng(0)
+        x, w, bias = (rng.standard_normal(s) for s in ((2, 4), (6, 4), (6,)))
+        assert np.allclose(run("dense", [x, w, bias]), x @ w.T + bias)
+
+
+class TestElementwise:
+    @pytest.mark.parametrize("func,ref", [
+        ("relu", lambda x: np.maximum(x, 0)),
+        ("sigmoid", lambda x: 1 / (1 + np.exp(-x))),
+        ("tanh", np.tanh),
+        ("exp", np.exp),
+        ("neg", np.negative),
+        ("abs", np.abs),
+        ("silu", lambda x: x / (1 + np.exp(-x))),
+        ("relu6", lambda x: np.clip(x, 0, 6)),
+        ("hardswish", lambda x: x * np.clip(x + 3, 0, 6) / 6),
+    ])
+    def test_unary(self, func, ref):
+        x = np.linspace(-4, 8, 37, dtype=np.float32)
+        assert np.allclose(run("unary", [x], {"func": func}), ref(x), atol=1e-5)
+
+    def test_gelu_close_to_erf_form(self):
+        import math
+        x = np.linspace(-3, 3, 21, dtype=np.float32)
+        exact = 0.5 * x * (1 + np.vectorize(math.erf)(x / np.sqrt(2)))
+        assert np.allclose(run("unary", [x], {"func": "gelu"}), exact, atol=2e-3)
+
+    @pytest.mark.parametrize("func,ref", [
+        ("add", np.add), ("sub", np.subtract), ("mul", np.multiply),
+        ("maximum", np.maximum), ("minimum", np.minimum),
+    ])
+    def test_binary(self, func, ref):
+        rng = np.random.default_rng(0)
+        a, b = rng.standard_normal((3, 4)), rng.standard_normal((1, 4))
+        assert np.allclose(run("binary", [a, b], {"func": func}), ref(a, b))
+
+
+class TestNorms:
+    def test_softmax_rows_sum_to_one(self):
+        x = np.random.default_rng(0).standard_normal((4, 7)).astype(np.float32)
+        out = run("softmax", [x], {"axis": -1})
+        assert np.allclose(out.sum(axis=-1), 1.0, atol=1e-5)
+        assert np.all(out >= 0)
+
+    def test_softmax_axis(self):
+        x = np.random.default_rng(0).standard_normal((4, 7)).astype(np.float32)
+        out = run("softmax", [x], {"axis": 0})
+        assert np.allclose(out.sum(axis=0), 1.0, atol=1e-5)
+
+    def test_layernorm_stats(self):
+        x = np.random.default_rng(0).standard_normal((3, 8)).astype(np.float32)
+        out = run("layernorm", [x], {"axes": -1, "eps": 0.0})
+        assert np.allclose(out.mean(axis=-1), 0, atol=1e-5)
+        assert np.allclose(out.std(axis=-1), 1, atol=1e-3)
+
+    def test_layernorm_affine(self):
+        x = np.random.default_rng(0).standard_normal((3, 8)).astype(np.float32)
+        g = np.full(8, 2.0, dtype=np.float32)
+        bias = np.full(8, 1.0, dtype=np.float32)
+        base = run("layernorm", [x], {"axes": -1})
+        out = run("layernorm", [x, g, bias], {"axes": -1})
+        assert np.allclose(out, base * 2 + 1, atol=1e-5)
+
+    def test_rmsnorm(self):
+        x = np.random.default_rng(0).standard_normal((3, 8)).astype(np.float32)
+        gamma = np.ones(8, dtype=np.float32)
+        out = run("rmsnorm", [x, gamma], {"axes": -1, "eps": 0.0})
+        expected = x / np.sqrt((x ** 2).mean(-1, keepdims=True))
+        assert np.allclose(out, expected, atol=1e-4)
+
+    def test_instancenorm(self):
+        x = np.random.default_rng(0).standard_normal((2, 3, 4, 4)).astype(np.float32)
+        out = run("instancenorm", [x], {"eps": 0.0})
+        assert np.allclose(out.mean(axis=(2, 3)), 0, atol=1e-5)
+
+    def test_groupnorm_groups(self):
+        x = np.random.default_rng(0).standard_normal((1, 4, 4, 4)).astype(np.float32)
+        out = run("groupnorm", [x], {"groups": 2, "eps": 0.0})
+        grouped = out.reshape(1, 2, 2, 4, 4)
+        assert np.allclose(grouped.mean(axis=(2, 3, 4)), 0, atol=1e-5)
+
+    def test_batchnorm_folded(self):
+        x = np.random.default_rng(0).standard_normal((1, 3, 2, 2)).astype(np.float32)
+        g = np.array([1.0, 2.0, 3.0], dtype=np.float32)
+        bias = np.array([0.0, 1.0, -1.0], dtype=np.float32)
+        out = run("batchnorm", [x, g, bias])
+        assert np.allclose(out, x * g.reshape(1, 3, 1, 1) + bias.reshape(1, 3, 1, 1))
+
+
+class TestMovement:
+    def test_reshape_transpose(self):
+        x = np.arange(24).reshape(2, 3, 4)
+        assert np.array_equal(run("reshape", [x], {"shape": (6, 4)}), x.reshape(6, 4))
+        assert np.array_equal(run("transpose", [x], {"perm": (2, 0, 1)}),
+                              x.transpose(2, 0, 1))
+
+    def test_layout_convert_is_identity(self):
+        x = np.arange(6).reshape(2, 3)
+        out = run("layout_convert", [x])
+        assert np.array_equal(out, x)
+        assert out is not x  # physically copies
+
+    def test_slice(self):
+        x = np.arange(24).reshape(4, 6)
+        out = run("slice", [x], {"starts": (1, 0), "stops": (3, 6), "steps": (1, 2)})
+        assert np.array_equal(out, x[1:3, ::2])
+
+    def test_gather(self):
+        x = np.arange(20).reshape(5, 4)
+        out = run("gather", [x], {"axis": 0, "indices": (3, 1)})
+        assert np.array_equal(out, x[[3, 1]])
+
+    def test_concat_pad(self):
+        a, b = np.ones((2, 2)), np.zeros((2, 3))
+        assert run("concat", [a, b], {"axis": 1}).shape == (2, 5)
+        out = run("pad", [a], {"pads": ((1, 0), (0, 1))})
+        assert out.shape == (3, 3)
+        assert out[0].sum() == 0
+
+    def test_d2s_s2d_roundtrip(self):
+        x = np.arange(32, dtype=np.float32).reshape(1, 8, 2, 2)
+        d = run("depth_to_space", [x], {"block": 2})
+        assert d.shape == (1, 2, 4, 4)
+        back = run("space_to_depth", [d], {"block": 2})
+        assert np.array_equal(back, x)
+
+
+class TestPoolingEtc:
+    def test_maxpool(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = run("maxpool2d", [x], {"kernel": 2, "stride": 2})
+        assert np.array_equal(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_avgpool(self):
+        x = np.ones((1, 1, 4, 4), dtype=np.float32)
+        out = run("avgpool2d", [x], {"kernel": 2, "stride": 2})
+        assert np.allclose(out, 1.0)
+
+    def test_maxpool_padding_uses_neg_inf(self):
+        x = -np.ones((1, 1, 2, 2), dtype=np.float32)
+        out = run("maxpool2d", [x], {"kernel": 3, "stride": 1, "padding": 1})
+        assert out.max() == -1.0  # padding never wins
+
+    def test_global_avgpool(self):
+        x = np.arange(8, dtype=np.float32).reshape(1, 2, 2, 2)
+        out = run("global_avgpool", [x])
+        assert np.allclose(out[0, :, 0, 0], [1.5, 5.5])
+
+    def test_upsample_nearest(self):
+        x = np.array([[[[1, 2], [3, 4]]]], dtype=np.float32)
+        out = run("upsample2d", [x], {"scale": 2})
+        assert np.array_equal(out[0, 0, :2, :2], [[1, 1], [1, 1]])
+
+    def test_reduce(self):
+        x = np.arange(12, dtype=np.float32).reshape(3, 4)
+        assert np.allclose(run("reduce_mean", [x], {"axes": (1,)}), x.mean(1))
+        assert np.allclose(run("reduce_sum", [x], {"axes": (0,), "keepdims": True}),
+                           x.sum(0, keepdims=True))
+        assert np.allclose(run("reduce_max", [x], {}), [x.max()])
+
+    def test_embedding(self):
+        table = np.arange(12, dtype=np.float32).reshape(4, 3)
+        ids = np.array([[0, 2], [3, 3]], dtype=np.int32)
+        out = run("embedding", [table, ids])
+        assert out.shape == (2, 2, 3)
+        assert np.array_equal(out[0, 1], table[2])
+
+    def test_unknown_kernel(self):
+        with pytest.raises(KeyError):
+            get_kernel("teleport")

@@ -1,0 +1,132 @@
+"""Tests for reduction-dimension layout selection (Sec 3.2.2)."""
+
+import pytest
+
+from repro.core import (
+    consumer_preferences, default_plan, eliminate_layout_transforms,
+    select_layouts,
+)
+from repro.ir import GraphBuilder, Layout, MemoryKind
+
+
+class TestConsumerPreferences:
+    def test_matmul_prefs(self):
+        b = GraphBuilder()
+        a = b.input("a", (4, 8))
+        c = b.input("c", (8, 16))
+        out = b.matmul(a, c)
+        g = b.finish()
+        node = g.producer(out)
+        assert consumer_preferences(g, node, 0) == [1]  # K of A
+        assert consumer_preferences(g, node, 1) == [0]  # K of B
+
+    def test_elementwise_no_prefs(self):
+        b = GraphBuilder()
+        x = b.input("x", (4, 8))
+        out = b.relu(x)
+        g = b.finish()
+        assert consumer_preferences(g, g.producer(out), 0) == []
+
+    def test_prefs_translate_through_view(self):
+        """After eliminating a transpose, a consumer's reduction dim maps
+        back to the *stored* tensor's dims through the view."""
+        b = GraphBuilder()
+        x = b.input("x", (8, 4))
+        t = b.transpose(x, (1, 0))        # (4, 8)
+        out = b.softmax(t, axis=-1)       # reduces over the 8-dim
+        g = b.finish()
+        eliminate_layout_transforms(g)
+        node = g.producer(out)
+        assert node.inputs[0] == "x"
+        # softmax reduces view-dim 1, which is stored dim 0 of x
+        assert consumer_preferences(g, node, 0) == [0]
+
+
+class TestSelectLayouts:
+    def test_reduction_dim_unit_stride(self):
+        b = GraphBuilder()
+        x = b.input("x", (16, 32))
+        w = b.input("w", (32, 8))
+        out = b.matmul(x, w)
+        g = b.finish()
+        plan = select_layouts(g, use_texture=False)
+        # x's consumer (matmul) reduces dim 1 -> stored innermost
+        assert plan.layouts["x"].innermost_dim == 1
+        # w's reduction dim is 0
+        assert plan.layouts["w"].innermost_dim == 0
+
+    def test_texture_covers_two_dims(self, multi_consumer_graph):
+        g = multi_consumer_graph
+        plan = select_layouts(g, use_texture=True)
+        y = g.producer(g.outputs[0]).inputs[0]
+        layout = plan.layouts[y]
+        assert layout.memory is MemoryKind.TEXTURE_2D5
+        fast = set(layout.fast_dims())
+        # the two most-demanded reduction dims are directly accessible
+        assert {1, 2} & fast == fast or len(fast) == 2
+
+    def test_buffer_mode_single_dim(self, multi_consumer_graph):
+        g = multi_consumer_graph
+        plan = select_layouts(g, use_texture=False)
+        y = g.producer(g.outputs[0]).inputs[0]
+        # with k=1, serving both dims 1 and 2 demands a redundant copy
+        assert plan.num_copies >= 1
+
+    def test_copy_assignment(self, multi_consumer_graph):
+        g = multi_consumer_graph
+        plan = select_layouts(g, use_texture=False)
+        y = g.producer(g.outputs[0]).inputs[0]
+        for (cid, idx), copy_idx in plan.edge_assignment.items():
+            layout = plan.copies[y][copy_idx]
+            node = g.nodes[cid]
+            prefs = consumer_preferences(g, node, idx)
+            assert layout.is_unit_stride(prefs[0])
+
+    def test_quality_flag(self):
+        b = GraphBuilder()
+        x = b.input("x", (4, 4))
+        b.output(b.relu(x))
+        g = b.finish()
+        assert select_layouts(g).quality == "selected"
+        assert default_plan(g).quality == "default"
+
+    def test_texture_rank_min(self, multi_consumer_graph):
+        g = multi_consumer_graph
+        plan = select_layouts(g, use_texture=True, texture_rank_min=4)
+        # all tensors are rank <= 3: nothing becomes a texture
+        assert all(l.memory is MemoryKind.BUFFER_1D
+                   for l in plan.layouts.values())
+
+    def test_annotates_graph(self, attention_graph):
+        plan = select_layouts(attention_graph)
+        assert attention_graph.tensor_layouts == plan.layouts
+
+    def test_layout_for_edge_default(self):
+        b = GraphBuilder()
+        x = b.input("x", (4, 4))
+        out = b.relu(x)
+        b.output(out)
+        g = b.finish()
+        plan = select_layouts(g)
+        assert plan.layout_for_edge("x", "nonexistent", 0) == plan.layouts["x"]
+
+
+class TestDefaultPlan:
+    def test_4d_gets_channel_texture(self, conv_net_graph):
+        plan = default_plan(conv_net_graph, use_texture=True)
+        conv_out = next(n for n in conv_net_graph.iter_nodes()
+                        if n.op_type == "conv2d").outputs[0]
+        layout = plan.layouts[conv_out]
+        assert layout.memory is MemoryKind.TEXTURE_2D5
+        assert layout.vector_dim == 1  # NC4HW4-style channel packing
+
+    def test_non4d_row_major(self, attention_graph):
+        plan = default_plan(attention_graph, use_texture=True)
+        for name, layout in plan.layouts.items():
+            if len(attention_graph.shape(name)) != 4:
+                assert layout == Layout.row_major(len(attention_graph.shape(name)))
+
+    def test_no_texture_device(self, conv_net_graph):
+        plan = default_plan(conv_net_graph, use_texture=False)
+        assert all(l.memory is MemoryKind.BUFFER_1D
+                   for l in plan.layouts.values())

@@ -1,0 +1,191 @@
+"""Tests for the memory substrate: cache simulator, addressing, pool."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import default_plan, fuse, SMARTMEM_POLICY, select_layouts
+from repro.ir import Layout
+from repro.memory import (
+    MemoryPool, SetAssociativeCache, TensorStorage, simulate_pool, traversal,
+)
+
+
+class TestCache:
+    def test_cold_miss(self):
+        cache = SetAssociativeCache(1024, 64)
+        assert cache.access(0) is False
+        assert cache.access(0) is True
+
+    def test_line_granularity(self):
+        cache = SetAssociativeCache(1024, 64)
+        cache.access(0)
+        assert cache.access(63) is True   # same line
+        assert cache.access(64) is False  # next line
+
+    def test_lru_eviction(self):
+        cache = SetAssociativeCache(size_bytes=2 * 64 * 1, line_bytes=64,
+                                    associativity=2)  # 1 set, 2 ways
+        cache.access(0)
+        cache.access(64)
+        cache.access(128)          # evicts line 0 (LRU)
+        assert cache.access(64) is True
+        assert cache.access(0) is False
+
+    def test_lru_refresh(self):
+        cache = SetAssociativeCache(2 * 64, 64, associativity=2)
+        cache.access(0)
+        cache.access(64)
+        cache.access(0)            # refresh line 0
+        cache.access(128)          # evicts 64 now
+        assert cache.access(0) is True
+        assert cache.access(64) is False
+
+    def test_sets_isolate(self):
+        cache = SetAssociativeCache(4 * 64, 64, associativity=1)  # 4 sets
+        cache.access(0)
+        cache.access(64)           # different set
+        assert cache.access(0) is True
+
+    def test_stats(self):
+        cache = SetAssociativeCache(1024, 64)
+        cache.access_all([0, 0, 64, 64, 0])
+        assert cache.stats.accesses == 5
+        assert cache.stats.misses == 2
+        assert cache.stats.hits == 3
+        assert cache.stats.miss_rate == pytest.approx(0.4)
+
+    def test_reset(self):
+        cache = SetAssociativeCache(1024, 64)
+        cache.access(0)
+        cache.reset()
+        assert cache.stats.accesses == 0
+        assert cache.access(0) is False
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(100, 64)
+
+    def test_sequential_beats_strided(self):
+        """The reason layout selection works, in one assertion."""
+        n = 4096
+        seq = SetAssociativeCache(1024, 64)
+        seq.access_all(range(0, n * 2, 2))            # unit-stride fp16
+        strided = SetAssociativeCache(1024, 64)
+        strided.access_all((i * 128) % (n * 2) for i in range(n))
+        assert seq.stats.misses < strided.stats.misses
+
+
+class TestAddressing:
+    def test_buffer_row_major(self):
+        s = TensorStorage((2, 3), Layout.row_major(2), 2)
+        assert s.address_of((0, 0)) == 0
+        assert s.address_of((0, 1)) == 2
+        assert s.address_of((1, 0)) == 6
+
+    def test_buffer_column_major(self):
+        s = TensorStorage((2, 3), Layout.buffer((1, 0)), 2)
+        assert s.address_of((1, 0)) == 2
+
+    def test_base_address(self):
+        s = TensorStorage((2, 2), Layout.row_major(2), 4, base_address=100)
+        assert s.address_of((0, 0)) == 100
+
+    def test_out_of_bounds(self):
+        s = TensorStorage((2, 2), Layout.row_major(2), 2)
+        with pytest.raises(ValueError):
+            s.address_of((2, 0))
+
+    def test_texture_vector_packing(self):
+        layout = Layout.texture((0, 1), vector_dim=1)
+        s = TensorStorage((2, 8), layout, 2)
+        # elements 0..3 of a row share one texel
+        base = s.address_of((0, 0))
+        assert s.address_of((0, 1)) == base + 2
+        assert s.address_of((0, 3)) == base + 6
+        # element 4 starts the next texel
+        assert s.address_of((0, 4)) == base + 8
+
+    def test_texture_addresses_unique(self):
+        layout = Layout.texture((0, 1, 2), vector_dim=2)
+        s = TensorStorage((2, 3, 5), layout, 2)
+        seen = set()
+        for coords in traversal((2, 3, 5), (0, 1, 2)):
+            addr = s.address_of(coords)
+            assert addr not in seen
+            seen.add(addr)
+
+    def test_texture_size_includes_padding(self):
+        layout = Layout.texture((0, 1), vector_dim=1)
+        s = TensorStorage((2, 6), layout, 2)
+        # 6 -> 2 texels per row -> 2*2*4 elements * 2 bytes
+        assert s.size_bytes() == 32
+
+    def test_traversal_orders(self):
+        coords = list(traversal((2, 2), (1, 0)))
+        assert coords == [(0, 0), (1, 0), (0, 1), (1, 1)]
+
+    def test_traversal_invalid(self):
+        with pytest.raises(ValueError):
+            list(traversal((2, 2), (0, 0)))
+
+    @given(st.permutations(range(3)))
+    @settings(max_examples=10, deadline=None)
+    def test_buffer_bijection(self, perm):
+        layout = Layout.buffer(tuple(perm))
+        s = TensorStorage((3, 4, 5), layout, 2)
+        addrs = {s.address_of(c) for c in traversal((3, 4, 5), (0, 1, 2))}
+        assert len(addrs) == 60
+
+
+class TestPool:
+    def test_reuse(self):
+        pool = MemoryPool()
+        pool.allocate(100)
+        pool.release(100)
+        pool.allocate(80)
+        assert pool.reuses == 1
+        assert pool.allocations == 1
+
+    def test_peak(self):
+        pool = MemoryPool()
+        pool.allocate(100)
+        pool.allocate(50)
+        pool.release(100)
+        pool.allocate(30)
+        assert pool.peak_bytes == 150
+
+    def test_best_fit_splits(self):
+        pool = MemoryPool()
+        pool.allocate(100)
+        pool.release(100)
+        pool.allocate(40)
+        pool.allocate(60)
+        assert pool.allocations == 1  # both served from the freed block
+
+    def test_simulate_pool_basic(self, linear_graph):
+        for i, node in enumerate(linear_graph.iter_nodes()):
+            node.group = i
+        report = simulate_pool(linear_graph)
+        assert report.peak_bytes > 0
+        assert report.reuses > 0
+
+    def test_pool_ignores_fused_internals(self, attention_graph):
+        g1 = attention_graph.clone()
+        for i, node in enumerate(g1.iter_nodes()):
+            node.group = i
+        unfused = simulate_pool(g1)
+        g2 = attention_graph.clone()
+        fuse(g2, SMARTMEM_POLICY)
+        fused = simulate_pool(g2)
+        assert fused.total_allocated_bytes < unfused.total_allocated_bytes
+
+    def test_copies_tracked(self, multi_consumer_graph):
+        g = multi_consumer_graph
+        for i, node in enumerate(g.iter_nodes()):
+            node.group = i
+        plan = select_layouts(g, use_texture=False)
+        assert plan.num_copies >= 1
+        report = simulate_pool(g, plan)
+        assert report.peak_copy_bytes > 0

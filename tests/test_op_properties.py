@@ -1,0 +1,170 @@
+"""Property-based agreement between shape inference and kernels.
+
+For every operator: generate random legal (shapes, attrs), run the NumPy
+kernel on random data, and require the result shape to equal what
+``infer_shapes`` promised.  This pins the two op definitions (static and
+dynamic) together across the whole registry.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir.ops import BINARY_FUNCS, UNARY_FUNCS, get_op
+from repro.runtime.kernels import get_kernel
+
+
+def check(op_type, input_arrays, attrs):
+    shapes = [tuple(a.shape) for a in input_arrays]
+    inferred = get_op(op_type).infer_shapes(shapes, attrs)
+    result = get_kernel(op_type)(input_arrays, attrs)
+    outputs = result if isinstance(result, tuple) else (result,)
+    assert len(outputs) == len(inferred)
+    for out, shape in zip(outputs, inferred):
+        assert tuple(out.shape) == shape, (op_type, attrs)
+
+
+small = st.integers(1, 5)
+
+
+@given(n=small, c=st.sampled_from([2, 4, 6]), hw=st.integers(4, 9),
+       oc=st.sampled_from([3, 4, 8]), k=st.sampled_from([1, 3]),
+       stride=st.integers(1, 2), pad=st.integers(0, 1))
+@settings(max_examples=40, deadline=None)
+def test_conv2d(n, c, hw, oc, k, stride, pad):
+    if hw + 2 * pad < k:
+        return
+    x = np.random.rand(n, c, hw, hw).astype(np.float32)
+    w = np.random.rand(oc, c, k, k).astype(np.float32)
+    check("conv2d", [x, w], {"kernel": (k, k), "stride": stride,
+                             "padding": pad})
+
+
+@given(m=small, k=small, n=small, batch=st.integers(0, 2),
+       ta=st.booleans(), tb=st.booleans())
+@settings(max_examples=40, deadline=None)
+def test_matmul(m, k, n, batch, ta, tb):
+    a_shape = (k, m) if ta else (m, k)
+    b_shape = (n, k) if tb else (k, n)
+    prefix = tuple([2] * batch)
+    a = np.random.rand(*(prefix + a_shape)).astype(np.float32)
+    b = np.random.rand(*(prefix + b_shape)).astype(np.float32)
+    check("matmul", [a, b], {"transpose_a": ta, "transpose_b": tb})
+
+
+@given(rank=st.integers(1, 4), func=st.sampled_from(sorted(UNARY_FUNCS)))
+@settings(max_examples=40, deadline=None)
+def test_unary(rank, func):
+    shape = tuple(np.random.randint(1, 5, rank))
+    check("unary", [np.random.rand(*shape).astype(np.float32)],
+          {"func": func})
+
+
+@given(func=st.sampled_from(sorted(set(BINARY_FUNCS) - {"pow", "div"})),
+       rank=st.integers(1, 3))
+@settings(max_examples=40, deadline=None)
+def test_binary_broadcast(func, rank):
+    shape = tuple(np.random.randint(1, 5, rank))
+    # b broadcasts with some dims set to 1
+    b_shape = tuple(1 if np.random.rand() < 0.5 else d for d in shape)
+    a = np.random.rand(*shape).astype(np.float32)
+    b = np.random.rand(*b_shape).astype(np.float32)
+    check("binary", [a, b], {"func": func})
+
+
+@given(rank=st.integers(2, 4), axis_offset=st.integers(0, 3))
+@settings(max_examples=30, deadline=None)
+def test_softmax(rank, axis_offset):
+    shape = tuple(np.random.randint(1, 6, rank))
+    axis = axis_offset % rank
+    check("softmax", [np.random.rand(*shape).astype(np.float32)],
+          {"axis": axis})
+
+
+@given(rank=st.integers(2, 4))
+@settings(max_examples=30, deadline=None)
+def test_layernorm(rank):
+    shape = tuple(np.random.randint(2, 6, rank))
+    x = np.random.rand(*shape).astype(np.float32)
+    g = np.random.rand(shape[-1]).astype(np.float32)
+    b = np.random.rand(shape[-1]).astype(np.float32)
+    check("layernorm", [x, g, b], {"axes": -1})
+
+
+@given(rank=st.integers(1, 4), keepdims=st.booleans(),
+       kind=st.sampled_from(["reduce_mean", "reduce_sum", "reduce_max"]))
+@settings(max_examples=40, deadline=None)
+def test_reduce(rank, keepdims, kind):
+    shape = tuple(np.random.randint(1, 5, rank))
+    n_axes = np.random.randint(1, rank + 1)
+    axes = tuple(sorted(np.random.choice(rank, n_axes, replace=False).tolist()))
+    check(kind, [np.random.rand(*shape).astype(np.float32)],
+          {"axes": axes, "keepdims": keepdims})
+
+
+@given(rank=st.integers(1, 4))
+@settings(max_examples=40, deadline=None)
+def test_transpose(rank):
+    shape = tuple(np.random.randint(1, 5, rank))
+    perm = tuple(np.random.permutation(rank).tolist())
+    check("transpose", [np.random.rand(*shape).astype(np.float32)],
+          {"perm": perm})
+
+
+@given(rank=st.integers(1, 3))
+@settings(max_examples=40, deadline=None)
+def test_slice(rank):
+    shape = tuple(np.random.randint(2, 7, rank))
+    starts, stops, steps = [], [], []
+    for d in shape:
+        start = np.random.randint(0, d)
+        stop = np.random.randint(start + 1, d + 1)
+        starts.append(start)
+        stops.append(stop)
+        steps.append(int(np.random.randint(1, 3)))
+    check("slice", [np.random.rand(*shape).astype(np.float32)],
+          {"starts": tuple(starts), "stops": tuple(stops),
+           "steps": tuple(steps)})
+
+
+@given(n_inputs=st.integers(1, 4), rank=st.integers(1, 3))
+@settings(max_examples=30, deadline=None)
+def test_concat(n_inputs, rank):
+    base = tuple(np.random.randint(1, 5, rank))
+    axis = int(np.random.randint(0, rank))
+    arrays = []
+    for _ in range(n_inputs):
+        shape = list(base)
+        shape[axis] = int(np.random.randint(1, 5))
+        arrays.append(np.random.rand(*shape).astype(np.float32))
+    check("concat", arrays, {"axis": axis})
+
+
+@given(c_mult=st.integers(1, 3), hw=st.integers(2, 5), block=st.sampled_from([2]))
+@settings(max_examples=20, deadline=None)
+def test_depth_space_roundtrip_shapes(c_mult, hw, block):
+    c = c_mult * block * block
+    x = np.random.rand(1, c, hw, hw).astype(np.float32)
+    check("depth_to_space", [x], {"block": block})
+    y = np.random.rand(1, c_mult, hw * block, hw * block).astype(np.float32)
+    check("space_to_depth", [y], {"block": block})
+
+
+@given(kernel=st.integers(1, 3), stride=st.integers(1, 2),
+       kind=st.sampled_from(["maxpool2d", "avgpool2d"]))
+@settings(max_examples=30, deadline=None)
+def test_pool(kernel, stride, kind):
+    hw = int(np.random.randint(kernel, kernel + 6))
+    x = np.random.rand(1, 3, hw, hw).astype(np.float32)
+    check(kind, [x], {"kernel": kernel, "stride": stride})
+
+
+@given(sections=st.integers(1, 4), per=st.integers(1, 3),
+       rank=st.integers(1, 3))
+@settings(max_examples=30, deadline=None)
+def test_split(sections, per, rank):
+    shape = list(np.random.randint(1, 4, rank))
+    axis = int(np.random.randint(0, rank))
+    shape[axis] = sections * per
+    x = np.random.rand(*shape).astype(np.float32)
+    check("split", [x], {"axis": axis, "sections": sections})

@@ -1,0 +1,221 @@
+"""Shape inference tests for every registered operator."""
+
+import pytest
+
+from repro.ir.ops import Quadrant, all_op_types, get_op
+
+
+def infer(op_type, ins, attrs=None):
+    return get_op(op_type).infer_shapes(ins, attrs or {})
+
+
+class TestConv:
+    def test_basic(self):
+        assert infer("conv2d", [(1, 3, 32, 32), (16, 3, 3, 3)],
+                     {"kernel": (3, 3), "padding": 1}) == [(1, 16, 32, 32)]
+
+    def test_stride(self):
+        assert infer("conv2d", [(1, 3, 32, 32), (8, 3, 3, 3)],
+                     {"stride": 2, "padding": 1}) == [(1, 8, 16, 16)]
+
+    def test_groups(self):
+        assert infer("conv2d", [(1, 8, 8, 8), (8, 1, 3, 3)],
+                     {"groups": 8, "padding": 1}) == [(1, 8, 8, 8)]
+
+    def test_channel_mismatch(self):
+        with pytest.raises(ValueError, match="channel mismatch"):
+            infer("conv2d", [(1, 4, 8, 8), (8, 3, 3, 3)], {"padding": 1})
+
+    def test_collapsed_output(self):
+        with pytest.raises(ValueError, match="collapsed"):
+            infer("conv2d", [(1, 3, 2, 2), (8, 3, 5, 5)], {})
+
+    def test_bad_bias(self):
+        with pytest.raises(ValueError, match="bias"):
+            infer("conv2d", [(1, 3, 8, 8), (8, 3, 1, 1), (4,)], {})
+
+    def test_dilation(self):
+        assert infer("conv2d", [(1, 3, 32, 32), (8, 3, 3, 3)],
+                     {"dilation": 2, "padding": 2}) == [(1, 8, 32, 32)]
+
+    def test_macs(self):
+        opdef = get_op("conv2d")
+        ins = [(1, 3, 32, 32), (16, 3, 3, 3)]
+        outs = opdef.infer_shapes(ins, {"padding": 1})
+        assert opdef.macs(ins, outs, {"padding": 1}) == 32 * 32 * 16 * 3 * 9
+
+
+class TestMatmulDense:
+    def test_matmul_2d(self):
+        assert infer("matmul", [(4, 8), (8, 16)]) == [(4, 16)]
+
+    def test_matmul_batched_broadcast(self):
+        assert infer("matmul", [(2, 3, 4, 8), (8, 5)]) == [(2, 3, 4, 5)]
+
+    def test_matmul_transpose_b(self):
+        assert infer("matmul", [(4, 8), (16, 8)], {"transpose_b": True}) == [(4, 16)]
+
+    def test_matmul_mismatch(self):
+        with pytest.raises(ValueError, match="contraction"):
+            infer("matmul", [(4, 8), (9, 16)])
+
+    def test_matmul_reduction_dims(self):
+        rd = get_op("matmul").reduction_dims([(4, 8), (8, 16)], [(4, 16)], {})
+        assert rd == {0: (1,), 1: (0,)}
+
+    def test_matmul_reduction_dims_transposed(self):
+        rd = get_op("matmul").reduction_dims(
+            [(4, 8), (16, 8)], [(4, 16)], {"transpose_b": True})
+        assert rd == {0: (1,), 1: (1,)}
+
+    def test_dense(self):
+        assert infer("dense", [(2, 7, 16), (32, 16)]) == [(2, 7, 32)]
+
+    def test_dense_mismatch(self):
+        with pytest.raises(ValueError):
+            infer("dense", [(2, 16), (32, 8)])
+
+
+class TestElementwise:
+    def test_unary(self):
+        assert infer("unary", [(2, 3)], {"func": "relu"}) == [(2, 3)]
+
+    def test_binary_broadcast(self):
+        assert infer("binary", [(2, 1, 4), (3, 1)], {"func": "add"}) == [(2, 3, 4)]
+
+    def test_binary_incompatible(self):
+        with pytest.raises(ValueError, match="broadcast"):
+            infer("binary", [(2, 3), (4,)], {"func": "add"})
+
+
+class TestNorms:
+    def test_softmax(self):
+        assert infer("softmax", [(2, 5)], {"axis": -1}) == [(2, 5)]
+
+    def test_softmax_reduction_axis(self):
+        rd = get_op("softmax").reduction_dims([(2, 3, 5)], [(2, 3, 5)], {"axis": 1})
+        assert rd == {0: (1,)}
+
+    def test_layernorm(self):
+        assert infer("layernorm", [(2, 5, 8), (8,), (8,)], {"axes": -1}) == [(2, 5, 8)]
+
+    def test_layernorm_bad_affine(self):
+        with pytest.raises(ValueError):
+            infer("layernorm", [(2, 5, 8), (5,)], {"axes": -1})
+
+    def test_instancenorm_requires_4d(self):
+        with pytest.raises(ValueError):
+            infer("instancenorm", [(2, 5, 8)])
+
+    def test_groupnorm_divisibility(self):
+        with pytest.raises(ValueError):
+            infer("groupnorm", [(1, 30, 4, 4)], {"groups": 32})
+
+    def test_reduce_keepdims(self):
+        assert infer("reduce_mean", [(2, 3, 4)],
+                     {"axes": (1,), "keepdims": True}) == [(2, 1, 4)]
+
+    def test_reduce_drop(self):
+        assert infer("reduce_sum", [(2, 3, 4)], {"axes": (0, 2)}) == [(3,)]
+
+    def test_reduce_all(self):
+        assert infer("reduce_max", [(2, 3)], {}) == [(1,)]
+
+
+class TestLayoutOps:
+    def test_reshape_minus_one(self):
+        assert infer("reshape", [(2, 3, 4)], {"shape": (6, -1)}) == [(6, 4)]
+
+    def test_reshape_two_minus_ones(self):
+        with pytest.raises(ValueError):
+            infer("reshape", [(2, 3, 4)], {"shape": (-1, -1)})
+
+    def test_reshape_mismatch(self):
+        with pytest.raises(ValueError):
+            infer("reshape", [(2, 3)], {"shape": (7,)})
+
+    def test_transpose(self):
+        assert infer("transpose", [(2, 3, 4)], {"perm": (2, 0, 1)}) == [(4, 2, 3)]
+
+    def test_depth_to_space(self):
+        assert infer("depth_to_space", [(1, 8, 4, 4)], {"block": 2}) == [(1, 2, 8, 8)]
+
+    def test_space_to_depth(self):
+        assert infer("space_to_depth", [(1, 2, 8, 8)], {"block": 2}) == [(1, 8, 4, 4)]
+
+    def test_d2s_divisibility(self):
+        with pytest.raises(ValueError):
+            infer("depth_to_space", [(1, 6, 4, 4)], {"block": 2})
+
+    def test_layout_convert_identity_shape(self):
+        assert infer("layout_convert", [(3, 4)]) == [(3, 4)]
+
+
+class TestSelection:
+    def test_slice(self):
+        assert infer("slice", [(4, 6)], {"starts": (1, 0), "stops": (3, 6),
+                                         "steps": (1, 2)}) == [(2, 3)]
+
+    def test_slice_empty(self):
+        with pytest.raises(ValueError):
+            infer("slice", [(4,)], {"starts": (3,), "stops": (3,)})
+
+    def test_gather(self):
+        assert infer("gather", [(5, 8)], {"axis": 0, "indices_shape": (3,)}) == [(3, 8)]
+
+    def test_concat(self):
+        assert infer("concat", [(2, 3), (2, 5)], {"axis": 1}) == [(2, 8)]
+
+    def test_concat_mismatch(self):
+        with pytest.raises(ValueError):
+            infer("concat", [(2, 3), (3, 3)], {"axis": 1})
+
+    def test_pad(self):
+        assert infer("pad", [(2, 3)], {"pads": ((1, 1), (0, 2))}) == [(4, 5)]
+
+
+class TestPooling:
+    def test_maxpool(self):
+        assert infer("maxpool2d", [(1, 8, 16, 16)],
+                     {"kernel": 2, "stride": 2}) == [(1, 8, 8, 8)]
+
+    def test_global_avgpool(self):
+        assert infer("global_avgpool", [(1, 8, 7, 7)]) == [(1, 8, 1, 1)]
+
+    def test_upsample(self):
+        assert infer("upsample2d", [(1, 4, 8, 8)], {"scale": 2}) == [(1, 4, 16, 16)]
+
+    def test_embedding(self):
+        assert infer("embedding", [(100, 32), (2, 7)]) == [(2, 7, 32)]
+
+
+class TestRegistry:
+    def test_unknown_op(self):
+        with pytest.raises(KeyError):
+            get_op("frobnicate")
+
+    def test_all_ops_have_quadrants(self):
+        for op_type in all_op_types():
+            assert isinstance(get_op(op_type).quadrant, Quadrant)
+
+    def test_layout_transform_flags(self):
+        for op_type in ("reshape", "transpose", "depth_to_space",
+                        "space_to_depth", "layout_convert"):
+            assert get_op(op_type).is_layout_transform
+        for op_type in ("conv2d", "matmul", "softmax", "concat"):
+            assert not get_op(op_type).is_layout_transform
+
+    def test_paper_table3_quadrants(self):
+        """The classification examples given in Table 3."""
+        assert get_op("conv2d").quadrant is Quadrant.ILD_VARIABLE
+        assert get_op("matmul").quadrant is Quadrant.ILD_VARIABLE
+        assert get_op("layernorm").quadrant is Quadrant.ILD_VARIABLE
+        assert get_op("softmax").quadrant is Quadrant.ILD_VARIABLE
+        assert get_op("reshape").quadrant is Quadrant.ILD_FIXED
+        assert get_op("transpose").quadrant is Quadrant.ILD_FIXED
+        assert get_op("depth_to_space").quadrant is Quadrant.ILD_FIXED
+        assert get_op("space_to_depth").quadrant is Quadrant.ILD_FIXED
+        assert get_op("unary").quadrant is Quadrant.ILI_VARIABLE
+        assert get_op("binary").quadrant is Quadrant.ILI_VARIABLE
+        assert get_op("gather").quadrant is Quadrant.ILI_FIXED
+        assert get_op("slice").quadrant is Quadrant.ILI_FIXED

@@ -1,0 +1,119 @@
+"""Tests for the genetic-algorithm auto-tuner (repro.tuning)."""
+
+import itertools
+
+import pytest
+
+from repro.models import build
+from repro.tuning import (
+    GAParams, KernelConfig, KernelShape, fitness, kernel_shapes, run_ga,
+    tune_graph, tune_kernel,
+)
+
+
+class TestConfigSpace:
+    def test_defaults_valid(self):
+        KernelConfig()
+
+    def test_invalid_workgroup(self):
+        with pytest.raises(ValueError):
+            KernelConfig(workgroup_x=7)
+
+    def test_invalid_vector(self):
+        with pytest.raises(ValueError):
+            KernelConfig(vector_width=3)
+
+    def test_gene_roundtrip(self):
+        config = KernelConfig(workgroup_x=32, workgroup_y=2, tile_m=8,
+                              tile_n=2, unroll=2, vector_width=2)
+        assert KernelConfig.from_genes(config.as_genes()) == config
+
+    def test_fitness_in_unit_interval(self):
+        shape = KernelShape(m=256, n=256, k=64)
+        for genes in itertools.islice(
+                itertools.product(*(range(n) for n in KernelConfig.gene_space())),
+                0, 2000, 37):
+            f = fitness(KernelConfig.from_genes(genes), shape)
+            assert 0 < f <= 1.0
+
+    def test_oversized_workgroup_penalized(self):
+        shape = KernelShape(m=256, n=256, k=64, max_threads=128)
+        big = KernelConfig(workgroup_x=256, workgroup_y=1)
+        assert fitness(big, shape) < 1e-5
+
+    def test_vector_match_preferred(self):
+        shape = KernelShape(m=256, n=256, k=64, simd_width=4)
+        vec4 = KernelConfig(vector_width=4)
+        vec1 = KernelConfig(vector_width=1)
+        assert fitness(vec4, shape) > fitness(vec1, shape)
+
+
+class TestGA:
+    def fitness_fn(self, genes):
+        # maximize sum of genes: optimum is the box corner
+        return sum(genes) / 100.0
+
+    def test_deterministic(self):
+        space = (5, 5, 5)
+        a = run_ga(space, self.fitness_fn, GAParams(seed=3))
+        b = run_ga(space, self.fitness_fn, GAParams(seed=3))
+        assert a.best == b.best
+        assert a.history == b.history
+
+    def test_finds_corner_optimum(self):
+        space = (6, 6, 6, 6)
+        result = run_ga(space, self.fitness_fn,
+                        GAParams(population=24, generations=30, seed=0))
+        assert result.best == (5, 5, 5, 5)
+
+    def test_history_monotone_nondecreasing(self):
+        result = run_ga((8, 8), self.fitness_fn, GAParams(seed=1))
+        assert all(b >= a for a, b in zip(result.history, result.history[1:]))
+
+    def test_matches_exhaustive_on_small_space(self):
+        space = (4, 4)
+
+        def bumpy(genes):
+            return 1.0 / (1 + (genes[0] - 2) ** 2 + (genes[1] - 1) ** 2)
+
+        best_exhaustive = max(
+            (bumpy(g), g) for g in itertools.product(range(4), range(4)))
+        result = run_ga(space, bumpy, GAParams(population=16, generations=20))
+        assert result.best_fitness == pytest.approx(best_exhaustive[0])
+
+    def test_empty_space_rejected(self):
+        with pytest.raises(ValueError):
+            run_ga((), lambda g: 0.0)
+
+
+class TestTuner:
+    def test_tune_kernel_beats_default(self):
+        shape = KernelShape(m=3136, n=96, k=288)
+        tuned = tune_kernel(shape)
+        assert tuned.efficiency >= fitness(KernelConfig(), shape)
+
+    def test_kernel_shapes_extracted(self):
+        g = build("ViT", image=32, dim=24, depth=1, heads=2, patch=16)
+        shapes = kernel_shapes(g)
+        assert shapes
+        assert all(s.m > 0 and s.n > 0 and s.k > 0 for s in shapes)
+
+    def test_shapes_deduplicated(self):
+        g = build("ViT", image=32, dim=24, depth=2, heads=2, patch=16)
+        shapes = kernel_shapes(g, limit=100)
+        keys = [(s.m, s.n, s.k) for s in shapes]
+        assert len(keys) == len(set(keys))
+
+    def test_tune_graph_extra_efficiency_range(self):
+        g = build("ViT", image=32, dim=24, depth=1, heads=2, patch=16)
+        report = tune_graph(g, GAParams(population=12, generations=8))
+        boost = report.extra_efficiency()
+        assert 1.0 <= boost <= 1.25
+
+    def test_empty_graph_neutral(self):
+        from repro.ir import GraphBuilder
+        b = GraphBuilder()
+        x = b.input("x", (4,))
+        b.output(b.relu(x))
+        report = tune_graph(b.finish())
+        assert report.extra_efficiency() == 1.0

@@ -1,0 +1,156 @@
+"""Tests for ViewChain / ViewStep (repro.ir.view)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir.view import (
+    ViewChain, ViewStep, lower_depth_to_space, lower_space_to_depth,
+)
+
+
+class TestViewStep:
+    def test_reshape_shape(self):
+        assert ViewStep("reshape", (6, 4)).output_shape((2, 3, 4)) == (6, 4)
+
+    def test_reshape_size_mismatch(self):
+        with pytest.raises(ValueError):
+            ViewStep("reshape", (5, 5)).output_shape((2, 3, 4))
+
+    def test_transpose_shape(self):
+        assert ViewStep("transpose", (2, 0, 1)).output_shape((2, 3, 4)) == (4, 2, 3)
+
+    def test_transpose_invalid_perm(self):
+        with pytest.raises(ValueError):
+            ViewStep("transpose", (0, 0, 1)).output_shape((2, 3, 4))
+
+    def test_slice_shape(self):
+        step = ViewStep("slice", ((0, 2, 1), (1, 3, 2)))
+        assert step.output_shape((4, 4)) == (2, 1)
+
+    def test_slice_invalid(self):
+        with pytest.raises(ValueError):
+            ViewStep("slice", ((2, 1, 1),)).output_shape((4,))
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            ViewStep("rotate", (1,))
+
+    def test_apply_matches_numpy(self):
+        x = np.arange(24).reshape(2, 3, 4)
+        assert np.array_equal(ViewStep("transpose", (1, 0, 2)).apply(x),
+                              x.transpose(1, 0, 2))
+        assert np.array_equal(ViewStep("reshape", (6, 4)).apply(x),
+                              x.reshape(6, 4))
+
+
+class TestViewChain:
+    def test_identity(self):
+        chain = ViewChain.identity((2, 3))
+        assert chain.is_identity
+        assert chain.out_shape == (2, 3)
+
+    def test_composition_shapes(self):
+        chain = (ViewChain.identity((2, 3, 4))
+                 .then_reshape((6, 4))
+                 .then_transpose((1, 0)))
+        assert chain.out_shape == (4, 6)
+
+    def test_apply(self):
+        x = np.arange(24).reshape(2, 3, 4)
+        chain = (ViewChain.identity((2, 3, 4))
+                 .then_reshape((6, 4)).then_transpose((1, 0)))
+        assert np.array_equal(chain.apply(x), x.reshape(6, 4).T)
+
+    def test_apply_wrong_shape(self):
+        with pytest.raises(ValueError):
+            ViewChain.identity((2, 3)).apply(np.zeros((3, 2)))
+
+    def test_concat(self):
+        a = ViewChain.identity((2, 6)).then_reshape((12,))
+        c = a.concat(ViewChain.identity((12,)).then_reshape((3, 4)))
+        assert c.out_shape == (3, 4)
+
+    def test_concat_shape_mismatch(self):
+        a = ViewChain.identity((2, 6))
+        with pytest.raises(ValueError):
+            a.concat(ViewChain.identity((3, 4)))
+
+    def test_slice_step(self):
+        x = np.arange(16).reshape(4, 4)
+        chain = ViewChain.identity((4, 4)).then_slice(((1, 4, 2), (0, 4, 1)))
+        assert np.array_equal(chain.apply(x), x[1:4:2, :])
+
+    def test_json_roundtrip(self):
+        chain = (ViewChain.identity((2, 3, 4)).then_transpose((2, 1, 0))
+                 .then_reshape((12, 2)).then_slice(((0, 6, 1), (0, 2, 1))))
+        restored = ViewChain.from_json(chain.to_json())
+        assert restored == chain
+
+
+class TestBlockLowering:
+    def test_depth_to_space_matches_kernel(self):
+        from repro.runtime.kernels import get_kernel
+        x = np.arange(1 * 8 * 3 * 3, dtype=np.float32).reshape(1, 8, 3, 3)
+        chain = lower_depth_to_space((1, 8, 3, 3), 2)
+        expected = get_kernel("depth_to_space")([x], {"block": 2})
+        assert np.array_equal(chain.apply(x), expected)
+
+    def test_space_to_depth_matches_kernel(self):
+        from repro.runtime.kernels import get_kernel
+        x = np.arange(1 * 2 * 4 * 6, dtype=np.float32).reshape(1, 2, 4, 6)
+        chain = lower_space_to_depth((1, 2, 4, 6), 2)
+        expected = get_kernel("space_to_depth")([x], {"block": 2})
+        assert np.array_equal(chain.apply(x), expected)
+
+    def test_d2s_s2d_inverse(self):
+        x = np.arange(1 * 8 * 4 * 4).reshape(1, 8, 4, 4)
+        d2s = lower_depth_to_space((1, 8, 4, 4), 2)
+        s2d = lower_space_to_depth(d2s.out_shape, 2)
+        assert np.array_equal(d2s.concat(s2d).apply(x), x)
+
+
+@st.composite
+def random_chain(draw):
+    """A random shape plus a random reshape/transpose/slice chain on it."""
+    import math
+    shape = tuple(draw(st.lists(st.sampled_from([1, 2, 3, 4, 6]),
+                                min_size=2, max_size=4)))
+    chain = ViewChain.identity(shape)
+    for _ in range(draw(st.integers(1, 4))):
+        kind = draw(st.sampled_from(["reshape", "transpose", "slice"]))
+        cur = chain.out_shape
+        if kind == "transpose":
+            perm = tuple(draw(st.permutations(range(len(cur)))))
+            chain = chain.then_transpose(perm)
+        elif kind == "reshape":
+            total = math.prod(cur)
+            dims = []
+            rem = total
+            for _ in range(draw(st.integers(1, 2))):
+                factors = [f for f in range(1, rem + 1) if rem % f == 0]
+                f = draw(st.sampled_from(factors))
+                dims.append(f)
+                rem //= f
+            dims.append(rem)
+            chain = chain.then_reshape(tuple(dims))
+        else:
+            triples = []
+            for d in cur:
+                start = draw(st.integers(0, d - 1))
+                stop = draw(st.integers(start + 1, d))
+                triples.append((start, stop, draw(st.sampled_from([1, 2]))))
+            chain = chain.then_slice(tuple(triples))
+    return chain
+
+
+@given(random_chain())
+@settings(max_examples=60, deadline=None)
+def test_chain_apply_matches_step_by_step(chain):
+    """Applying a chain equals applying each step in sequence."""
+    x = np.arange(np.prod(chain.in_shape)).reshape(chain.in_shape)
+    stepwise = x
+    for step in chain.steps:
+        stepwise = step.apply(stepwise)
+    assert np.array_equal(chain.apply(x), stepwise)
+    assert tuple(stepwise.shape) == chain.out_shape
