@@ -167,8 +167,13 @@ class Framework:
         converts = self.insert_implicit_converts(g) if self.inserts_converts else 0
         return g, converts
 
-    def compile(self, graph: Graph, device: DeviceSpec,
-                check_memory: bool = True) -> FrameworkResult:
+    def compile_core(self, graph: Graph, device: DeviceSpec) -> FrameworkResult:
+        """Device-independent compilation: rewrite + fusion + layout plan.
+
+        Only ``device.has_texture`` is read, so the result can be shared
+        across devices of the same memory architecture; the per-device
+        memory-feasibility check lives in :meth:`compile`.
+        """
         reason = self.support_reason(graph)
         if reason is not None:
             return FrameworkResult(self.name, supported=False, reason=reason)
@@ -179,13 +184,26 @@ class Framework:
             for i, node in enumerate(g.iter_nodes()):
                 node.group = i
         plan = self.make_plan(g, device)
-        if check_memory and not self.fits_device(g, device):
-            mb = self.required_memory_bytes(g) / 2 ** 20
-            return FrameworkResult(
-                self.name, supported=False, graph=g, plan=plan,
-                reason=f"insufficient device memory (needs ~{mb:.0f} MiB)")
         return FrameworkResult(
             self.name, supported=True, graph=g, plan=plan,
             config=self.make_config(), implicit_converts=converts,
             extra={"layout_transforms": count_layout_transforms(g)},
         )
+
+    def _memory_failure(self, result: FrameworkResult) -> FrameworkResult:
+        mb = self.required_memory_bytes(result.graph) / 2 ** 20
+        return FrameworkResult(
+            self.name, supported=False, graph=result.graph, plan=result.plan,
+            reason=f"insufficient device memory (needs ~{mb:.0f} MiB)")
+
+    def compile(self, graph: Graph, device: DeviceSpec,
+                check_memory: bool = True,
+                core: FrameworkResult | None = None) -> FrameworkResult:
+        """Full compilation; ``core`` may supply a cached
+        :meth:`compile_core` result (it must come from a device with the
+        same ``has_texture``)."""
+        result = core if core is not None else self.compile_core(graph, device)
+        if check_memory and result.supported \
+                and not self.fits_device(result.graph, device):
+            return self._memory_failure(result)
+        return result

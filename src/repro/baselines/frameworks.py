@@ -165,8 +165,8 @@ class SmartMem(Framework):
     def __init__(self, stages: PipelineStages | None = None) -> None:
         self.stages = stages or PipelineStages()
 
-    def compile(self, graph: Graph, device: DeviceSpec,
-                check_memory: bool = True) -> FrameworkResult:
+    def compile_core(self, graph: Graph,
+                     device: DeviceSpec) -> FrameworkResult:
         stages = self.stages
         if not device.has_texture and stages.use_texture:
             stages = PipelineStages(
@@ -181,7 +181,7 @@ class SmartMem(Framework):
         config = CostModelConfig(tuned=True,
                                  extra_efficiency=result.extra_efficiency,
                                  simplify_index=stages.simplify_index)
-        out = FrameworkResult(
+        return FrameworkResult(
             self.name, supported=True, graph=result.graph, plan=result.plan,
             config=config,
             extra={
@@ -191,12 +191,12 @@ class SmartMem(Framework):
                 "copies": result.plan.num_copies,
             },
         )
-        if check_memory and not self.fits_device(result.graph, device):
-            mb = self.required_memory_bytes(result.graph) / 2 ** 20
-            return FrameworkResult(self.name, supported=False,
-                                   graph=result.graph, plan=result.plan,
-                                   reason=f"insufficient device memory (~{mb:.0f} MiB)")
-        return out
+
+    def _memory_failure(self, result: FrameworkResult) -> FrameworkResult:
+        mb = self.required_memory_bytes(result.graph) / 2 ** 20
+        return FrameworkResult(self.name, supported=False,
+                               graph=result.graph, plan=result.plan,
+                               reason=f"insufficient device memory (~{mb:.0f} MiB)")
 
 
 ALL_FRAMEWORKS = ("MNN", "NCNN", "TFLite", "TVM", "DNNF", "Ours")

@@ -8,7 +8,10 @@ from . import (
     ablations, fig7, fig8, fig9, fig10, fig11, fig12, memory_footprint,
     micro_rw, table1, table7, table8, table9,
 )
-from .harness import Cell, Experiment, cached_model, geomean, run_cell
+from .harness import (
+    Cell, Experiment, cached_fp32_model, cached_model, cell_cache_stats,
+    clear_cell_cache, geomean, run_cell,
+)
 
 EXPERIMENTS = {
     "ablations": ablations.run,
@@ -26,5 +29,6 @@ EXPERIMENTS = {
     "memory_footprint": memory_footprint.run,
 }
 
-__all__ = ["Cell", "EXPERIMENTS", "Experiment", "cached_model", "geomean",
+__all__ = ["Cell", "EXPERIMENTS", "Experiment", "cached_fp32_model",
+           "cached_model", "cell_cache_stats", "clear_cell_cache", "geomean",
            "run_cell"]

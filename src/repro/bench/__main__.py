@@ -3,17 +3,27 @@
     python -m repro.bench all
     python -m repro.bench table8 fig8
     python -m repro.bench all --json results.json
+    python -m repro.bench --all --timings
+
+``--timings`` records the wall time and compile/cost-cache traffic of
+every experiment and writes the perf trajectory to ``BENCH_pipeline.json``
+(override the path with ``--timings-out``).
 """
 
 from __future__ import annotations
 
 import json
 import sys
+import time
 
 from . import EXPERIMENTS
+from .harness import cell_cache_stats, format_table
+
+TIMINGS_DEFAULT = "BENCH_pipeline.json"
 
 
 def main(argv: list[str]) -> int:
+    argv = list(argv)
     json_path = None
     if "--json" in argv:
         idx = argv.index("--json")
@@ -23,25 +33,76 @@ def main(argv: list[str]) -> int:
             print("--json requires a path")
             return 2
         argv = argv[:idx] + argv[idx + 2:]
+    timings_path = TIMINGS_DEFAULT
+    timings = "--timings" in argv
+    if "--timings-out" in argv:
+        idx = argv.index("--timings-out")
+        try:
+            timings_path = argv[idx + 1]
+        except IndexError:
+            print("--timings-out requires a path")
+            return 2
+        argv = argv[:idx] + argv[idx + 2:]
+        timings = True  # an explicit output path implies --timings
+    run_all = "--all" in argv
+    argv = [a for a in argv if a not in ("--timings", "--all")]
+    unknown_flags = [a for a in argv if a.startswith("--")]
+    if unknown_flags:
+        print(f"unknown flags: {unknown_flags}")
+        return 2
+    if run_all and argv:
+        print(f"--all cannot be combined with explicit experiments: {argv}")
+        return 2
     targets = argv or ["all"]
-    if targets == ["all"]:
+    if run_all or targets == ["all"]:
         targets = list(EXPERIMENTS)
     unknown = [t for t in targets if t not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiments: {unknown}; available: {list(EXPERIMENTS)}")
         return 2
     collected = []
+    trajectory = []
+    suite_start = time.perf_counter()
     for target in targets:
+        before = cell_cache_stats()
+        start = time.perf_counter()
         result = EXPERIMENTS[target]()
+        wall_s = time.perf_counter() - start
+        after = cell_cache_stats()
+        trajectory.append({
+            "experiment": target,
+            "wall_s": round(wall_s, 4),
+            "cells_computed": after["misses"] - before["misses"],
+            "cache_hits": after["hits"] - before["hits"],
+        })
         experiments = result if isinstance(result, list) else [result]
         for experiment in experiments:
             print(experiment.render())
             print()
             collected.append(experiment.to_json())
+    total_s = time.perf_counter() - suite_start
     if json_path:
         with open(json_path, "w") as handle:
             json.dump(collected, handle, indent=2)
         print(f"wrote {len(collected)} experiments to {json_path}")
+    if timings:
+        stats = cell_cache_stats()
+        payload = {
+            "suite": targets,
+            "total_s": round(total_s, 4),
+            "cell_cache": stats,
+            "experiments": trajectory,
+        }
+        with open(timings_path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(format_table(
+            ["Experiment", "wall (s)", "cells", "cache hits"],
+            [[t["experiment"], f"{t['wall_s']:.3f}", str(t["cells_computed"]),
+              str(t["cache_hits"])] for t in trajectory],
+            title="== Pipeline timings =="))
+        print(f"total: {total_s:.3f}s  cell cache: {stats['hits']} hits / "
+              f"{stats['misses']} misses")
+        print(f"wrote perf trajectory to {timings_path}")
     return 0
 
 

@@ -13,10 +13,9 @@
 
 from __future__ import annotations
 
-from ..baselines import make_framework
 from ..core.pipeline import PipelineStages
 from ..runtime.device import SD8GEN2
-from .harness import Experiment, cached_model
+from .harness import Experiment, run_cell
 
 MODELS = ["Swin", "CSwin", "ViT", "ResNext"]
 
@@ -32,9 +31,7 @@ VARIANTS = {
 
 
 def _latency(model: str, stages: PipelineStages) -> float:
-    fw = make_framework("Ours", stages=stages)
-    result = fw.compile(cached_model(model), SD8GEN2, check_memory=False)
-    return result.cost(SD8GEN2).latency_ms
+    return run_cell(model, "Ours", SD8GEN2, stages=stages).latency_ms
 
 
 def run(models: list[str] | None = None) -> Experiment:

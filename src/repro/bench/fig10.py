@@ -7,7 +7,6 @@ paper's empty bars).
 
 from __future__ import annotations
 
-from ..models import build
 from ..runtime.device import SD8GEN2
 from .harness import Experiment, fmt, run_cell
 
@@ -22,10 +21,9 @@ def run(batches: list[int] | None = None, model: str = "Swin") -> Experiment:
         headers=["Batch"] + FRAMEWORKS + ["MNN/Ours", "TVM/Ours", "DNNF/Ours"],
     )
     for batch in batches or BATCHES:
-        graph = build(model, batch=batch)
         lat = {}
         for fw in FRAMEWORKS:
-            cell = run_cell(graph, fw, SD8GEN2, check_memory=True)
+            cell = run_cell(model, fw, SD8GEN2, check_memory=True, batch=batch)
             lat[fw] = cell.latency_ms
         ours = lat["Ours"]
         row = [str(batch)] + [fmt(lat[fw]) for fw in FRAMEWORKS]

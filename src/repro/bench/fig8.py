@@ -8,10 +8,9 @@ reduction on vs off).
 
 from __future__ import annotations
 
-from ..baselines import make_framework
 from ..core.pipeline import PipelineStages
 from ..runtime.device import SD8GEN2
-from .harness import Experiment, cached_model
+from .harness import Experiment, run_cell
 from .paper_data import FIG8_RANGES
 
 MODELS = ["AutoFormer", "BiFormer", "EfficientVit", "CSwin", "ViT",
@@ -29,19 +28,15 @@ STAGES = {
 
 def _latency(model: str, stages: PipelineStages | None,
              simplify_index: bool = True) -> float:
-    graph = cached_model(model)
     if stages is None:
-        fw = make_framework("DNNF")
-    else:
-        if not simplify_index:
-            stages = PipelineStages(
-                lte=stages.lte, fusion=stages.fusion,
-                layout_selection=stages.layout_selection,
-                full_texture=stages.full_texture,
-                simplify_index=False)
-        fw = make_framework("Ours", stages=stages)
-    result = fw.compile(graph, SD8GEN2, check_memory=False)
-    return result.cost(SD8GEN2).latency_ms
+        return run_cell(model, "DNNF", SD8GEN2).latency_ms
+    if not simplify_index:
+        stages = PipelineStages(
+            lte=stages.lte, fusion=stages.fusion,
+            layout_selection=stages.layout_selection,
+            full_texture=stages.full_texture,
+            simplify_index=False)
+    return run_cell(model, "Ours", SD8GEN2, stages=stages).latency_ms
 
 
 def run(models: list[str] | None = None) -> Experiment:

@@ -9,7 +9,7 @@ optimizations.  Paper: Swin 7.5 -> 6.1 ms (1.23x), AutoFormer
 from __future__ import annotations
 
 from ..runtime.device import V100
-from .harness import Experiment, cached_model, fmt, run_cell, to_fp32
+from .harness import Experiment, cached_fp32_model, fmt, run_cell
 from .paper_data import TABLE9
 
 MODELS = ["Swin", "AutoFormer"]
@@ -23,7 +23,7 @@ def run(models: list[str] | None = None) -> Experiment:
                  "paper TI", "paper Ours", "paper speedup"],
     )
     for name in models or MODELS:
-        graph = to_fp32(cached_model(name))
+        graph = cached_fp32_model(name)
         ti = run_cell(graph, "TorchInductor", V100)
         ours = run_cell(graph, "Ours", V100)
         speedup = ti.latency_ms / ours.latency_ms

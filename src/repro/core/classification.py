@@ -36,7 +36,20 @@ def classify(graph: Graph, node: Node) -> Quadrant:
     * ``concat`` along the innermost-varying data becomes ILD when its
       inputs disagree in shape rank (defensive; does not occur in the
       model zoo).
+
+    Memoized per graph generation; any rewrite that rewires the node's
+    inputs invalidates the entry.
     """
+    cache = graph.analysis_cache()
+    key = ("quadrant", node.id)
+    found = cache.get(key)
+    if found is None:
+        found = _classify(graph, node)
+        cache[key] = found
+    return found
+
+
+def _classify(graph: Graph, node: Node) -> Quadrant:
     quadrant = node.opdef.quadrant
     if node.op_type == "binary":
         shapes = []

@@ -159,14 +159,16 @@ def fuse(graph: Graph, policy: FusionPolicy) -> FusionStats:
     # 2. general rules over single-consumer edges, in topo order
     if (policy.elementwise_chains or policy.prologue or policy.epilogue
             or policy.reorganize_with_elementwise):
+        consumer_map = graph.consumer_map()
+        nodes = graph.nodes
         for producer in order:
             for out in producer.outputs:
                 if out in graph.outputs:
                     continue
-                consumers = graph.consumers(out)
-                if len(consumers) != 1:
+                entries = consumer_map.get(out, ())
+                if len(entries) != 1:
                     continue
-                consumer = consumers[0][0]
+                consumer = nodes[entries[0][0]]
                 pm, cm = producer.opdef.mapping, consumer.opdef.mapping
                 ok = False
                 if pm in LIGHT and cm in LIGHT:

@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from ..indexexpr.index_map import IndexMap
 from ..ir.graph import Graph, Node
 from ..ir.layout import Layout
-from ..ir.ops import Quadrant
+from ..ir.ops import OpDef, Quadrant
 from ..ir.view import ViewChain
 from .classification import classify
 
@@ -32,6 +32,27 @@ def _cached_index_map(chain: ViewChain) -> IndexMap:
     return IndexMap.from_view_chain(chain)
 
 
+_DEFAULT_RDIMS = OpDef.__dataclass_fields__["reduction_dims"].default
+"""Ops that never declare reduction dims share this default callable."""
+
+
+def _node_reduction_dims(graph: Graph, node: Node) -> dict[int, tuple[int, ...]]:
+    """Per-input reduction dims of ``node``, memoized per graph generation."""
+    cache = graph.analysis_cache()
+    key = ("reduction_dims", node.id)
+    found = cache.get(key)
+    if found is None:
+        in_shapes = []
+        for i, name in enumerate(node.inputs):
+            view = node.input_views.get(i)
+            in_shapes.append(view.out_shape if view is not None
+                             else graph.shape(name))
+        out_shapes = [graph.shape(t) for t in node.outputs]
+        found = node.opdef.reduction_dims(in_shapes, out_shapes, node.attrs)
+        cache[key] = found
+    return found
+
+
 def consumer_preferences(graph: Graph, node: Node, idx: int) -> list[int]:
     """Producer-tensor dims the consumer wants contiguous, most wanted first.
 
@@ -39,14 +60,23 @@ def consumer_preferences(graph: Graph, node: Node, idx: int) -> list[int]:
     input view); they are translated back to the producer's stored dims
     through the view's IndexMap: producer dim j serves kernel reduction
     dim d if the coordinate expression for j mentions d's loop variable.
+
+    Memoized per graph generation (layout selection and the cost model
+    both query every edge); the returned list must not be mutated.
     """
-    in_shapes = []
-    for i, name in enumerate(node.inputs):
-        shape = graph.shape(name)
-        view = node.input_views.get(i)
-        in_shapes.append(view.out_shape if view is not None else shape)
-    out_shapes = [graph.shape(t) for t in node.outputs]
-    rdims = node.opdef.reduction_dims(in_shapes, out_shapes, node.attrs).get(idx, ())
+    cache = graph.analysis_cache()
+    key = ("consumer_prefs", node.id, idx)
+    found = cache.get(key)
+    if found is None:
+        found = _consumer_preferences(graph, node, idx)
+        cache[key] = found
+    return found
+
+
+def _consumer_preferences(graph: Graph, node: Node, idx: int) -> list[int]:
+    if node.opdef.reduction_dims is _DEFAULT_RDIMS:
+        return []  # elementwise/move op: no reduction dims, skip the shapes
+    rdims = _node_reduction_dims(graph, node).get(idx, ())
     if not rdims:
         return []
     view = node.input_views.get(idx)

@@ -115,8 +115,16 @@ class IndexMap:
     # -- analysis ------------------------------------------------------------
 
     def cost(self) -> int:
-        """Per-element index arithmetic cost (cheap-op units)."""
-        return sum(e.cost() for e in self.exprs)
+        """Per-element index arithmetic cost (cheap-op units).
+
+        Memoized on the instance: maps are immutable and interned, and
+        the cost model asks once per kernel-input edge.
+        """
+        cached = getattr(self, "_cost", None)
+        if cached is None:
+            cached = sum(e.cost() for e in self.exprs)
+            object.__setattr__(self, "_cost", cached)
+        return cached
 
     def simplified(self) -> "IndexMap":
         return IndexMap(self.in_shape, self.out_shape,

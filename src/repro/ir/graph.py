@@ -18,6 +18,7 @@ graph can be verified bit-for-bit against the original.
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
@@ -67,6 +68,48 @@ class Graph:
         self._producer: dict[str, str] = {}
         self._id_counter = itertools.count()
         self._consumer_cache: dict[str, list[tuple[str, int]]] | None = None
+        self._topo_cache: list[str] | None = None
+        self._generation = 0
+        self._analysis_cache: dict = {}
+
+    # -- caching -------------------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        """Monotonic counter bumped on every structural mutation.
+
+        Derived analyses keyed on (graph identity, generation) are safe to
+        memoize: any mutation routed through :meth:`_invalidate` makes the
+        old key unreachable.
+        """
+        return self._generation
+
+    def _invalidate(self, *, keep_consumers: bool = False) -> None:
+        """Single mutation hook: drop every derived cache.
+
+        All structural mutations (``add_tensor``/``add_node``/
+        ``remove_node``/``replace_input``/...) funnel through here, so a
+        cache can never survive a mutation it should have observed.
+
+        ``keep_consumers`` is passed only by the three mutators that patch
+        the consumer map in place with the exact edge delta they applied;
+        rebuilding it wholesale there would make the rewrite passes
+        quadratic.
+        """
+        self._generation += 1
+        self._topo_cache = None
+        if not keep_consumers:
+            self._consumer_cache = None
+        if self._analysis_cache:
+            self._analysis_cache.clear()
+
+    def analysis_cache(self) -> dict:
+        """Per-graph scratch space for memoized analyses.
+
+        Entries live until the next structural mutation.  Values stored
+        here must be treated as immutable by callers.
+        """
+        return self._analysis_cache
 
     # -- construction --------------------------------------------------------
 
@@ -74,6 +117,7 @@ class Graph:
         if spec.name in self.tensors:
             raise GraphError(f"tensor {spec.name!r} already defined")
         self.tensors[spec.name] = spec
+        self._invalidate()
         return spec
 
     def add_input(self, name: str, shape: Iterable[int], dtype: DType = DType.FP16) -> TensorSpec:
@@ -89,6 +133,7 @@ class Graph:
             raise GraphError(f"cannot mark unknown tensor {name!r} as output")
         if name not in self.outputs:
             self.outputs.append(name)
+            self._invalidate()
 
     def fresh_id(self, prefix: str) -> str:
         return f"{prefix}_{next(self._id_counter)}"
@@ -127,6 +172,7 @@ class Graph:
         if self._consumer_cache is not None:
             for idx, name in enumerate(node.inputs):
                 self._consumer_cache.setdefault(name, []).append((node_id, idx))
+        self._invalidate(keep_consumers=True)
         return node
 
     # -- queries --------------------------------------------------------------
@@ -135,40 +181,98 @@ class Graph:
         node_id = self._producer.get(tensor)
         return self.nodes[node_id] if node_id is not None else None
 
-    def consumers(self, tensor: str) -> list[tuple[Node, int]]:
-        """All (node, input_index) pairs reading ``tensor``."""
+    def _consumer_map(self) -> dict[str, list[tuple[str, int]]]:
         if self._consumer_cache is None:
             cache: dict[str, list[tuple[str, int]]] = {}
             for node_id in self._order:
                 for idx, name in enumerate(self.nodes[node_id].inputs):
                     cache.setdefault(name, []).append((node_id, idx))
             self._consumer_cache = cache
+        return self._consumer_cache
+
+    def consumers(self, tensor: str) -> list[tuple[Node, int]]:
+        """All (node, input_index) pairs reading ``tensor``."""
         return [(self.nodes[node_id], idx)
-                for node_id, idx in self._consumer_cache.get(tensor, ())]
+                for node_id, idx in self._consumer_map().get(tensor, ())]
+
+    def consumer_map(self) -> dict[str, list[tuple[str, int]]]:
+        """tensor -> [(consumer node id, input index), ...] for the whole
+        graph; treat as read-only.  Hot paths that visit every edge use
+        this instead of per-tensor :meth:`consumers` calls."""
+        return self._consumer_map()
+
+    @property
+    def producer_ids(self) -> dict[str, str]:
+        """tensor -> producer node id; treat as read-only."""
+        return self._producer
 
     def topo_order(self) -> list[Node]:
-        """Nodes in dependency order (validates acyclicity)."""
-        ready = dict.fromkeys(self.inputs, True)
-        ready.update(dict.fromkeys(
-            (t for t, s in self.tensors.items() if s.is_param), True))
-        remaining = [self.nodes[n] for n in self._order]
-        ordered: list[Node] = []
-        while remaining:
-            progressed = False
-            still = []
-            for node in remaining:
-                if all(name in ready for name in node.inputs):
-                    ordered.append(node)
-                    for out in node.outputs:
-                        ready[out] = True
-                    progressed = True
-                else:
-                    still.append(node)
-            if not progressed:
-                stuck = [n.id for n in still]
-                raise GraphError(f"graph has a cycle or undefined inputs near {stuck[:5]}")
-            remaining = still
-        return ordered
+        """Nodes in dependency order (validates acyclicity).
+
+        Computed once per graph generation with Kahn's algorithm (O(V+E))
+        and cached; structural mutations invalidate the cache through
+        :meth:`_invalidate`.  The order reproduces the historical
+        repeated-scan order exactly: nodes are grouped by the scan round
+        in which they became ready, insertion order within a round, where
+        a node whose producer precedes it in insertion order becomes
+        ready in the producer's own round (the scan marked outputs ready
+        mid-round).
+        """
+        if self._topo_cache is None:
+            self._topo_cache = self._compute_topo_order()
+        nodes = self.nodes
+        return [nodes[node_id] for node_id in self._topo_cache]
+
+    def _compute_topo_order(self) -> list[str]:
+        ready = set(self.inputs)
+        ready.update(t for t, s in self.tensors.items() if s.is_param)
+        # Per-occurrence dependency edges: an input that is ready from the
+        # start is satisfied; one with a producer waits on that node; one
+        # that is neither can never be satisfied (undefined input).
+        pending: dict[str, int] = {}
+        waiters: dict[str, list[str]] = {}
+        pos = {node_id: i for i, node_id in enumerate(self._order)}
+        for node_id in self._order:
+            count = 0
+            for name in self.nodes[node_id].inputs:
+                if name in ready:
+                    continue
+                count += 1
+                if name in self._producer:
+                    waiters.setdefault(name, []).append(node_id)
+            pending[node_id] = count
+        round_of: dict[str, int] = dict.fromkeys(self._order, 0)
+        queue: deque[str] = deque()
+        for node_id in self._order:
+            if pending[node_id] == 0:
+                queue.append(node_id)
+        emitted = 0
+        while queue:
+            node_id = queue.popleft()
+            emitted += 1
+            node_round = round_of[node_id]
+            node_pos = pos[node_id]
+            for out in self.nodes[node_id].outputs:
+                if out in ready:
+                    continue
+                for waiter in waiters.get(out, ()):
+                    pending[waiter] -= 1
+                    # A waiter scanned after this producer in the same
+                    # round already sees the output ready; one scanned
+                    # before it must wait for the next round.
+                    cand = node_round if node_pos < pos[waiter] else node_round + 1
+                    if round_of[waiter] < cand:
+                        round_of[waiter] = cand
+                    if pending[waiter] == 0:
+                        queue.append(waiter)
+        if emitted < len(self._order):
+            stuck = [n for n in self._order if pending[n] > 0]
+            raise GraphError(f"graph has a cycle or undefined inputs near {stuck[:5]}")
+        buckets: list[list[str]] = [
+            [] for _ in range(max(round_of.values(), default=-1) + 1)]
+        for node_id in self._order:
+            buckets[round_of[node_id]].append(node_id)
+        return [node_id for bucket in buckets for node_id in bucket]
 
     def shape(self, tensor: str) -> Shape:
         return self.tensors[tensor].shape
@@ -233,11 +337,14 @@ class Graph:
         del self.nodes[node_id]
         self._order.remove(node_id)
         if self._consumer_cache is not None:
+            for out in node.outputs:
+                self._consumer_cache.pop(out, None)
             for name in set(node.inputs):
                 entries = self._consumer_cache.get(name)
                 if entries is not None:
                     self._consumer_cache[name] = [
                         e for e in entries if e[0] != node_id]
+        self._invalidate(keep_consumers=True)
 
     def replace_input(self, node: Node, idx: int, new_tensor: str) -> None:
         if new_tensor not in self.tensors:
@@ -250,6 +357,7 @@ class Graph:
                 self._consumer_cache[old] = [
                     e for e in entries if e != (node.id, idx)]
             self._consumer_cache.setdefault(new_tensor, []).append((node.id, idx))
+        self._invalidate(keep_consumers=True)
 
     def clone(self) -> "Graph":
         """Deep structural copy (annotations included)."""

@@ -16,6 +16,7 @@ A layout answers two questions the paper's optimizer cares about:
 from __future__ import annotations
 
 import enum
+import functools
 import math
 from dataclasses import dataclass, replace
 from typing import Iterable, Sequence
@@ -160,24 +161,26 @@ class Layout:
     # -- constructors / transforms -----------------------------------------
 
     @staticmethod
+    @functools.lru_cache(maxsize=64)
     def row_major(rank: int) -> "Layout":
-        """The framework-default contiguous layout in a 1D buffer."""
+        """The framework-default contiguous layout in a 1D buffer.
+
+        Layouts are immutable, so instances are interned per rank: the
+        cost model asks for row-major layouts tens of thousands of times
+        per benchmark table.
+        """
         return Layout(dim_order=tuple(range(rank)))
 
     @staticmethod
     def buffer(dim_order: Iterable[int]) -> "Layout":
-        return Layout(dim_order=tuple(dim_order))
+        return _interned_layout(tuple(dim_order), MemoryKind.BUFFER_1D, None, 1)
 
     @staticmethod
     def texture(
         dim_order: Iterable[int], vector_dim: int, num_width_dims: int = 1
     ) -> "Layout":
-        return Layout(
-            dim_order=tuple(dim_order),
-            memory=MemoryKind.TEXTURE_2D5,
-            vector_dim=vector_dim,
-            num_width_dims=num_width_dims,
-        )
+        return _interned_layout(tuple(dim_order), MemoryKind.TEXTURE_2D5,
+                                vector_dim, num_width_dims)
 
     def with_memory(self, memory: MemoryKind, vector_dim: int | None = None) -> "Layout":
         if memory is MemoryKind.TEXTURE_2D5:
@@ -223,3 +226,12 @@ class Layout:
         mem = "tex" if self.memory is MemoryKind.TEXTURE_2D5 else "buf"
         vec = f",v{self.vector_dim}" if self.vector_dim is not None else ""
         return f"{mem}{list(self.dim_order)}{vec}"
+
+
+@functools.lru_cache(maxsize=4096)
+def _interned_layout(dim_order: tuple[int, ...], memory: MemoryKind,
+                     vector_dim: int | None, num_width_dims: int) -> Layout:
+    # Layouts are immutable; layout selection builds the same handful of
+    # permutations for thousands of tensors per benchmark table.
+    return Layout(dim_order=dim_order, memory=memory, vector_dim=vector_dim,
+                  num_width_dims=num_width_dims)

@@ -29,6 +29,19 @@ class ChainMatch:
         return self.nodes[-1]
 
 
+def _topo_by_op_type(graph: Graph) -> dict[str, list[Node]]:
+    """Topologically ordered nodes bucketed by op_type (memoized per graph
+    generation)."""
+    cache = graph.analysis_cache()
+    index = cache.get(("topo_by_op_type",))
+    if index is None:
+        index = {}
+        for node in graph.topo_order():
+            index.setdefault(node.op_type, []).append(node)
+        cache[("topo_by_op_type",)] = index
+    return index
+
+
 def _sole_consumer(graph: Graph, tensor: str) -> Node | None:
     """The unique consumer of ``tensor``, or None if 0 or >1 consumers or
     the tensor is a graph output (its value must stay materialized)."""
@@ -56,9 +69,17 @@ def find_chains(
             return bool(matcher(node))
         return node.op_type == matcher
 
+    head = pattern[0]
+    if callable(head):
+        candidates = [n for n in graph.topo_order() if head(n)]
+    else:
+        # Chain heads are usually op_type strings: walk only the matching
+        # nodes via a per-generation index instead of rescanning the graph
+        # for every pattern.
+        candidates = _topo_by_op_type(graph).get(head, [])
     used: set[str] = set()
-    for node in list(graph.topo_order()):
-        if node.id in used or not matches(node, pattern[0]):
+    for node in candidates:
+        if node.id in used:
             continue
         chain = [node]
         ok = True

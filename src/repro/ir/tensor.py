@@ -49,6 +49,11 @@ class TensorSpec:
     def __post_init__(self) -> None:
         object.__setattr__(self, "shape", normalize_shape(self.shape))
         object.__setattr__(self, "dtype", parse_dtype(self.dtype))
+        # Specs are immutable and queried on every cost-model edge visit:
+        # precompute the derived sizes once.
+        elements = math.prod(self.shape)
+        object.__setattr__(self, "_num_elements", elements)
+        object.__setattr__(self, "_size_bytes", elements * self.dtype.size_bytes)
 
     @property
     def rank(self) -> int:
@@ -56,11 +61,11 @@ class TensorSpec:
 
     @property
     def num_elements(self) -> int:
-        return math.prod(self.shape)
+        return self._num_elements  # type: ignore[attr-defined]
 
     @property
     def size_bytes(self) -> int:
-        return self.num_elements * self.dtype.size_bytes
+        return self._size_bytes  # type: ignore[attr-defined]
 
     def with_shape(self, shape: Iterable[int]) -> "TensorSpec":
         return replace(self, shape=normalize_shape(shape))

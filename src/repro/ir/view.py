@@ -11,6 +11,7 @@ ops per element) by the cost model.
 
 from __future__ import annotations
 
+import functools
 import math
 from dataclasses import dataclass
 from typing import Iterable
@@ -137,7 +138,14 @@ class ViewChain:
 
     @staticmethod
     def identity(shape: Iterable[int]) -> "ViewChain":
-        return ViewChain(tuple(shape))
+        return _identity_chain(tuple(int(d) for d in shape))
+
+
+@functools.lru_cache(maxsize=4096)
+def _identity_chain(shape: Shape) -> ViewChain:
+    # ViewChain is immutable, so identity chains are interned per shape:
+    # every kernel input without an explicit view materializes one.
+    return ViewChain(shape)
 
 
 def lower_depth_to_space(in_shape: Shape, block: int) -> ViewChain:

@@ -213,6 +213,19 @@ def estimate(
 
     layout_eff = 1.0 if plan.quality == "selected" else config.default_layout_eff
 
+    tensors = graph.tensors
+    producer_of = graph.producer_ids
+    consumer_map = graph.consumer_map()
+    graph_outputs = set(graph.outputs)
+    plan_layouts = plan.layouts
+    plan_copies = plan.copies
+    line_bytes = device.cache.line_bytes
+    strided_penalty = device.strided_penalty
+    tex_strided_penalty = device.texture_strided_penalty
+    index_ns = device.index_ns_per_unit
+    has_texture = device.has_texture
+    miss_factor = config.texture_cache_miss_factor
+
     for group_id, members in groups_of(graph).items():
         member_ids = {m.id for m in members}
         category = _kernel_category(members)
@@ -231,10 +244,14 @@ def estimate(
         texture_bytes = 0.0
 
         for node in members:
-            in_shapes = [node.view_for(i, graph.shape(t)).out_shape
-                         for i, t in enumerate(node.inputs)]
-            out_shapes = [graph.shape(t) for t in node.outputs]
-            node_macs = node.opdef.macs(in_shapes, out_shapes, node.attrs)
+            views = node.input_views
+            opdef = node.opdef
+            in_shapes = [
+                views[i].out_shape if i in views else tensors[t].shape
+                for i, t in enumerate(node.inputs)
+            ]
+            out_shapes = [tensors[t].shape for t in node.outputs]
+            node_macs = opdef.macs(in_shapes, out_shapes, node.attrs)
             macs += node_macs
             if node_macs:
                 eff = _op_efficiency(node, graph, config) * tune * layout_eff
@@ -247,81 +264,79 @@ def estimate(
 
             # Data-movement ops shuffle their whole output even when fused:
             # fused movers pay a discounted cost (one side stays on-chip).
-            if (node.opdef.mapping in (Mapping.REORGANIZE, Mapping.EXPAND)
+            if (opdef.mapping in (Mapping.REORGANIZE, Mapping.EXPAND)
                     and not is_relayout_kernel):
                 mover_bytes = sum(
                     math.prod(s) for s in out_shapes
-                ) * graph.tensors[node.outputs[0]].dtype.size_bytes
+                ) * tensors[node.outputs[0]].dtype.size_bytes
                 mover_bytes *= config.relayout_bytes_factor
                 index_us += (mover_bytes * config.fused_mover_discount
                              / (device.relayout_bw_gbps * 1e3))
 
             # -- reads that cross the group boundary --------------------
             for idx, name in enumerate(node.inputs):
-                producer = graph.producer(name)
-                if producer is not None and producer.id in member_ids:
+                producer_id = producer_of.get(name)
+                if producer_id is not None and producer_id in member_ids:
                     continue  # internal to the fused kernel: stays on chip
-                spec = graph.tensors[name]
-                view = node.input_views.get(idx)
+                spec = tensors[name]
+                view = views.get(idx)
                 read_elems = (math.prod(view.out_shape) if view is not None
                               else spec.num_elements)
                 base = read_elems * spec.dtype.size_bytes
                 if spec.is_param:
                     # weights are relaid out offline: always streamed at
                     # full bandwidth from the constant/texture path
-                    texture = device.has_texture
+                    texture = has_texture
                     factor = 1.0
                 else:
                     layout = plan.layout_for_edge(name, node.id, idx) \
-                        if name in plan.layouts else Layout.row_major(spec.rank)
+                        if name in plan_layouts else Layout.row_major(spec.rank)
                     texture = layout.memory is MemoryKind.TEXTURE_2D5
                     prefs = consumer_preferences(graph, node, idx)
                     if not prefs or layout.is_unit_stride(prefs[0]):
                         factor = 1.0
                     else:
-                        factor = (device.texture_strided_penalty if texture
-                                  else device.strided_penalty)
+                        factor = (tex_strided_penalty if texture
+                                  else strided_penalty)
                 if view is not None:
                     imap = _cached_map(view, config.simplify_index)
                     # A kernel can always fall back to one linearization +
                     # per-dim div/mod, so the per-element index cost is
                     # bounded even for deeply stacked unsimplified chains.
                     unit_cost = min(imap.cost(), 12 * len(imap.in_shape))
-                    index_us += (read_elems * unit_cost
-                                 * device.index_ns_per_unit) / 1000.0
+                    index_us += (read_elems * unit_cost * index_ns) / 1000.0
                 effective = base * factor
                 bytes_read += int(effective)
                 accesses += read_elems
-                line = device.cache.line_bytes
-                miss = effective / line
+                miss = effective / line_bytes
                 if texture:
-                    miss *= config.texture_cache_miss_factor
-                misses += miss
-                if texture:
+                    miss *= miss_factor
                     texture_bytes += effective
                 else:
                     global_bytes += effective
+                misses += miss
 
             # -- writes that leave the group ------------------------------
             for out in node.outputs:
                 consumed_outside = any(
-                    c.id not in member_ids for c, _ in graph.consumers(out))
-                if not (consumed_outside or out in graph.outputs):
+                    cid not in member_ids
+                    for cid, _ in consumer_map.get(out, ()))
+                if not (consumed_outside or out in graph_outputs):
                     continue
-                spec = graph.tensors[out]
-                layout = plan.layouts.get(out, Layout.row_major(spec.rank))
+                spec = tensors[out]
+                layout = plan_layouts.get(out, Layout.row_major(spec.rank))
                 texture = layout.memory is MemoryKind.TEXTURE_2D5
                 factor = 1.0
                 if layout.innermost_dim != spec.rank - 1 and \
                         not layout.is_unit_stride(spec.rank - 1):
                     factor = config.suboptimal_write_factor
-                copies = 1 + len(plan.copies.get(out, ()))
+                copies = 1 + len(plan_copies.get(out, ()))
                 effective = spec.size_bytes * factor * copies
                 bytes_written += int(effective)
                 accesses += spec.num_elements * copies
-                miss = effective / device.cache.line_bytes
+                miss = effective / line_bytes
                 if texture:
-                    miss *= config.texture_cache_miss_factor
+                    miss *= miss_factor
                     texture_bytes += effective
                 else:
                     global_bytes += effective
@@ -383,7 +398,20 @@ def peak_activation_bytes(graph: Graph, pooled: bool = True) -> int:
     TVM, DNNFusion; Section 4.6); ``pooled=False`` models naive per-tensor
     allocation (all intermediates resident), which is what makes large
     models and batch sizes fail on small devices in Figs. 10 and 11.
+
+    Memoized per graph generation: the memory-feasibility check and the
+    cost estimate both ask for the same graph.
     """
+    cache = graph.analysis_cache()
+    key = ("peak_activation_bytes", pooled)
+    found = cache.get(key)
+    if found is None:
+        found = _peak_activation_bytes(graph, pooled)
+        cache[key] = found
+    return found
+
+
+def _peak_activation_bytes(graph: Graph, pooled: bool) -> int:
     order = graph.topo_order()
     if not pooled:
         return sum(graph.tensors[t].size_bytes

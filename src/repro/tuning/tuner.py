@@ -60,7 +60,21 @@ def tune_kernel(shape: KernelShape, params: GAParams | None = None) -> TunedKern
 
 
 def kernel_shapes(graph: Graph, limit: int = 16) -> list[KernelShape]:
-    """Distinct (M, N, K) shapes of the graph's heavy operators."""
+    """Distinct (M, N, K) shapes of the graph's heavy operators.
+
+    Memoized per graph generation (the tuner and the roofline analysis
+    both walk the same optimized graph); treat the result as read-only.
+    """
+    cache = graph.analysis_cache()
+    key = ("kernel_shapes", limit)
+    found = cache.get(key)
+    if found is None:
+        found = _kernel_shapes(graph, limit)
+        cache[key] = found
+    return found
+
+
+def _kernel_shapes(graph: Graph, limit: int) -> list[KernelShape]:
     seen: set[tuple[int, int, int]] = set()
     shapes: list[KernelShape] = []
     for node in graph.iter_nodes():

@@ -1,0 +1,175 @@
+"""Regression tests for the graph engine's derived-state caches.
+
+Covers the cached O(V+E) topo order (mutate-after-order scenarios) and
+consumer-cache invalidation on node removal / input rewiring — the stale
+cases that motivated routing every structural mutation through one
+shared ``Graph._invalidate`` hook.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir import Graph, GraphBuilder, GraphError
+from repro.ir.tensor import TensorSpec
+from repro.models import ALL_MODELS, build
+
+
+def reference_topo_order(g: Graph) -> list[str]:
+    """From-scratch recompute with the historical repeated-scan algorithm."""
+    ready = dict.fromkeys(g.inputs, True)
+    ready.update(dict.fromkeys(
+        (t for t, s in g.tensors.items() if s.is_param), True))
+    remaining = [g.nodes[n] for n in g._order]
+    ordered: list[str] = []
+    while remaining:
+        progressed = False
+        still = []
+        for node in remaining:
+            if all(name in ready for name in node.inputs):
+                ordered.append(node.id)
+                for out in node.outputs:
+                    ready[out] = True
+                progressed = True
+            else:
+                still.append(node)
+        if not progressed:
+            raise GraphError("cycle")
+        remaining = still
+    return ordered
+
+
+def diamond_graph() -> Graph:
+    b = GraphBuilder("diamond")
+    x = b.input("x", (2, 8))
+    y = b.dense(x, 8)
+    left = b.relu(y)
+    right = b.sigmoid(y)
+    b.output(b.add(left, right))
+    return b.finish()
+
+
+class TestTopoCache:
+    def test_cached_order_matches_reference(self):
+        g = diamond_graph()
+        assert [n.id for n in g.topo_order()] == reference_topo_order(g)
+        # second call serves the cache; contents must be identical
+        assert [n.id for n in g.topo_order()] == reference_topo_order(g)
+
+    def test_add_node_after_order_invalidates(self):
+        g = diamond_graph()
+        before = [n.id for n in g.topo_order()]
+        g.add_tensor(TensorSpec("extra", (2, 8)))
+        node = g.add_node("unary", [g.outputs[0]], ["extra"], {"func": "relu"})
+        after = [n.id for n in g.topo_order()]
+        assert node.id in after
+        assert node.id not in before
+        assert after == reference_topo_order(g)
+
+    def test_remove_node_after_order_invalidates(self):
+        b = GraphBuilder()
+        x = b.input("x", (4,))
+        y = b.relu(x)
+        dead = b.relu(x)
+        b.output(y)
+        g = b.graph
+        dead_id = g.producer(dead).id
+        assert dead_id in [n.id for n in g.topo_order()]
+        g.remove_node(dead_id)
+        order = [n.id for n in g.topo_order()]
+        assert dead_id not in order
+        assert order == reference_topo_order(g)
+
+    def test_cycle_after_cached_order_still_raises(self):
+        g = diamond_graph()
+        g.topo_order()  # warm the cache
+        dense = next(n for n in g.iter_nodes() if n.op_type == "dense")
+        add = next(n for n in g.iter_nodes() if n.op_type == "binary")
+        g.replace_input(dense, 0, add.outputs[0])
+        with pytest.raises(GraphError, match="cycle"):
+            g.topo_order()
+
+    def test_undefined_input_detected(self):
+        g = Graph()
+        g.add_input("x", (2,))
+        g.add_tensor(TensorSpec("dangling", (2,)))
+        g.add_tensor(TensorSpec("y", (2,)))
+        g.add_node("binary", ["x", "dangling"], ["y"], {"func": "add"})
+        with pytest.raises(GraphError, match="undefined"):
+            g.topo_order()
+
+    def test_generation_bumps_on_mutation(self):
+        g = diamond_graph()
+        gen = g.generation
+        relu = next(n for n in g.iter_nodes() if n.op_type == "unary")
+        g.replace_input(relu, 0, "x")
+        assert g.generation > gen
+
+    @pytest.mark.parametrize("name", sorted(ALL_MODELS))
+    def test_cached_order_equals_recompute_across_registry(self, name):
+        g = build(name)
+        assert [n.id for n in g.topo_order()] == reference_topo_order(g)
+        # order survives an unrelated query and a cache round-trip
+        g.consumers(g.inputs[0])
+        assert [n.id for n in g.topo_order()] == reference_topo_order(g)
+
+
+class TestConsumerCacheInvalidation:
+    def test_remove_node_updates_consumers(self):
+        b = GraphBuilder()
+        x = b.input("x", (4,))
+        y = b.relu(x)
+        dead = b.relu(x)
+        b.output(y)
+        g = b.graph
+        assert len(g.consumers("x")) == 2  # warm the cache
+        g.remove_node(g.producer(dead).id)
+        assert [(n.op_type, i) for n, i in g.consumers("x")] == [("unary", 0)]
+
+    def test_replace_input_updates_consumers(self):
+        g = diamond_graph()
+        relu = next(n for n in g.iter_nodes()
+                    if n.op_type == "unary" and n.attrs.get("func") == "relu")
+        old = relu.inputs[0]
+        g.consumers(old)  # warm the cache
+        g.replace_input(relu, 0, "x")
+        assert all(n.id != relu.id for n, _ in g.consumers(old))
+        assert (relu.id, 0) in [(n.id, i) for n, i in g.consumers("x")]
+
+    def test_add_node_updates_consumers(self):
+        g = diamond_graph()
+        g.consumers("x")  # warm the cache
+        g.add_tensor(TensorSpec("t", (2, 8)))
+        node = g.add_node("unary", ["x"], ["t"], {"func": "relu"})
+        assert (node.id, 0) in [(n.id, i) for n, i in g.consumers("x")]
+
+    def test_analysis_cache_cleared_on_mutation(self):
+        g = diamond_graph()
+        g.analysis_cache()["probe"] = "stale"
+        relu = next(n for n in g.iter_nodes() if n.op_type == "unary")
+        g.replace_input(relu, 0, "x")
+        assert "probe" not in g.analysis_cache()
+
+    def test_elimination_pass_leaves_consistent_consumers(self):
+        """End-to-end stale-cache regression: run LTE (which removes nodes
+        and rewires inputs mid-iteration) and check the consumer map equals
+        a from-scratch rebuild."""
+        from repro.core.elimination import eliminate_layout_transforms
+
+        b = GraphBuilder("lte")
+        x = b.input("x", (1, 8, 8))
+        y = b.relu(x)
+        y = b.reshape(y, (1, 64))
+        y = b.transpose(y, (1, 0))
+        y = b.dense(y, 4)
+        b.output(y)
+        g = b.finish()
+        g.consumers("x")  # warm the cache before the rewrites
+        eliminate_layout_transforms(g)
+        fresh: dict[str, list[tuple[str, int]]] = {}
+        for node in g.iter_nodes():
+            for idx, name in enumerate(node.inputs):
+                fresh.setdefault(name, []).append((node.id, idx))
+        for tensor in g.tensors:
+            got = [(n.id, i) for n, i in g.consumers(tensor)]
+            assert got == fresh.get(tensor, [])

@@ -6,7 +6,7 @@ from hypothesis import given, settings
 
 from repro.indexexpr import IndexMap, Var
 from repro.ir.view import ViewChain
-from .test_view import random_chain
+from test_view import random_chain
 
 
 class TestIdentity:
