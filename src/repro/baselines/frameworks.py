@@ -7,6 +7,8 @@ and TFLite do not support Transformer models on mobile GPU).
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from ..core.fusion import (
     DNNFUSION_POLICY, FusionPolicy, MNN_POLICY, NCNN_POLICY, TFLITE_POLICY,
     TVM_POLICY,
@@ -169,18 +171,12 @@ class SmartMem(Framework):
                      device: DeviceSpec) -> FrameworkResult:
         stages = self.stages
         if not device.has_texture and stages.use_texture:
-            stages = PipelineStages(
-                lte=stages.lte, fusion=stages.fusion,
-                layout_selection=stages.layout_selection,
-                full_texture=False, use_texture=False,
-                simplify_index=stages.simplify_index,
-                eliminate_slice=stages.eliminate_slice,
-                tuned_boost=stages.tuned_boost,
-            )
+            stages = replace(stages, full_texture=False, use_texture=False)
         result = smartmem_optimize(graph, stages)
-        config = CostModelConfig(tuned=True,
-                                 extra_efficiency=result.extra_efficiency,
-                                 simplify_index=stages.simplify_index)
+        # The pipeline records the tuning boost and the Index Comprehension
+        # choice on the result; cost_config() is the single source of the
+        # cost-model configuration for an optimized module.
+        config = result.cost_config()
         return FrameworkResult(
             self.name, supported=True, graph=result.graph, plan=result.plan,
             config=config,

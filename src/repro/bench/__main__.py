@@ -17,9 +17,21 @@ import sys
 import time
 
 from . import EXPERIMENTS
-from .harness import cell_cache_stats, format_table
+from .harness import cell_cache_stats, format_table, pass_timing_stats
 
 TIMINGS_DEFAULT = "BENCH_pipeline.json"
+
+
+def _pass_delta(before: dict, after: dict) -> dict:
+    """Per-pass runs/wall-time spent inside one experiment."""
+    delta = {}
+    for name, entry in after.items():
+        prev = before.get(name, {"runs": 0, "wall_s": 0.0})
+        runs = entry["runs"] - prev["runs"]
+        if runs:
+            delta[name] = {"runs": runs,
+                           "wall_s": round(entry["wall_s"] - prev["wall_s"], 4)}
+    return delta
 
 
 def main(argv: list[str]) -> int:
@@ -65,6 +77,7 @@ def main(argv: list[str]) -> int:
     suite_start = time.perf_counter()
     for target in targets:
         before = cell_cache_stats()
+        before_passes = pass_timing_stats()
         start = time.perf_counter()
         result = EXPERIMENTS[target]()
         wall_s = time.perf_counter() - start
@@ -74,6 +87,7 @@ def main(argv: list[str]) -> int:
             "wall_s": round(wall_s, 4),
             "cells_computed": after["misses"] - before["misses"],
             "cache_hits": after["hits"] - before["hits"],
+            "passes": _pass_delta(before_passes, pass_timing_stats()),
         })
         experiments = result if isinstance(result, list) else [result]
         for experiment in experiments:
@@ -87,10 +101,15 @@ def main(argv: list[str]) -> int:
         print(f"wrote {len(collected)} experiments to {json_path}")
     if timings:
         stats = cell_cache_stats()
+        pass_stats = {
+            name: {"runs": entry["runs"], "wall_s": round(entry["wall_s"], 4)}
+            for name, entry in sorted(pass_timing_stats().items())
+        }
         payload = {
             "suite": targets,
             "total_s": round(total_s, 4),
             "cell_cache": stats,
+            "pass_timings": pass_stats,
             "experiments": trajectory,
         }
         with open(timings_path, "w") as handle:
@@ -102,6 +121,12 @@ def main(argv: list[str]) -> int:
             title="== Pipeline timings =="))
         print(f"total: {total_s:.3f}s  cell cache: {stats['hits']} hits / "
               f"{stats['misses']} misses")
+        if pass_stats:
+            print(format_table(
+                ["Pass", "runs", "wall (s)"],
+                [[name, str(entry["runs"]), f"{entry['wall_s']:.3f}"]
+                 for name, entry in pass_stats.items()],
+                title="== Optimization-pass timings =="))
         print(f"wrote perf trajectory to {timings_path}")
     return 0
 

@@ -10,6 +10,9 @@ from functools import lru_cache
 
 from ..baselines import make_framework
 from ..baselines.base import FrameworkResult
+# Per-pass compile-time accounting flows from the pass manager into the
+# --timings trajectory (BENCH_pipeline.json) through these re-exports.
+from ..core.passes import clear_pass_timings, pass_timing_stats  # noqa: F401
 from ..ir.dtype import DType
 from ..ir.graph import Graph
 from ..ir.tensor import TensorSpec
@@ -79,15 +82,22 @@ stages/kwargs, device.has_texture): figs 10/11 re-cost the same compiled
 module on several devices, so the graph rewrite runs once."""
 
 
+def model_cache_key(model):
+    """Identity of a model argument for compile caching.
+
+    Names key by value; graphs key by identity + generation (the cached
+    entry must pin the graph object so the id stays valid, and any
+    mutation changes the generation).  Shared with the session layer's
+    Engine so its registry agrees with the cell cache it fronts.
+    """
+    if isinstance(model, Graph):
+        return ("graph", id(model), model.generation)
+    return ("name", model)
+
+
 def _cell_key(model, framework, device, check_memory, batch, fw_kwargs):
     """Hashable cache key, or None when the cell is uncacheable."""
-    if isinstance(model, Graph):
-        # Identity + generation: the cached entry pins the graph object,
-        # so the id stays valid, and any mutation changes the generation.
-        model_key = ("graph", id(model), model.generation)
-    else:
-        model_key = ("name", model)
-    key = (model_key, framework, device, check_memory, batch,
+    key = (model_cache_key(model), framework, device, check_memory, batch,
            tuple(sorted(fw_kwargs.items())))
     try:
         hash(key)

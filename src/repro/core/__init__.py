@@ -21,6 +21,11 @@ from .fusion import (
 from .layout_selection import (
     LayoutPlan, consumer_preferences, default_plan, select_layouts,
 )
+from .passes import (
+    Pass, PassContext, PassManager, PassRecord, available_passes,
+    canonical_passes, clear_pass_timings, make_pass, pass_timing_stats,
+    register_pass,
+)
 from .pipeline import OptimizeResult, PipelineStages, smartmem_optimize
 
 __all__ = [
@@ -29,10 +34,13 @@ __all__ = [
     "agreement_with_registry", "auto_classify", "auto_classify_all",
     "probe_layout_sensitivity",
     "FusionPolicy", "FusionStats", "LayoutPlan", "MNN_POLICY", "NCNN_POLICY",
-    "OptimizeResult", "PipelineStages", "SMARTMEM_POLICY", "SearchPolicy",
-    "TFLITE_POLICY", "TVM_POLICY", "action_for", "classify", "classify_all",
+    "OptimizeResult", "Pass", "PassContext", "PassManager", "PassRecord",
+    "PipelineStages", "SMARTMEM_POLICY", "SearchPolicy",
+    "TFLITE_POLICY", "TVM_POLICY", "action_for", "available_passes",
+    "canonical_passes", "classify", "classify_all", "clear_pass_timings",
     "consumer_preferences", "count_layout_transforms", "decision_for",
     "default_plan", "eliminate_dead_nodes", "eliminate_layout_transforms",
-    "fuse", "groups_of", "needs_layout_search", "quadrant_histogram",
+    "fuse", "groups_of", "make_pass", "needs_layout_search",
+    "pass_timing_stats", "quadrant_histogram", "register_pass",
     "select_layouts", "smartmem_optimize",
 ]

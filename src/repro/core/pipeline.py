@@ -1,50 +1,54 @@
-"""The SmartMem optimization pipeline (Section 3, Fig. 8 staging).
+"""The SmartMem optimization pipeline, expressed as a pass pipeline.
 
-Stages, in order:
+This module is a thin shim over the composable pass framework in
+:mod:`repro.core.passes`.  :func:`smartmem_optimize` assembles the
+canonical pass list from :class:`PipelineStages` and runs it through a
+:class:`~repro.core.passes.PassManager`, so every existing caller (the
+benchmarks, the frameworks, the Fig. 8 ablations) keeps working while the
+stages themselves are now named, configured, instrumented ``Pass``
+objects.
 
-1. **LTE** - layout transformation elimination: Fixed-output operators
+The canonical pipeline (Section 3, Fig. 8 staging):
+
+1. ``lte`` - layout transformation elimination: Fixed-output operators
    (Reshape/Transpose/DtoS/StoD/Slice and baseline-inserted layout
    converts) become index computation in their consumers.
-2. **Fusion** - DNNFusion-style grouping (SmartMem inherits DNNFusion's
+2. ``dce`` - drop nodes that elimination left without consumers.
+3. ``index-simplify`` - record whether eliminated-transform index
+   expressions are strength-reduced (Index Comprehension); the choice
+   flows to the cost model through :meth:`OptimizeResult.cost_config`.
+4. ``fusion`` - DNNFusion-style grouping (SmartMem inherits DNNFusion's
    fusion engine; elimination exposes additional fusion opportunities).
-3. **Layout selection** - reduction-dimension-driven per-tensor layouts.
-4. **Texture mapping + tuning** ("Other opt" in Fig. 8) - extend texture
-   layouts to all eligible tensors and apply auto-tuned kernel configs.
+5. ``layout-select`` / ``default-layout`` - reduction-dimension-driven
+   per-tensor layouts, or baseline layouts when ablated.
+6. ``tuning`` - auto-tuned kernel-config efficiency boost ("Other opt"
+   in Fig. 8; the GA tuner can produce the boost via
+   :func:`repro.tuning.stage_config`).
 
-Each stage can be disabled independently, which is exactly how the Fig. 8
-optimization-breakdown experiment is produced.
+Each stage can be disabled independently through ``PipelineStages``,
+which is exactly how the Fig. 8 optimization-breakdown experiment is
+produced.  To add a new stage, subclass ``Pass``, decorate it with
+``@register_pass``, and splice it into the list returned by
+``canonical_passes`` (see ``repro/core/passes.py`` and the Architecture
+section of ROADMAP.md).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..ir.graph import Graph
-from .elimination import (
-    EliminationStats, count_layout_transforms, eliminate_dead_nodes,
-    eliminate_layout_transforms,
+from .elimination import EliminationStats, count_layout_transforms
+from .fusion import FusionStats
+from .layout_selection import LayoutPlan
+from .passes import (
+    PassManager, PassRecord, PipelineStages, canonical_passes,
 )
-from .fusion import FusionStats, SMARTMEM_POLICY, fuse
-from .layout_selection import LayoutPlan, default_plan, select_layouts
 
-
-@dataclass(frozen=True)
-class PipelineStages:
-    """Which SmartMem optimizations are active."""
-
-    lte: bool = True
-    fusion: bool = True
-    layout_selection: bool = True
-    full_texture: bool = True
-    """Texture layouts for every rank>=2 tensor (stage 4); when False,
-    textures are limited to 4-d conv activations like the baselines."""
-    use_texture: bool = True
-    """Whether the device has a texture path at all (False on V100)."""
-    simplify_index: bool = True
-    """Strength reduction on eliminated-transform index expressions."""
-    eliminate_slice: bool = True
-    tuned_boost: float = 1.1
-    """Extra kernel efficiency from the GA auto-tuner (stage 4)."""
+__all__ = [
+    "OptimizeResult", "PipelineStages", "canonical_passes",
+    "smartmem_optimize",
+]
 
 
 @dataclass
@@ -57,59 +61,62 @@ class OptimizeResult:
     fusion_stats: FusionStats | None = None
     elimination_stats: EliminationStats | None = None
     source_operator_count: int = 0
+    pass_records: list[PassRecord] = field(default_factory=list)
+    """Per-pass wall time and statistics, in execution order."""
+    simplify_index: bool = True
+    """The recorded Index Comprehension choice (Section 4.3 ablation);
+    :meth:`cost_config` hands it to the cost model."""
+    extra_efficiency: float = 1.0
+    """Kernel-efficiency boost recorded by the ``tuning`` pass (1.0 when
+    the pass did not run); :meth:`cost_config` hands it to the cost
+    model, so a custom TuningPass config is actually priced."""
 
     @property
     def operator_count(self) -> int:
         return self.graph.num_operators
 
     @property
-    def extra_efficiency(self) -> float:
-        return self.stages.tuned_boost if self.stages.full_texture else 1.0
-
-    @property
     def remaining_layout_transforms(self) -> int:
         return count_layout_transforms(self.graph)
+
+    @property
+    def pass_timings(self) -> dict[str, float]:
+        """pass name -> wall seconds for this optimization run."""
+        return {r.name: r.wall_s for r in self.pass_records}
+
+    def cost_config(self):
+        """The cost-model configuration this module was compiled for.
+
+        Carries the tuning boost *and* the recorded ``simplify_index``
+        choice, so costing an ablated module actually prices the raw
+        index expressions (previously only the framework layer did).
+        """
+        from ..runtime.cost_model import CostModelConfig
+
+        return CostModelConfig(
+            tuned=True,
+            extra_efficiency=self.extra_efficiency,
+            simplify_index=self.simplify_index,
+        )
 
 
 def smartmem_optimize(
     graph: Graph,
     stages: PipelineStages | None = None,
 ) -> OptimizeResult:
-    """Run the SmartMem pipeline on a copy of ``graph``."""
+    """Run the canonical SmartMem pass pipeline on a copy of ``graph``."""
     stages = stages or PipelineStages()
     g = graph.clone()
     source_ops = len(g.nodes)
-
-    elim_stats = None
-    if stages.lte:
-        elim_stats = eliminate_layout_transforms(
-            g, include_slice=stages.eliminate_slice)
-        eliminate_dead_nodes(g)
-        if not stages.simplify_index:
-            # Ablation: keep the raw (un-reduced) index expressions.  The
-            # views are identical; only the cost model's per-element index
-            # cost differs, so we record the choice for it.
-            pass
-
-    fusion_stats = None
-    if stages.fusion:
-        fusion_stats = fuse(g, SMARTMEM_POLICY)
-    else:
-        for i, node in enumerate(g.iter_nodes()):
-            node.group = i
-
-    if stages.layout_selection:
-        rank_min = 2 if stages.full_texture else 4
-        plan = select_layouts(g, use_texture=stages.use_texture,
-                              texture_rank_min=rank_min)
-    else:
-        plan = default_plan(g, use_texture=stages.use_texture)
-
+    ctx = PassManager(canonical_passes(stages)).run(g, stages)
     return OptimizeResult(
-        graph=g,
-        plan=plan,
+        graph=ctx.graph,
+        plan=ctx.plan,
         stages=stages,
-        fusion_stats=fusion_stats,
-        elimination_stats=elim_stats,
+        fusion_stats=ctx.fusion_stats,
+        elimination_stats=ctx.elimination_stats,
         source_operator_count=source_ops,
+        pass_records=ctx.records,
+        simplify_index=ctx.simplify_index,
+        extra_efficiency=ctx.extra_efficiency,
     )

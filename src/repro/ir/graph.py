@@ -225,7 +225,12 @@ class Graph:
 
     def _compute_topo_order(self) -> list[str]:
         ready = set(self.inputs)
-        ready.update(t for t, s in self.tensors.items() if s.is_param)
+        # Parameters and interior constants (const_value tensors with no
+        # producer) are available before any node runs.
+        ready.update(
+            t for t, s in self.tensors.items()
+            if s.is_param or (s.const_value is not None
+                              and t not in self._producer))
         # Per-occurrence dependency edges: an input that is ready from the
         # start is satisfied; one with a producer waits on that node; one
         # that is neither can never be satisfied (undefined input).

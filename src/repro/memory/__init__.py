@@ -2,9 +2,13 @@
 
 from .address import TensorStorage, traversal
 from .cache import CacheStats, SetAssociativeCache
-from .pool import MemoryPool, PoolReport, simulate_pool
+from .pool import (
+    LivenessSchedule, MemoryPool, PoolEvent, PoolReport, SizeClassPool,
+    is_materialized, liveness_schedule, simulate_pool,
+)
 
 __all__ = [
-    "CacheStats", "MemoryPool", "PoolReport", "SetAssociativeCache",
-    "TensorStorage", "simulate_pool", "traversal",
+    "CacheStats", "LivenessSchedule", "MemoryPool", "PoolEvent", "PoolReport",
+    "SetAssociativeCache", "SizeClassPool", "TensorStorage", "is_materialized",
+    "liveness_schedule", "simulate_pool", "traversal",
 ]

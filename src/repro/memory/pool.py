@@ -6,6 +6,13 @@ data copies back into the pool when they are no longer needed by any
 consumers."  The pool tracks per-step usage, peak footprint, and - for
 the redundant-copy analysis - the maximum concurrently-live redundant
 copy bytes (the 3.0 MB / 2.3 MB numbers the paper reports for Swin/ViT).
+
+The liveness walk is shared with the execution-session layer
+(:mod:`repro.runtime.session`): :func:`liveness_schedule` precomputes,
+per execution step, which tensors are materialized (group-boundary
+values) and which die, so a long-lived pool can be replayed across many
+``run()`` calls - the second run of a session satisfies its requests
+from blocks the first run released.
 """
 
 from __future__ import annotations
@@ -67,6 +74,142 @@ class MemoryPool:
         self.live_bytes -= size
         self._free.append(size)
 
+    # -- introspection (the session layer reports per-run deltas) ----------
+
+    @property
+    def free_block_count(self) -> int:
+        return len(self._free)
+
+    @property
+    def free_bytes(self) -> int:
+        return sum(self._free)
+
+    def stats(self) -> dict[str, int]:
+        """Snapshot of the pool counters; diff two snapshots to observe
+        what one run of a session allocated vs. reused."""
+        return {
+            "allocations": self.allocations,
+            "reuses": self.reuses,
+            "live_bytes": self.live_bytes,
+            "peak_bytes": self.peak_bytes,
+            "free_blocks": self.free_block_count,
+            "free_bytes": self.free_bytes,
+        }
+
+
+class SizeClassPool(MemoryPool):
+    """Exact-size-class block reuse (caching-allocator style).
+
+    A freed block only serves requests of its exact size.  Best-fit
+    splitting (the base pool) minimizes peak footprint for a *single*
+    walk, but fragments blocks, so a repeated identical workload keeps
+    allocating; exact size classes make run-many workloads reach steady
+    state - after the first request of a session, every later identical
+    request is served entirely from freed blocks.  Free blocks are kept
+    as a size -> count map, so allocate/release are O(1) on the
+    per-request serving path.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._free_by_size: dict[int, int] = {}
+        self._free_block_count = 0
+        self._free_byte_count = 0
+
+    def allocate(self, size: int) -> None:
+        count = self._free_by_size.get(size, 0)
+        if count:
+            if count == 1:
+                del self._free_by_size[size]
+            else:
+                self._free_by_size[size] = count - 1
+            self._free_block_count -= 1
+            self._free_byte_count -= size
+            self.reuses += 1
+        else:
+            self.allocations += 1
+        self.live_bytes += size
+        self.peak_bytes = max(self.peak_bytes, self.live_bytes)
+
+    def release(self, size: int) -> None:
+        self.live_bytes -= size
+        self._free_by_size[size] = self._free_by_size.get(size, 0) + 1
+        self._free_block_count += 1
+        self._free_byte_count += size
+
+    @property
+    def free_block_count(self) -> int:
+        return self._free_block_count
+
+    @property
+    def free_bytes(self) -> int:
+        return self._free_byte_count
+
+
+def is_materialized(graph: Graph, tensor: str) -> bool:
+    """Whether ``tensor`` hits the memory pool at all.
+
+    Only group-boundary tensors are materialized: values internal to a
+    fused kernel live in registers/local memory and never touch the pool.
+    """
+    producer = graph.producer(tensor)
+    if producer is None or producer.group is None:
+        return True
+    if tensor in graph.outputs:
+        return True
+    return any(c.group != producer.group for c, _ in graph.consumers(tensor))
+
+
+@dataclass
+class LivenessSchedule:
+    """Per-step allocation/release plan for one graph execution order."""
+
+    num_steps: int
+    materialized: frozenset[str]
+    last_use: dict[str, int]
+    releases_at: list[list[str]]
+    """Step -> materialized non-param intermediates that die at that step
+    (graph outputs excluded: their values leave the graph)."""
+    value_drops_at: list[list[str]]
+    """Step -> *every* non-param, non-output tensor that dies at that
+    step, including fusion-group-internal values that never touch the
+    pool; executors drop the backing ndarrays here so process memory is
+    bounded by the live set, not the whole graph."""
+
+
+def liveness_schedule(graph: Graph) -> LivenessSchedule:
+    """Precompute the pool walk for ``graph``'s execution order."""
+    order = graph.topo_order()
+    materialized = frozenset(
+        t for node in order for t in node.outputs if is_materialized(graph, t))
+
+    last_use: dict[str, int] = {}
+    for step, node in enumerate(order):
+        for t in node.inputs:
+            last_use[t] = step
+    for t in graph.outputs:
+        last_use[t] = len(order)
+
+    releases_at: list[list[str]] = [[] for _ in order]
+    value_drops_at: list[list[str]] = [[] for _ in order]
+    for step, node in enumerate(order):
+        for t in set(node.inputs) | set(node.outputs):
+            spec = graph.tensors.get(t)
+            if spec is None or spec.is_param or t in graph.outputs:
+                continue
+            if last_use.get(t) != step:
+                continue
+            value_drops_at[step].append(t)
+            if t in materialized or graph.producer(t) is None:
+                releases_at[step].append(t)
+    return LivenessSchedule(
+        num_steps=len(order),
+        materialized=materialized,
+        last_use=last_use,
+        releases_at=releases_at,
+        value_drops_at=value_drops_at,
+    )
+
 
 def simulate_pool(graph: Graph, plan: LayoutPlan | None = None) -> PoolReport:
     """Walk the graph in execution order, allocating/releasing activations.
@@ -77,23 +220,8 @@ def simulate_pool(graph: Graph, plan: LayoutPlan | None = None) -> PoolReport:
     """
     plan = plan or LayoutPlan()
     order = graph.topo_order()
-
-    # Only group-boundary tensors are materialized: values internal to a
-    # fused kernel live in registers/local memory and never hit the pool.
-    def materialized(tensor: str) -> bool:
-        producer = graph.producer(tensor)
-        if producer is None or producer.group is None:
-            return True
-        if tensor in graph.outputs:
-            return True
-        return any(c.group != producer.group for c, _ in graph.consumers(tensor))
-
-    last_use: dict[str, int] = {}
-    for step, node in enumerate(order):
-        for t in node.inputs:
-            last_use[t] = step
-    for t in graph.outputs:
-        last_use[t] = len(order)
+    schedule = liveness_schedule(graph)
+    materialized = schedule.materialized
 
     pool = MemoryPool()
     live_copy = 0
@@ -108,22 +236,16 @@ def simulate_pool(graph: Graph, plan: LayoutPlan | None = None) -> PoolReport:
         pool.allocate(graph.tensors[t].size_bytes)
     for step, node in enumerate(order):
         for t in node.outputs:
-            if not materialized(t):
+            if t not in materialized:
                 continue
             pool.allocate(graph.tensors[t].size_bytes + copy_bytes(t))
             total_allocated += graph.tensors[t].size_bytes + copy_bytes(t)
             live_copy += copy_bytes(t)
         peak_copy = max(peak_copy, live_copy)
         timeline.append(PoolEvent(step, pool.live_bytes, live_copy))
-        for t in set(node.inputs) | set(node.outputs):
-            spec = graph.tensors.get(t)
-            if spec is None or spec.is_param or t in graph.outputs:
-                continue
-            if not materialized(t):
-                continue
-            if last_use.get(t) == step:
-                pool.release(spec.size_bytes + copy_bytes(t))
-                live_copy -= copy_bytes(t)
+        for t in schedule.releases_at[step]:
+            pool.release(graph.tensors[t].size_bytes + copy_bytes(t))
+            live_copy -= copy_bytes(t)
 
     return PoolReport(
         peak_bytes=pool.peak_bytes,

@@ -1,10 +1,11 @@
 """The 18-model evaluation suite plus Table 1's motivation models."""
 
 from .registry import (
-    ALL_MODELS, EVAL_MODELS, ModelInfo, TABLE1_MODELS, build, model_names,
+    ALL_MODELS, EVAL_MODELS, ModelInfo, SMOKE_CONFIGS, TABLE1_MODELS, build,
+    build_smoke, model_names,
 )
 
 __all__ = [
-    "ALL_MODELS", "EVAL_MODELS", "ModelInfo", "TABLE1_MODELS", "build",
-    "model_names",
+    "ALL_MODELS", "EVAL_MODELS", "ModelInfo", "SMOKE_CONFIGS",
+    "TABLE1_MODELS", "build", "build_smoke", "model_names",
 ]

@@ -82,3 +82,38 @@ def build(name: str, batch: int = 1, **overrides) -> Graph:
 
 def model_names(eval_only: bool = True) -> list[str]:
     return list(EVAL_MODELS if eval_only else ALL_MODELS)
+
+
+# Downscaled factory overrides small enough for NumPy end-to-end execution
+# (every model family, minutes -> milliseconds).  The test suite verifies
+# pipeline semantics and execution sessions on these; examples can use
+# them to stay interactive.
+SMOKE_CONFIGS: dict[str, dict] = {
+    "Swin": dict(image=56, dim=24, depths=(1, 1), heads=(2, 4), window=7),
+    "ViT": dict(image=32, dim=24, depth=1, heads=2, patch=16),
+    "CSwin": dict(image=56, dim=16, depths=(1, 1), heads=(2, 4),
+                  stripes=(1, 7)),
+    "AutoFormer": dict(image=112, dim=16, depth=1, heads=2),
+    "BiFormer": dict(image=56, dim=16, depths=(1, 1), heads=(2, 4)),
+    "FlattenFormer": dict(image=56, dim=16, depths=(1, 1), heads=(2, 4)),
+    "SMTFormer": dict(image=56, dim=16, depths=(1, 1), heads=(2, 4)),
+    "ConvNext": dict(image=32, dim=16, depths=(1, 1)),
+    "ResNext": dict(image=32),
+    "RegNet": dict(image=32),
+    "ResNet50": dict(image=32),
+    "FST": dict(image=32),
+    "Pythia": dict(seq=8, hidden=32, depth=1, heads=2, vocab=64),
+    "SD-TextEncoder": dict(seq=8, width=32, depth=1, heads=2, vocab=100),
+    "SD-UNet": dict(latent=8, model_c=32, context_len=4, context_dim=16,
+                    heads=2),
+    "SD-VAEDecoder": dict(latent=4, base_c=16),
+    "Conformer": dict(frames=32, mels=8, dim=16, depth=1, heads=2),
+    "EfficientVit": dict(image=32, dim=16, depths=(1, 1, 1, 1)),
+    "CrossFormer": dict(image=56, dim=16, depths=(1, 1), heads=(2, 4)),
+    "Yolo-V8": dict(image=64),
+}
+
+
+def build_smoke(name: str, batch: int = 1) -> Graph:
+    """Build the downscaled (execution-friendly) variant of a model."""
+    return build(name, batch=batch, **SMOKE_CONFIGS[name])

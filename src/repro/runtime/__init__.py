@@ -7,14 +7,16 @@ from .cost_model import (
     CostModelConfig, CostReport, KernelCost, estimate, peak_activation_bytes,
 )
 from .device import DEVICES, DIMENSITY700, DeviceSpec, SD835, SD8GEN2, V100, scaled
-from .executor import execute, make_inputs, outputs_equal
+from .executor import execute, make_inputs, outputs_equal, run_node
 from .kernels import get_kernel
+from .session import Engine, RunStats, Session, SessionStats, compile_session
 
 __all__ = [
-    "Artifact", "GeneratedKernel", "VerificationReport", "generate_group",
+    "Artifact", "Engine", "GeneratedKernel", "RunStats", "Session",
+    "SessionStats", "VerificationReport", "compile_session", "generate_group",
     "generate_kernel", "plan_from_json", "plan_to_json", "verify_equivalence",
     "CostModelConfig", "CostReport", "DEVICES", "DIMENSITY700", "DeviceSpec",
     "KernelCost", "SD835", "SD8GEN2", "V100", "estimate", "execute",
     "get_kernel", "make_inputs", "outputs_equal", "peak_activation_bytes",
-    "scaled",
+    "run_node", "scaled",
 ]

@@ -4,6 +4,10 @@ Purpose: *semantic verification* of optimizer rewrites.  Input views
 attached by layout transformation elimination are applied before each
 kernel runs; fusion groups are ignored (grouping does not change values).
 The test suite uses ``outputs_equal(original, optimized)`` on every model.
+
+The per-node step (:func:`run_node`) is shared with the session layer
+(:mod:`repro.runtime.session`), which interleaves it with memory-pool
+accounting for compile-once/run-many serving.
 """
 
 from __future__ import annotations
@@ -11,12 +15,19 @@ from __future__ import annotations
 import numpy as np
 
 from ..ir.dtype import DType
-from ..ir.graph import Graph
+from ..ir.graph import Graph, Node
 from .kernels import get_kernel
 
 
 def make_inputs(graph: Graph, seed: int = 0) -> dict[str, np.ndarray]:
-    """Deterministic random inputs (and parameters) for a graph."""
+    """Deterministic random inputs (and parameters) for a graph.
+
+    Covers graph inputs, parameters, and *interior constants*: tensors
+    carrying a ``const_value`` that are neither inputs nor parameters but
+    have no producer (e.g. an epsilon table spliced in by a rewrite).
+    Constants are filled with ``np.full`` and never consume random state,
+    so adding one to a graph does not perturb the other values.
+    """
     rng = np.random.default_rng(seed)
     values: dict[str, np.ndarray] = {}
     for name, spec in graph.tensors.items():
@@ -30,30 +41,38 @@ def make_inputs(graph: Graph, seed: int = 0) -> dict[str, np.ndarray]:
             else:
                 values[name] = rng.standard_normal(spec.shape).astype(
                     spec.dtype.numpy_dtype) * 0.1
+        elif spec.const_value is not None and graph.producer(name) is None:
+            values[name] = np.full(spec.shape, spec.const_value,
+                                   dtype=spec.dtype.numpy_dtype)
     return values
+
+
+def run_node(graph: Graph, node: Node, values: dict[str, np.ndarray]) -> None:
+    """Execute one node: apply input views, run the kernel, store outputs."""
+    args = []
+    for idx, name in enumerate(node.inputs):
+        value = values[name]
+        view = node.input_views.get(idx)
+        if view is not None:
+            value = view.apply(value)
+        args.append(value)
+    result = get_kernel(node.op_type)(args, node.attrs)
+    outputs = result if isinstance(result, (tuple, list)) else (result,)
+    for out_name, out_value in zip(node.outputs, outputs):
+        expected = graph.shape(out_name)
+        if tuple(out_value.shape) != expected:
+            raise RuntimeError(
+                f"kernel {node.op_type} ({node.id}) produced shape "
+                f"{out_value.shape}, spec says {expected}"
+            )
+        values[out_name] = out_value
 
 
 def execute(graph: Graph, inputs: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
     """Run the graph; returns values of the graph outputs."""
     values = dict(inputs)
     for node in graph.topo_order():
-        args = []
-        for idx, name in enumerate(node.inputs):
-            value = values[name]
-            view = node.input_views.get(idx)
-            if view is not None:
-                value = view.apply(value)
-            args.append(value)
-        result = get_kernel(node.op_type)(args, node.attrs)
-        outputs = result if isinstance(result, (tuple, list)) else (result,)
-        for out_name, out_value in zip(node.outputs, outputs):
-            expected = graph.shape(out_name)
-            if tuple(out_value.shape) != expected:
-                raise RuntimeError(
-                    f"kernel {node.op_type} ({node.id}) produced shape "
-                    f"{out_value.shape}, spec says {expected}"
-                )
-            values[out_name] = out_value
+        run_node(graph, node, values)
     return {name: values[name] for name in graph.outputs}
 
 

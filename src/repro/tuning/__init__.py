@@ -2,10 +2,13 @@
 
 from .config_space import KernelConfig, KernelShape, fitness
 from .genetic import GAParams, GAResult, run_ga
-from .tuner import TunedKernel, TuningReport, kernel_shapes, tune_graph, tune_kernel
+from .tuner import (
+    TunedKernel, TuningReport, kernel_shapes, stage_config, tune_graph,
+    tune_kernel,
+)
 
 __all__ = [
     "GAParams", "GAResult", "KernelConfig", "KernelShape", "TunedKernel",
-    "TuningReport", "fitness", "kernel_shapes", "run_ga", "tune_graph",
-    "tune_kernel",
+    "TuningReport", "fitness", "kernel_shapes", "run_ga", "stage_config",
+    "tune_graph", "tune_kernel",
 ]

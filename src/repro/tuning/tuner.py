@@ -113,3 +113,23 @@ def tune_graph(graph: Graph, params: GAParams | None = None,
     for shape in kernel_shapes(graph, limit=limit):
         report.kernels.append(tune_kernel(shape, params))
     return report
+
+
+def stage_config(graph: Graph, params: GAParams | None = None,
+                 limit: int = 16, base=None):
+    """Express the tuner as a *pass-config producer*.
+
+    Runs the GA over ``graph``'s heavy-op shapes and returns a
+    :class:`~repro.core.passes.PipelineStages` whose ``tuned_boost`` is
+    the measured efficiency ratio instead of the static default - the
+    value the pipeline's ``tuning`` pass applies and
+    ``OptimizeResult.cost_config()`` hands to the cost model.  ``base``
+    (default stages) supplies every other knob unchanged.
+    """
+    from dataclasses import replace
+
+    from ..core.passes import PipelineStages
+
+    report = tune_graph(graph, params, limit=limit)
+    return replace(base or PipelineStages(),
+                   tuned_boost=report.extra_efficiency())

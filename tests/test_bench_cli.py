@@ -62,8 +62,27 @@ class TestTimings:
             assert entry["wall_s"] >= 0
             assert entry["cells_computed"] >= 0
             assert entry["cache_hits"] >= 0
+            assert isinstance(entry["passes"], dict)
+        # per-pass wall-time breakdown accompanies the trajectory
+        assert isinstance(data["pass_timings"], dict)
+        for entry in data["pass_timings"].values():
+            assert entry["runs"] >= 1
+            assert entry["wall_s"] >= 0
         out = capsys.readouterr().out
         assert "Pipeline timings" in out
+
+    def test_pass_timings_attributed_to_experiment(self, tmp_path):
+        """An experiment that compiles SmartMem modules shows per-pass
+        runs/wall-time in its trajectory entry."""
+        from repro.bench.harness import clear_cell_cache
+
+        clear_cell_cache()  # force real compiles so passes actually run
+        path = tmp_path / "traj.json"
+        assert bench_main(["ablations", "--timings-out", str(path)]) == 0
+        entry = json.loads(path.read_text())["experiments"][0]
+        assert entry["passes"]["lte"]["runs"] > 0
+        assert entry["passes"]["fusion"]["runs"] > 0
+        assert entry["passes"]["lte"]["wall_s"] >= 0
 
     def test_timings_out_missing_path(self):
         assert bench_main(["micro_rw", "--timings-out"]) == 2

@@ -43,6 +43,46 @@ class TestExecutor:
         node.attrs["func"] = "sigmoid"
         assert not outputs_equal(linear_graph, g)
 
+    def test_interior_constant_materialized(self):
+        """A const_value tensor that is neither a parameter nor a graph
+        input must still be filled (regression: execute() used to KeyError
+        on it)."""
+        from repro.ir.graph import Graph
+        from repro.ir.tensor import TensorSpec
+
+        g = Graph("interior_const")
+        g.add_input("x", (2, 3))
+        g.add_tensor(TensorSpec("c", (2, 3), const_value=2.0))
+        g.add_tensor(TensorSpec("y", (2, 3)))
+        g.add_node("binary", ["x", "c"], ["y"], {"func": "mul"})
+        g.mark_output("y")
+
+        inputs = make_inputs(g, seed=0)
+        assert "c" in inputs
+        assert np.all(inputs["c"] == 2.0)
+        out = execute(g, inputs)
+        assert np.allclose(out["y"], inputs["x"] * 2.0)
+
+    def test_interior_constant_does_not_shift_rng(self):
+        """Constants are np.full-filled and never consume random state, so
+        adding one leaves every other tensor's values unchanged."""
+        from repro.ir.graph import Graph
+        from repro.ir.tensor import TensorSpec
+
+        def base(with_const):
+            g = Graph("g")
+            g.add_input("x", (2, 3))
+            g.add_param("w", (3, 4))
+            if with_const:
+                g.add_tensor(TensorSpec("eps", (1,), const_value=0.5))
+            return g
+
+        a = make_inputs(base(False), seed=5)
+        b = make_inputs(base(True), seed=5)
+        assert np.array_equal(a["x"], b["x"])
+        assert np.array_equal(a["w"], b["w"])
+        assert np.all(b["eps"] == 0.5)
+
 
 class TestPipelineEndToEnd:
     @pytest.mark.parametrize("fixture", [

@@ -4,7 +4,9 @@ import pytest
 
 from repro.core import count_layout_transforms, smartmem_optimize
 from repro.ir import validate
-from repro.models import ALL_MODELS, EVAL_MODELS, TABLE1_MODELS, build, model_names
+from repro.models import (
+    ALL_MODELS, EVAL_MODELS, SMOKE_CONFIGS, TABLE1_MODELS, build, model_names,
+)
 from repro.runtime import outputs_equal
 
 
@@ -88,31 +90,9 @@ class TestBatchScaling:
         assert g1.num_params == g4.num_params
 
 
-# Downscaled configurations small enough for NumPy end-to-end execution.
-SMALL_CONFIGS = {
-    "Swin": dict(image=56, dim=24, depths=(1, 1), heads=(2, 4), window=7),
-    "ViT": dict(image=32, dim=24, depth=1, heads=2, patch=16),
-    "CSwin": dict(image=56, dim=16, depths=(1, 1), heads=(2, 4),
-                  stripes=(1, 7)),
-    "AutoFormer": dict(image=112, dim=16, depth=1, heads=2),
-    "BiFormer": dict(image=56, dim=16, depths=(1, 1), heads=(2, 4)),
-    "FlattenFormer": dict(image=56, dim=16, depths=(1, 1), heads=(2, 4)),
-    "SMTFormer": dict(image=56, dim=16, depths=(1, 1), heads=(2, 4)),
-    "ConvNext": dict(image=32, dim=16, depths=(1, 1)),
-    "ResNext": dict(image=32),
-    "RegNet": dict(image=32),
-    "ResNet50": dict(image=32),
-    "FST": dict(image=32),
-    "Pythia": dict(seq=8, hidden=32, depth=1, heads=2, vocab=64),
-    "SD-TextEncoder": dict(seq=8, width=32, depth=1, heads=2, vocab=100),
-    "SD-UNet": dict(latent=8, model_c=32, context_len=4, context_dim=16,
-                    heads=2),
-    "SD-VAEDecoder": dict(latent=4, base_c=16),
-    "Conformer": dict(frames=32, mels=8, dim=16, depth=1, heads=2),
-    "EfficientVit": dict(image=32, dim=16, depths=(1, 1, 1, 1)),
-    "CrossFormer": dict(image=56, dim=16, depths=(1, 1), heads=(2, 4)),
-    "Yolo-V8": dict(image=64),
-}
+# Downscaled configurations live in the registry (SMOKE_CONFIGS) so the
+# session layer and examples share them.
+SMALL_CONFIGS = SMOKE_CONFIGS
 
 
 @pytest.mark.parametrize("name", sorted(SMALL_CONFIGS))

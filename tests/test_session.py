@@ -1,0 +1,174 @@
+"""Tests for the compile-once/run-many Session/Engine layer."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import cell_cache_stats
+from repro.core import PipelineStages
+from repro.models import ALL_MODELS, SMOKE_CONFIGS as SMALL_CONFIGS, build
+from repro.runtime import (
+    Engine, SD8GEN2, Session, compile_session, execute, make_inputs,
+)
+
+
+def _session_and_reference(name):
+    g = build(name, **SMALL_CONFIGS[name])
+    session = compile_session(g, "Ours")
+    inputs = make_inputs(g)
+    return g, session, inputs
+
+
+@pytest.mark.parametrize("name", sorted(SMALL_CONFIGS))
+class TestEveryRegistryModel:
+    """Compile-once/run-many equals direct execute() on the whole zoo."""
+
+    def test_run_many_matches_reference(self, name):
+        g, session, inputs = _session_and_reference(name)
+        ref = execute(g, inputs)
+        # byte-identical to executing the compiled graph directly
+        compiled_ref = execute(
+            session.graph,
+            {k: v for k, v in inputs.items() if k in session.graph.tensors})
+        out1 = session.run(inputs)
+        out2 = session.run(inputs)
+        assert list(out1) == list(ref)
+        for key in ref:
+            assert np.array_equal(out1[key], compiled_ref[key]), key
+            assert np.array_equal(out1[key], out2[key]), key
+            assert np.allclose(ref[key], out1[key], rtol=1e-4, atol=1e-5), key
+
+    def test_second_run_reuses_pool_blocks(self, name):
+        _, session, inputs = _session_and_reference(name)
+        session.run(inputs)
+        session.run(inputs)
+        first, second = session.stats.runs
+        assert second.pool.allocations < first.pool.allocations
+        assert second.pool.reuses > 0
+        # steady state: everything returned to the pool between requests
+        assert second.pool.final_bytes == 0
+
+
+class TestSessionAccounting:
+    @pytest.fixture(scope="class")
+    def vit_session(self):
+        g = build("ViT", **SMALL_CONFIGS["ViT"])
+        return g, compile_session(g, "Ours")
+
+    def test_per_request_stats(self, vit_session):
+        g, session = vit_session
+        start = session.stats.requests
+        session.run(session.make_inputs(seed=3))
+        stats = session.stats.runs[-1]
+        assert session.stats.requests == start + 1
+        assert stats.wall_s > 0
+        assert stats.est_latency_ms > 0
+        assert stats.pool.total_allocated_bytes > 0
+        assert len(stats.pool.timeline) == len(session.graph.topo_order())
+        assert session.stats.mean_wall_s > 0
+
+    def test_run_batch(self, vit_session):
+        g, session = vit_session
+        start = session.stats.requests
+        batch = [make_inputs(g, seed=s) for s in range(3)]
+        outs = session.run_batch(batch)
+        assert len(outs) == 3
+        assert session.stats.requests == start + 3
+        # different seeds produce different outputs
+        name = next(iter(outs[0]))
+        assert not np.array_equal(outs[0][name], outs[1][name])
+
+    def test_seeded_run_without_inputs(self, vit_session):
+        _, session = vit_session
+        a = session.run(seed=11)
+        b = session.run(seed=11)
+        for key in a:
+            assert np.array_equal(a[key], b[key])
+
+    def test_missing_inputs_rejected(self, vit_session):
+        _, session = vit_session
+        with pytest.raises(ValueError, match="missing graph inputs"):
+            session.run({})
+
+    def test_inputs_and_seed_together_rejected(self, vit_session):
+        _, session = vit_session
+        with pytest.raises(ValueError, match="not both"):
+            session.run(session.make_inputs(), seed=3)
+
+    def test_failed_run_does_not_corrupt_pool(self, vit_session):
+        """A request that dies mid-graph must return its blocks: the pool
+        is long-lived and shared by every later request."""
+        _, session = vit_session
+        inputs = session.make_inputs()
+        bad = dict(inputs)
+        name = next(iter(bad))
+        bad[name] = bad[name][..., :-1]  # wrong shape
+        requests_before = session.stats.requests
+        live_before = session.pool.live_bytes
+        with pytest.raises(Exception):
+            session.run(bad)
+        assert session.pool.live_bytes == live_before
+        assert session.stats.requests == requests_before
+        out = session.run(inputs)  # session still serves correctly
+        assert out
+
+    def test_graph_model_batch_rejected(self):
+        g = build("ViT", **SMALL_CONFIGS["ViT"])
+        with pytest.raises(ValueError, match="batch"):
+            compile_session(g, "Ours", batch=2)
+
+    def test_est_latency_matches_cell_report(self, vit_session):
+        _, session = vit_session
+        assert session.est_latency_ms == pytest.approx(
+            session.report.latency_ms)
+
+
+class TestCompileOnce:
+    def test_engine_returns_same_session(self):
+        g = build("ViT", **SMALL_CONFIGS["ViT"])
+        engine = Engine()
+        a = engine.compile(g)
+        b = engine.compile(g)
+        assert a is b
+        assert engine.num_sessions == 1
+        assert engine.compile(g, stages=PipelineStages(lte=False)) is not a
+        assert engine.num_sessions == 2
+
+    def test_compile_reuses_cell_cache(self):
+        g = build("Swin", **SMALL_CONFIGS["Swin"])
+        compile_session(g, "Ours")
+        before = cell_cache_stats()
+        second = compile_session(g, "Ours")
+        after = cell_cache_stats()
+        assert after["misses"] == before["misses"]
+        assert after["hits"] == before["hits"] + 1
+        assert isinstance(second, Session)
+
+    def test_sessions_have_independent_pools(self):
+        g = build("ViT", **SMALL_CONFIGS["ViT"])
+        a = compile_session(g, "Ours")
+        b = compile_session(g, "Ours")
+        inputs = make_inputs(g)
+        a.run(inputs)
+        b.run(inputs)
+        # b's first run is cold even though a warmed its own pool
+        assert b.stats.runs[0].pool.allocations > 0
+
+    def test_unsupported_framework_raises(self):
+        g = build("ViT", **SMALL_CONFIGS["ViT"])
+        with pytest.raises(RuntimeError, match="cannot serve"):
+            compile_session(g, "NCNN")
+
+    def test_baseline_framework_sessions_execute(self):
+        g = build("ResNext", **SMALL_CONFIGS["ResNext"])
+        session = compile_session(g, "DNNF")
+        inputs = make_inputs(g)
+        ref = execute(g, inputs)
+        out = session.run(inputs)
+        for key in ref:
+            assert np.allclose(ref[key], out[key], rtol=1e-4, atol=1e-5), key
+
+    def test_registry_names_compile_directly(self):
+        session = compile_session("ViT", "Ours", SD8GEN2)
+        assert session.model == "ViT"
+        assert session.graph.num_operators > 0
+        assert "ViT" in ALL_MODELS

@@ -117,3 +117,21 @@ class TestTuner:
         b.output(b.relu(x))
         report = tune_graph(b.finish())
         assert report.extra_efficiency() == 1.0
+
+    def test_stage_config_produces_pass_config(self):
+        """The tuner as a pass-config producer: a PipelineStages whose
+        tuned_boost is measured, consumable by the pipeline's tuning pass."""
+        from repro.core import PipelineStages, smartmem_optimize
+        from repro.tuning import stage_config
+
+        g = build("ViT", image=32, dim=24, depth=1, heads=2, patch=16)
+        stages = stage_config(g, GAParams(population=12, generations=8))
+        assert isinstance(stages, PipelineStages)
+        assert 1.0 <= stages.tuned_boost <= 1.25
+        base = stage_config(g, GAParams(population=12, generations=8),
+                            base=PipelineStages(lte=False))
+        assert base.lte is False  # other knobs pass through
+        result = smartmem_optimize(g, stages)
+        assert result.extra_efficiency == pytest.approx(stages.tuned_boost)
+        assert result.cost_config().extra_efficiency == pytest.approx(
+            stages.tuned_boost)
