@@ -20,6 +20,7 @@ framework would:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..core.elimination import count_layout_transforms
 from ..core.fusion import FusionPolicy, fuse
@@ -29,6 +30,9 @@ from ..runtime.cost_model import (
     CostModelConfig, CostReport, estimate, peak_activation_bytes,
 )
 from ..runtime.device import DeviceSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.program import ExecutionProgram
 
 # Layout domains for implicit-convert insertion.  IMAGE ops want the
 # packed-channel image layout; LINEAR ops want flattened row-major data.
@@ -57,6 +61,10 @@ class FrameworkResult:
     reason: str = ""
     implicit_converts: int = 0
     extra: dict = field(default_factory=dict)
+    program: "ExecutionProgram | None" = None
+    """Lowered execution program (the ``Ours`` pipeline lowers as its
+    final pass; other frameworks leave this None and the session layer
+    lowers lazily, memoized on the graph)."""
 
     @property
     def operator_count(self) -> int:

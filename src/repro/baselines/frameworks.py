@@ -179,7 +179,7 @@ class SmartMem(Framework):
         config = result.cost_config()
         return FrameworkResult(
             self.name, supported=True, graph=result.graph, plan=result.plan,
-            config=config,
+            config=config, program=result.program,
             extra={
                 "eliminated": (result.elimination_stats.eliminated
                                if result.elimination_stats else {}),

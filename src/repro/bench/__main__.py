@@ -6,7 +6,9 @@
     python -m repro.bench --all --timings
 
 ``--timings`` records the wall time and compile/cost-cache traffic of
-every experiment and writes the perf trajectory to ``BENCH_pipeline.json``
+every experiment, per-pass compile time, and steady-state serving walls
+(``serve`` section: lowered program vs. the PR-2 interpreter loop per
+model), and writes the perf trajectory to ``BENCH_pipeline.json``
 (override the path with ``--timings-out``).
 """
 
@@ -105,6 +107,14 @@ def main(argv: list[str]) -> int:
             name: {"runs": entry["runs"], "wall_s": round(entry["wall_s"], 4)}
             for name, entry in sorted(pass_timing_stats().items())
         }
+        serve = None
+        if targets == list(EXPERIMENTS):
+            # Serving walls belong to the full-suite trajectory (the CI
+            # mode); profiling a single experiment skips the ~400 timed
+            # requests.  Imported lazily for the same reason.
+            from .serving import measure_serving
+
+            serve = measure_serving()
         payload = {
             "suite": targets,
             "total_s": round(total_s, 4),
@@ -112,6 +122,8 @@ def main(argv: list[str]) -> int:
             "pass_timings": pass_stats,
             "experiments": trajectory,
         }
+        if serve is not None:
+            payload["serve"] = serve
         with open(timings_path, "w") as handle:
             json.dump(payload, handle, indent=2)
         print(format_table(
@@ -127,6 +139,14 @@ def main(argv: list[str]) -> int:
                 [[name, str(entry["runs"]), f"{entry['wall_s']:.3f}"]
                  for name, entry in pass_stats.items()],
                 title="== Optimization-pass timings =="))
+        if serve is not None:
+            print(format_table(
+                ["Model", "steps", "interp (ms)", "program (ms)", "speedup"],
+                [[name, str(entry["steps"]),
+                  f"{entry['interpreter_run_ms']:.3f}",
+                  f"{entry['program_run_ms']:.3f}", f"{entry['speedup']:.2f}x"]
+                 for name, entry in serve["models"].items()],
+                title="== Steady-state serving (Session.run wall time) =="))
         print(f"wrote perf trajectory to {timings_path}")
     return 0
 

@@ -1,0 +1,171 @@
+"""Steady-state serving benchmark: lowered program vs. interpreter loop.
+
+Measures, per smoke-scale registry model, the steady-state wall time of
+``Session.run()`` (the lowered :class:`~repro.runtime.program.ExecutionProgram`
+path) against a frozen replica of the PR-2 per-node interpreter loop on
+the *same* compiled graph and the *same* reference kernels.  The result
+lands in the ``serve`` section of ``BENCH_pipeline.json`` (written by
+``python -m repro.bench --all --timings``), so the serving speedup is
+tracked alongside compile-time and cache trajectories.
+
+Both paths do the full per-request work a PR-2 session did - admission,
+pool accounting, per-request stats - the interpreter pays it per node
+per request, the program path paid it once at lowering time.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+
+from ..memory.pool import (
+    PoolEvent, PoolReport, SizeClassPool, liveness_schedule,
+)
+from ..models import build_smoke
+from ..runtime.executor import make_inputs, run_node
+from ..runtime.session import RunStats, compile_session
+
+#: Models measured by default: transformer-family smoke configs whose
+#: request times are small enough that dispatch overhead is visible, plus
+#: one hybrid for contrast.
+SERVE_MODELS = ("Pythia", "SD-TextEncoder", "ViT", "Conformer")
+
+
+class InterpreterSession:
+    """Frozen replica of the PR-2 ``Session.run`` request path.
+
+    Re-interprets the graph per request - per-node kernel dict lookups
+    via :func:`run_node`, per-run liveness dict bookkeeping, per-run
+    timeline/stats construction - exactly as the serving layer did before
+    lowering.  Kept only as the baseline for the ``serve`` benchmark.
+    """
+
+    def __init__(self, graph, report) -> None:
+        self.graph = graph
+        self.pool = SizeClassPool()
+        self._schedule = liveness_schedule(graph)
+        self._order = graph.topo_order()
+        self._params = {
+            name: value for name, value in make_inputs(graph, seed=0).items()
+            if name not in graph.inputs}
+        self._report = report
+        self.requests = 0
+        self.total_wall_s = 0.0
+        self.runs: deque[RunStats] = deque(maxlen=256)
+
+    @property
+    def est_latency_ms(self) -> float:
+        return self._report.latency_ms
+
+    def run(self, inputs):
+        start = time.perf_counter()
+        graph = self.graph
+        values = dict(self._params)
+        for name, value in inputs.items():
+            if name in graph.tensors:
+                values[name] = value
+        missing = [name for name in graph.inputs if name not in values]
+        if missing:
+            raise ValueError(f"missing graph inputs: {missing}")
+
+        pool = self.pool
+        before = pool.stats()
+        tensors = graph.tensors
+        schedule = self._schedule
+        materialized = schedule.materialized
+        live: dict[str, int] = {}
+        total_allocated = 0
+        timeline: list[PoolEvent] = []
+        peak_live = 0
+        try:
+            for t in graph.inputs:
+                size = tensors[t].size_bytes
+                pool.allocate(size)
+                live[t] = size
+                total_allocated += size
+            for step, node in enumerate(self._order):
+                run_node(graph, node, values)
+                for t in node.outputs:
+                    if t in materialized:
+                        size = tensors[t].size_bytes
+                        pool.allocate(size)
+                        live[t] = size
+                        total_allocated += size
+                peak_live = max(peak_live, pool.live_bytes)
+                timeline.append(PoolEvent(step, pool.live_bytes, 0))
+                for t in schedule.releases_at[step]:
+                    size = live.pop(t, None)
+                    if size is not None:
+                        pool.release(size)
+                for t in schedule.value_drops_at[step]:
+                    values.pop(t, None)
+            outputs = {name: values[name] for name in graph.outputs}
+        finally:
+            for size in live.values():
+                pool.release(size)
+            live.clear()
+        after = pool.stats()
+        wall_s = time.perf_counter() - start
+        run_report = PoolReport(
+            peak_bytes=peak_live,
+            peak_copy_bytes=0,
+            final_bytes=pool.live_bytes,
+            timeline=timeline,
+            allocations=after["allocations"] - before["allocations"],
+            reuses=after["reuses"] - before["reuses"],
+            total_allocated_bytes=total_allocated,
+        )
+        self.requests += 1
+        self.total_wall_s += wall_s
+        self.runs.append(RunStats(
+            request=self.requests, wall_s=wall_s,
+            est_latency_ms=self.est_latency_ms, pool=run_report))
+        return outputs
+
+
+def measure_serving(models: tuple[str, ...] = SERVE_MODELS,
+                    requests: int = 50, warmup: int = 5) -> dict:
+    """Measure steady-state request wall time, program vs. interpreter.
+
+    Each path is warmed (pool at steady state, params materialized, cost
+    report priced), then timed over ``requests`` runs; the best (minimum)
+    wall time per path is reported, which is the stable statistic for
+    micro-scale request times.
+    """
+    perf = time.perf_counter
+    per_model = {}
+    best = 0.0
+    for name in models:
+        graph = build_smoke(name)
+        session = compile_session(graph, "Ours")
+        interp = InterpreterSession(session.graph, session.report)
+        inputs = session.make_inputs()
+        for _ in range(warmup):
+            session.run(inputs)
+            interp.run(inputs)
+        program_walls = []
+        for _ in range(requests):
+            start = perf()
+            session.run(inputs)
+            program_walls.append(perf() - start)
+        interp_walls = []
+        for _ in range(requests):
+            start = perf()
+            interp.run(inputs)
+            interp_walls.append(perf() - start)
+        program_ms = min(program_walls) * 1e3
+        interp_ms = min(interp_walls) * 1e3
+        speedup = interp_ms / program_ms if program_ms else 0.0
+        best = max(best, speedup)
+        per_model[name] = {
+            "steps": session.program.num_steps,
+            "slots": session.program.slot_plan.num_slots,
+            "interpreter_run_ms": round(interp_ms, 4),
+            "program_run_ms": round(program_ms, 4),
+            "speedup": round(speedup, 2),
+        }
+    return {
+        "requests": requests,
+        "models": per_model,
+        "best_speedup": round(best, 2),
+    }

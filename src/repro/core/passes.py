@@ -86,6 +86,7 @@ class PassContext:
         self.graph = graph
         self.stages = stages or PipelineStages()
         self.plan = None
+        self.program = None
         self.fusion_stats = None
         self.elimination_stats = None
         self.simplify_index: bool = self.stages.simplify_index
@@ -269,6 +270,29 @@ class TuningPass(Pass):
         return {"extra_efficiency": self.tuned_boost}
 
 
+@register_pass
+class LowerPass(Pass):
+    """Lower the optimized graph to an ExecutionProgram: kernels
+    pre-bound, input views pre-resolved to appliers, and a static
+    buffer-slot plan register-allocated from the liveness schedule.
+
+    Runs last, so ``OptimizeResult`` (and therefore the compile-core
+    cache) carries the lowered program to every execution session; the
+    lowering itself is memoized per graph generation, so the pass is a
+    cache fill, never a duplicate.
+    """
+
+    name = "lower"
+
+    def run(self, ctx: PassContext) -> dict:
+        # Imported lazily: the runtime layer sits above the optimizer.
+        from ..runtime.program import lower
+
+        ctx.program = lower(ctx.graph)
+        return {"steps": ctx.program.num_steps,
+                "slots": ctx.program.slot_plan.num_slots}
+
+
 # ---------------------------------------------------------------------------
 # manager
 # ---------------------------------------------------------------------------
@@ -340,4 +364,5 @@ def canonical_passes(stages: PipelineStages | None = None) -> list[Pass]:
         passes.append(DefaultLayoutPass(use_texture=stages.use_texture))
     if stages.full_texture:
         passes.append(TuningPass(tuned_boost=stages.tuned_boost))
+    passes.append(LowerPass())
     return passes

@@ -24,6 +24,10 @@ The canonical pipeline (Section 3, Fig. 8 staging):
 6. ``tuning`` - auto-tuned kernel-config efficiency boost ("Other opt"
    in Fig. 8; the GA tuner can produce the boost via
    :func:`repro.tuning.stage_config`).
+7. ``lower`` - lower the optimized graph to an
+   :class:`~repro.runtime.program.ExecutionProgram` (pre-bound kernels,
+   pre-resolved views, static buffer-slot plan) so execution sessions
+   never re-interpret the graph per request.
 
 Each stage can be disabled independently through ``PipelineStages``,
 which is exactly how the Fig. 8 optimization-breakdown experiment is
@@ -70,6 +74,9 @@ class OptimizeResult:
     """Kernel-efficiency boost recorded by the ``tuning`` pass (1.0 when
     the pass did not run); :meth:`cost_config` hands it to the cost
     model, so a custom TuningPass config is actually priced."""
+    program: "ExecutionProgram | None" = None
+    """Lowered execution program recorded by the ``lower`` pass, carried
+    through the compile caches to every execution session."""
 
     @property
     def operator_count(self) -> int:
@@ -119,4 +126,5 @@ def smartmem_optimize(
         pass_records=ctx.records,
         simplify_index=ctx.simplify_index,
         extra_efficiency=ctx.extra_efficiency,
+        program=ctx.program,
     )

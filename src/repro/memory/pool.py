@@ -145,6 +145,18 @@ class SizeClassPool(MemoryPool):
     def free_bytes(self) -> int:
         return self._free_byte_count
 
+    def matches_free_state(self, free_by_size: dict[int, int]) -> bool:
+        """True when the pool's free blocks are exactly ``free_by_size``
+        (size -> count).
+
+        The lowered-program backend uses this as the steady-state
+        signature: when a session pool's free blocks equal its program's
+        slot plan, every allocation of the next run is a reuse by
+        construction, so the whole walk's pool accounting collapses to
+        one static counter update (see :mod:`repro.runtime.program`).
+        """
+        return self._free_by_size == free_by_size
+
 
 def is_materialized(graph: Graph, tensor: str) -> bool:
     """Whether ``tensor`` hits the memory pool at all.

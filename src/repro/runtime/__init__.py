@@ -9,12 +9,19 @@ from .cost_model import (
 from .device import DEVICES, DIMENSITY700, DeviceSpec, SD835, SD8GEN2, V100, scaled
 from .executor import execute, make_inputs, outputs_equal, run_node
 from .kernels import get_kernel
+from .program import (
+    ExecutionBackend, ExecutionProgram, NumPyBackend, SlotPlan, Step,
+    available_backends, get_backend, lower, register_backend,
+)
 from .session import Engine, RunStats, Session, SessionStats, compile_session
 
 __all__ = [
-    "Artifact", "Engine", "GeneratedKernel", "RunStats", "Session",
-    "SessionStats", "VerificationReport", "compile_session", "generate_group",
-    "generate_kernel", "plan_from_json", "plan_to_json", "verify_equivalence",
+    "Artifact", "Engine", "ExecutionBackend", "ExecutionProgram",
+    "GeneratedKernel", "NumPyBackend", "RunStats", "Session",
+    "SessionStats", "SlotPlan", "Step", "VerificationReport",
+    "available_backends", "compile_session", "generate_group",
+    "generate_kernel", "get_backend", "lower", "plan_from_json",
+    "plan_to_json", "register_backend", "verify_equivalence",
     "CostModelConfig", "CostReport", "DEVICES", "DIMENSITY700", "DeviceSpec",
     "KernelCost", "SD835", "SD8GEN2", "V100", "estimate", "execute",
     "get_kernel", "make_inputs", "outputs_equal", "peak_activation_bytes",

@@ -5,9 +5,12 @@ attached by layout transformation elimination are applied before each
 kernel runs; fusion groups are ignored (grouping does not change values).
 The test suite uses ``outputs_equal(original, optimized)`` on every model.
 
-The per-node step (:func:`run_node`) is shared with the session layer
-(:mod:`repro.runtime.session`), which interleaves it with memory-pool
-accounting for compile-once/run-many serving.
+Execution itself goes through the lowered-program path
+(:mod:`repro.runtime.program`): :func:`execute` lowers the graph once per
+generation and drives the reference NumPy backend - the same path the
+serving session and the verifier use.  :func:`run_node` remains as the
+single-node reference step (tests and the bench serving baseline use it
+to cross-check the lowering).
 """
 
 from __future__ import annotations
@@ -69,11 +72,16 @@ def run_node(graph: Graph, node: Node, values: dict[str, np.ndarray]) -> None:
 
 
 def execute(graph: Graph, inputs: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
-    """Run the graph; returns values of the graph outputs."""
-    values = dict(inputs)
-    for node in graph.topo_order():
-        run_node(graph, node, values)
-    return {name: values[name] for name in graph.outputs}
+    """Run the graph; returns values of the graph outputs.
+
+    Lowered once per graph generation (memoized on the graph's analysis
+    cache) and driven through the reference NumPy backend - the same
+    :class:`~repro.runtime.program.ExecutionProgram` path the serving
+    session uses.
+    """
+    from .program import get_backend, lower
+
+    return get_backend("numpy").run(lower(graph), dict(inputs))
 
 
 def outputs_equal(
@@ -86,17 +94,15 @@ def outputs_equal(
     """True when both graphs produce numerically equal outputs.
 
     Graph ``b`` may use different internal tensor names (rewrites rename
-    nothing in this codebase, but output order is what matters).
+    nothing in this codebase, but output order is what matters).  A thin
+    shim over :func:`~repro.runtime.verify.verify_equivalence`, so
+    tolerance and NaN semantics live in exactly one place - which means
+    NaNs at matching positions now count as *equal* (the verifier's
+    semantics: both graphs agreeing on NaN is agreement), where this
+    function previously treated any NaN as a mismatch.
     """
-    inputs = make_inputs(a, seed)
-    # b shares input/param names with a by construction (rewrites only
-    # remove intermediates); restrict to what b declares.
-    b_inputs = {name: inputs[name] for name in inputs if name in b.tensors}
-    out_a = execute(a, inputs)
-    out_b = execute(b, b_inputs)
-    if list(out_a) != list(out_b):
+    from .verify import verify_equivalence
+
+    if list(a.outputs) != list(b.outputs):
         return False
-    return all(
-        np.allclose(out_a[name], out_b[name], rtol=rtol, atol=atol)
-        for name in out_a
-    )
+    return verify_equivalence(a, b, seeds=(seed,), rtol=rtol, atol=atol).passed

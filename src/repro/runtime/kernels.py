@@ -103,10 +103,13 @@ def dense(inputs, attrs):
 # elementwise
 # ---------------------------------------------------------------------------
 
+_GELU_C = math.sqrt(2.0 / math.pi)
+
 _UNARY_IMPL = {
     "relu": lambda x: np.maximum(x, 0),
     "relu6": lambda x: np.clip(x, 0, 6),
-    "gelu": lambda x: 0.5 * x * (1 + np.tanh(np.sqrt(2 / np.pi) * (x + 0.044715 * x ** 3))),
+    # x*x*x instead of x**3: same value, but half-precision pow is slow
+    "gelu": lambda x: 0.5 * x * (1 + np.tanh(_GELU_C * (x + 0.044715 * (x * x * x)))),
     "silu": lambda x: x / (1 + np.exp(-x)),
     "sigmoid": lambda x: 1 / (1 + np.exp(-x)),
     "tanh": np.tanh,
@@ -116,7 +119,9 @@ _UNARY_IMPL = {
     "neg": np.negative,
     "abs": np.abs,
     "erf": lambda x: np.vectorize(math.erf)(x).astype(x.dtype),
-    "identity": lambda x: x,
+    # copies: a kernel output must never alias the caller's input array
+    # (unary's astype(copy=False) would otherwise pass x through)
+    "identity": lambda x: x.copy(),
     "leaky_relu": lambda x: np.where(x > 0, x, 0.01 * x),
     "hardswish": lambda x: x * np.clip(x + 3, 0, 6) / 6,
 }
@@ -124,7 +129,11 @@ _UNARY_IMPL = {
 
 @kernel("unary")
 def unary(inputs, attrs):
-    return _UNARY_IMPL[attrs["func"]](inputs[0]).astype(inputs[0].dtype)
+    # copy=False: skip the redundant copy when the compute dtype already
+    # matches (every impl returns a fresh array, so nothing aliases the
+    # input)
+    return _UNARY_IMPL[attrs["func"]](inputs[0]).astype(
+        inputs[0].dtype, copy=False)
 
 
 _BINARY_IMPL = {
@@ -136,7 +145,8 @@ _BINARY_IMPL = {
 
 @kernel("binary")
 def binary(inputs, attrs):
-    return _BINARY_IMPL[attrs["func"]](inputs[0], inputs[1]).astype(inputs[0].dtype)
+    return _BINARY_IMPL[attrs["func"]](inputs[0], inputs[1]).astype(
+        inputs[0].dtype, copy=False)
 
 
 # ---------------------------------------------------------------------------
@@ -150,13 +160,16 @@ def softmax(inputs, attrs):
     axis = int(attrs.get("axis", -1))
     shifted = x - x.max(axis=axis, keepdims=True)
     e = np.exp(shifted)
-    return (e / e.sum(axis=axis, keepdims=True)).astype(x.dtype)
+    return (e / e.sum(axis=axis, keepdims=True)).astype(x.dtype, copy=False)
 
 
 def _norm(x, axes, eps):
+    # One subtraction pass shared between the variance and the output
+    # (np.var would redo x - mean internally).
     mean = x.mean(axis=axes, keepdims=True)
-    var = x.var(axis=axes, keepdims=True)
-    return (x - mean) / np.sqrt(var + eps)
+    d = x - mean
+    var = np.mean(d * d, axis=axes, keepdims=True)
+    return d / np.sqrt(var + eps)
 
 
 def _axes_tuple(attrs, rank):
@@ -176,19 +189,19 @@ def layernorm(inputs, attrs):
         out = out * inputs[1].reshape(shape)
         if len(inputs) > 2:
             out = out + inputs[2].reshape(shape)
-    return out.astype(x.dtype)
+    return out.astype(x.dtype, copy=False)
 
 
 @kernel("rmsnorm")
 def rmsnorm(inputs, attrs):
     x = inputs[0]
     axes = _axes_tuple(attrs, x.ndim)
-    rms = np.sqrt((x ** 2).mean(axis=axes, keepdims=True) + attrs.get("eps", 1e-6))
+    rms = np.sqrt((x * x).mean(axis=axes, keepdims=True) + attrs.get("eps", 1e-6))
     out = x / rms
     if len(inputs) > 1:
         shape = [x.shape[a] if a in axes else 1 for a in range(x.ndim)]
         out = out * inputs[1].reshape(shape)
-    return out.astype(x.dtype)
+    return out.astype(x.dtype, copy=False)
 
 
 @kernel("instancenorm")
@@ -199,7 +212,7 @@ def instancenorm(inputs, attrs):
         out = out * inputs[1].reshape(1, -1, 1, 1)
         if len(inputs) > 2:
             out = out + inputs[2].reshape(1, -1, 1, 1)
-    return out.astype(x.dtype)
+    return out.astype(x.dtype, copy=False)
 
 
 @kernel("groupnorm")
@@ -213,7 +226,7 @@ def groupnorm(inputs, attrs):
         out = out * inputs[1].reshape(1, -1, 1, 1)
         if len(inputs) > 2:
             out = out + inputs[2].reshape(1, -1, 1, 1)
-    return out.astype(x.dtype)
+    return out.astype(x.dtype, copy=False)
 
 
 @kernel("batchnorm")
@@ -243,7 +256,7 @@ def _reduce_impl(fn):
         out = fn(x, axis=axes, keepdims=keepdims)
         if not keepdims and out.ndim == 0:
             out = out.reshape(1)
-        return out.astype(x.dtype)
+        return out.astype(x.dtype, copy=False)
     return run
 
 
@@ -351,7 +364,7 @@ def _pool_impl(reducer):
         if reducer is np.max:
             return stacked.max(axis=0)
         # average pooling: divide by window size (count_include_pad=True)
-        return (stacked.sum(axis=0) / (kh * kw)).astype(x.dtype)
+        return (stacked.sum(axis=0) / (kh * kw)).astype(x.dtype, copy=False)
     return run
 
 
@@ -361,7 +374,8 @@ kernel("avgpool2d")(_pool_impl(np.mean))
 
 @kernel("global_avgpool")
 def global_avgpool(inputs, attrs):
-    return inputs[0].mean(axis=(2, 3), keepdims=True).astype(inputs[0].dtype)
+    return inputs[0].mean(axis=(2, 3), keepdims=True).astype(
+        inputs[0].dtype, copy=False)
 
 
 @kernel("upsample2d")

@@ -1,0 +1,525 @@
+"""Lowered execution programs and pluggable execution backends.
+
+SmartMem's central claim is that decisions made once at compile time pay
+off on every inference.  The serving layer used to undercut that by
+re-interpreting the :class:`~repro.ir.graph.Graph` per request: per-node
+kernel dict lookups, per-node view resolution, per-run liveness dict
+bookkeeping.  :func:`lower` moves all of that to compile time, producing
+an :class:`ExecutionProgram`:
+
+* a flat tuple of :class:`Step`\\ s - one per node, in execution order -
+  with the kernel callable pre-bound via
+  :func:`~repro.runtime.kernels.get_kernel`, input views pre-resolved to
+  plain appliers, and output shapes pre-fetched from the tensor specs;
+* a static :class:`SlotPlan` - register allocation of pool buffers over
+  exact size classes, computed once from
+  :func:`~repro.memory.pool.liveness_schedule` - so per-request pool
+  accounting becomes slot-indexed integer ops instead of per-run dict
+  bookkeeping.  The slot plan also fixes the per-step live-byte timeline,
+  the peak footprint, and the total allocation traffic statically: they
+  are identical for every request by construction.
+
+Programs are memoized on the graph's analysis cache (keyed by graph
+generation), so the executor, the verifier, and every
+:class:`~repro.runtime.session.Session` serving the same compiled graph
+share one lowering - and the PR-1 compile-core cache, which pins graph
+objects, carries the program across sessions for free.
+
+Execution itself lives behind the :class:`ExecutionBackend` interface
+with a registry mirroring ``@register_pass``::
+
+    @register_backend
+    class MyBackend(ExecutionBackend):
+        name = "my-backend"
+
+        def run(self, program, values): ...
+        def run_serving(self, program, values, pool): ...
+
+:class:`NumPyBackend` is the reference implementation; ``Session``,
+``executor.execute`` and ``verify_equivalence`` all drive it through the
+same program path.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..ir.graph import Graph
+from ..ir.view import ViewChain
+from ..memory.pool import (
+    MemoryPool, PoolEvent, PoolReport, liveness_schedule,
+)
+from .kernels import get_kernel
+
+_PROGRAM_CACHE_KEY = "execution_program"
+
+
+# ---------------------------------------------------------------------------
+# lowered program
+# ---------------------------------------------------------------------------
+
+
+def _compile_view(chain: ViewChain) -> Callable[[np.ndarray], np.ndarray]:
+    """Pre-resolve a ViewChain into one applier closure.
+
+    Each relayout step becomes a direct ndarray method call (slice index
+    tuples prebuilt), skipping the chain's per-apply shape check and step
+    dispatch on the hot path.
+    """
+    fns: list[Callable[[np.ndarray], np.ndarray]] = []
+    for step in chain.steps:
+        if step.kind == "reshape":
+            fns.append(lambda a, _shape=step.arg: a.reshape(_shape))
+        elif step.kind == "transpose":
+            fns.append(lambda a, _perm=step.arg: a.transpose(_perm))
+        else:  # slice
+            index = tuple(slice(lo, hi, st) for lo, hi, st in step.arg)
+            fns.append(lambda a, _index=index: a[_index])
+    if len(fns) == 1:
+        return fns[0]
+
+    def applier(array: np.ndarray, _fns=tuple(fns)) -> np.ndarray:
+        for fn in _fns:
+            array = fn(array)
+        return array
+
+    return applier
+
+
+@dataclass(frozen=True)
+class Step:
+    """One pre-resolved node execution: everything a backend needs,
+    fetched once at lowering time."""
+
+    node_id: str
+    op_type: str
+    kernel: Callable
+    arg_names: tuple[str, ...]
+    appliers: tuple[tuple[int, Callable], ...]
+    """(input position, compiled view applier) for non-identity views."""
+    attrs: dict
+    """The node's attrs dict, shared by reference (treat as read-only)."""
+    out_names: tuple[str, ...]
+    out_shapes: tuple[tuple[int, ...], ...]
+    alloc_slots: tuple[int, ...]
+    """Buffer slots acquired after this step runs (materialized outputs)."""
+    release_slots: tuple[int, ...]
+    """Buffer slots returned after this step runs (dying tensors)."""
+    drops: tuple[str, ...]
+    """Value names whose backing ndarrays die at this step (fusion-group
+    internals included), bounding process memory by the live set."""
+
+
+@dataclass(frozen=True)
+class SlotPlan:
+    """Static buffer-slot assignment: register allocation over exact size
+    classes, mirroring :class:`~repro.memory.pool.SizeClassPool`'s reuse
+    discipline so slot-driven pool traffic matches the dynamic walk
+    count-for-count."""
+
+    slot_sizes: tuple[int, ...]
+    """Byte size of each slot; index is the slot id."""
+    tensor_slot: dict[str, int]
+    """Pool-visible tensor -> its slot (read-only by convention)."""
+    input_slots: tuple[int, ...]
+    """Slots acquired at request admission, one per graph input."""
+    timeline_live: tuple[int, ...]
+    """Live pool bytes after each step's allocations - static, identical
+    for every request."""
+    peak_bytes: int
+    total_allocated_bytes: int
+    size_class_counts: dict[int, int]
+    """Slot count per size class - the pool's exact free-block state
+    between steady-state runs (read-only by convention)."""
+    allocs_per_run: int
+    """Pool allocation events per run (a slot freed mid-run can serve a
+    later same-size tensor, so this can exceed the slot count)."""
+
+    @property
+    def num_slots(self) -> int:
+        return len(self.slot_sizes)
+
+
+def _compile_step(step: Step) -> Callable[[dict], None]:
+    """Fold one step into a single closure over pre-resolved state.
+
+    The closure reads its inputs from / writes its outputs to a values
+    dict; kernel, argument names, view appliers, attrs, and the expected
+    output shapes are captured once here instead of being re-resolved per
+    request.
+    """
+    kernel = step.kernel
+    names = step.arg_names
+    attrs = step.attrs
+    appliers = step.appliers
+    out_names = step.out_names
+    shapes = step.out_shapes
+    op_type = step.op_type
+    node_id = step.node_id
+
+    if len(out_names) > 1:
+        def execute(values: dict) -> None:
+            args = [values[n] for n in names]
+            for idx, apply in appliers:
+                args[idx] = apply(args[idx])
+            for name, shape, value in zip(out_names, shapes,
+                                          kernel(args, attrs)):
+                if value.shape != shape:
+                    raise RuntimeError(
+                        f"kernel {op_type} ({node_id}) produced shape "
+                        f"{value.shape}, spec says {shape}")
+                values[name] = value
+        return execute
+
+    out = out_names[0]
+    shape = shapes[0]
+
+    def execute(values: dict) -> None:
+        args = [values[n] for n in names]
+        for idx, apply in appliers:
+            args[idx] = apply(args[idx])
+        result = kernel(args, attrs)
+        if type(result) in (tuple, list):
+            result = result[0]
+        if result.shape != shape:
+            raise RuntimeError(
+                f"kernel {op_type} ({node_id}) produced shape "
+                f"{result.shape}, spec says {shape}")
+        values[out] = result
+
+    return execute
+
+
+class ExecutionProgram:
+    """A graph lowered for repeated execution on a pluggable backend."""
+
+    __slots__ = ("graph", "steps", "slot_plan", "input_names",
+                 "output_names", "timeline", "op_list")
+
+    def __init__(self, graph: Graph, steps: tuple[Step, ...],
+                 slot_plan: SlotPlan) -> None:
+        self.graph = graph
+        self.steps = steps
+        self.slot_plan = slot_plan
+        self.input_names = tuple(graph.inputs)
+        self.output_names = tuple(graph.outputs)
+        # One PoolEvent tuple per program, shared across every run's
+        # PoolReport: the live-byte walk is static, and a tuple keeps a
+        # consumer of one run's report from mutating every other's.
+        self.timeline = tuple(
+            PoolEvent(i, live, 0)
+            for i, live in enumerate(slot_plan.timeline_live))
+        # The hot-loop form: one compiled closure + the dying value names
+        # per step.
+        self.op_list = tuple(
+            (_compile_step(step), step.drops) for step in steps)
+
+    @property
+    def num_steps(self) -> int:
+        return len(self.steps)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"ExecutionProgram({self.graph.name!r}, steps={len(self.steps)}, "
+                f"slots={self.slot_plan.num_slots})")
+
+
+def _assign_slots(graph: Graph, order, schedule) -> tuple[
+        SlotPlan, list[list[int]], list[list[int]]]:
+    """Register-allocate pool buffers over exact size classes.
+
+    Replays the liveness schedule once: a dying tensor's slot returns to
+    its size class's free stack and serves the next same-size request.
+    The resulting slot count per class equals the peak number of
+    concurrently live pool tensors of that class.
+    """
+    tensors = graph.tensors
+    materialized = schedule.materialized
+    slot_sizes: list[int] = []
+    free: dict[int, list[int]] = {}
+    tensor_slot: dict[str, int] = {}
+
+    def take(size: int) -> int:
+        stack = free.get(size)
+        if stack:
+            return stack.pop()
+        slot_sizes.append(size)
+        return len(slot_sizes) - 1
+
+    live = 0
+    total = 0
+    input_slots: list[int] = []
+    for t in graph.inputs:
+        size = tensors[t].size_bytes
+        slot = take(size)
+        tensor_slot[t] = slot
+        input_slots.append(slot)
+        live += size
+        total += size
+
+    alloc_slots_at: list[list[int]] = [[] for _ in order]
+    release_slots_at: list[list[int]] = [[] for _ in order]
+    timeline_live: list[int] = []
+    for step, node in enumerate(order):
+        for t in node.outputs:
+            if t in materialized:
+                size = tensors[t].size_bytes
+                slot = take(size)
+                tensor_slot[t] = slot
+                alloc_slots_at[step].append(slot)
+                live += size
+                total += size
+        timeline_live.append(live)
+        for t in schedule.releases_at[step]:
+            slot = tensor_slot.get(t)
+            if slot is None:  # interior constants never touch the pool
+                continue
+            size = slot_sizes[slot]
+            free.setdefault(size, []).append(slot)
+            release_slots_at[step].append(slot)
+            live -= size
+
+    counts: dict[int, int] = {}
+    for size in slot_sizes:
+        counts[size] = counts.get(size, 0) + 1
+    plan = SlotPlan(
+        slot_sizes=tuple(slot_sizes),
+        tensor_slot=tensor_slot,
+        input_slots=tuple(input_slots),
+        timeline_live=tuple(timeline_live),
+        peak_bytes=max(timeline_live, default=0),
+        total_allocated_bytes=total,
+        size_class_counts=counts,
+        allocs_per_run=len(input_slots) + sum(
+            len(slots) for slots in alloc_slots_at),
+    )
+    return plan, alloc_slots_at, release_slots_at
+
+
+def lower(graph: Graph) -> ExecutionProgram:
+    """Lower ``graph`` to an :class:`ExecutionProgram`.
+
+    Memoized per graph generation through the graph's analysis cache:
+    repeated calls (the executor, the verifier, every session serving
+    this graph) share one lowering until the next structural mutation.
+    """
+    cache = graph.analysis_cache()
+    found = cache.get(_PROGRAM_CACHE_KEY)
+    if found is not None:
+        return found
+    order = graph.topo_order()
+    schedule = liveness_schedule(graph)
+    plan, alloc_slots_at, release_slots_at = _assign_slots(
+        graph, order, schedule)
+    steps = tuple(
+        Step(
+            node_id=node.id,
+            op_type=node.op_type,
+            kernel=get_kernel(node.op_type),
+            arg_names=tuple(node.inputs),
+            appliers=tuple(
+                (idx, _compile_view(view))
+                for idx, view in sorted(node.input_views.items())
+                if not view.is_identity),
+            attrs=node.attrs,
+            out_names=tuple(node.outputs),
+            out_shapes=tuple(graph.shape(t) for t in node.outputs),
+            alloc_slots=tuple(alloc_slots_at[i]),
+            release_slots=tuple(release_slots_at[i]),
+            drops=tuple(schedule.value_drops_at[i]),
+        )
+        for i, node in enumerate(order)
+    )
+    program = ExecutionProgram(graph, steps, plan)
+    cache[_PROGRAM_CACHE_KEY] = program
+    return program
+
+
+# ---------------------------------------------------------------------------
+# backend registry (mirrors the @register_pass registry)
+# ---------------------------------------------------------------------------
+
+
+class ExecutionBackend:
+    """Executes lowered programs.  Subclass, set :attr:`name`, decorate
+    with :func:`register_backend`, and implement :meth:`run` (plain
+    verification execution) and :meth:`run_serving` (pool-accounted
+    serving execution)."""
+
+    name = "backend"
+
+    def run(self, program: ExecutionProgram,
+            values: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+        """Execute ``program`` over ``values`` (mutated in place; pass a
+        private dict) and return the graph outputs."""
+        raise NotImplementedError
+
+    def run_serving(self, program: ExecutionProgram,
+                    values: dict[str, np.ndarray],
+                    pool: MemoryPool) -> tuple[dict[str, np.ndarray], PoolReport]:
+        """Execute one request against a long-lived pool; returns
+        ``(outputs, per-request PoolReport)``."""
+        raise NotImplementedError
+
+    def run_many(self, program: ExecutionProgram,
+                 values_list: list[dict[str, np.ndarray]],
+                 pool: MemoryPool,
+                 ) -> list[tuple[dict[str, np.ndarray], PoolReport, float]]:
+        """Serve a batch of requests in one backend invocation; returns
+        ``(outputs, report, wall_seconds)`` per request."""
+        perf = time.perf_counter
+        results = []
+        for values in values_list:
+            start = perf()
+            outputs, report = self.run_serving(program, values, pool)
+            results.append((outputs, report, perf() - start))
+        return results
+
+
+BACKEND_REGISTRY: dict[str, type[ExecutionBackend]] = {}
+_BACKEND_INSTANCES: dict[str, ExecutionBackend] = {}
+
+
+def register_backend(cls: type[ExecutionBackend]) -> type[ExecutionBackend]:
+    """Class decorator: make ``cls`` constructible by name."""
+    if not cls.name or cls.name == ExecutionBackend.name:
+        raise ValueError(f"backend class {cls.__name__} needs a distinct name")
+    BACKEND_REGISTRY[cls.name] = cls
+    _BACKEND_INSTANCES.pop(cls.name, None)  # re-registration resets singleton
+    return cls
+
+
+def get_backend(name: str = "numpy") -> ExecutionBackend:
+    """Shared backend instance by registry name."""
+    found = _BACKEND_INSTANCES.get(name)
+    if found is None:
+        try:
+            cls = BACKEND_REGISTRY[name]
+        except KeyError:
+            raise KeyError(f"unknown backend {name!r}; "
+                           f"available: {available_backends()}") from None
+        found = _BACKEND_INSTANCES[name] = cls()
+    return found
+
+
+def available_backends() -> list[str]:
+    return sorted(BACKEND_REGISTRY)
+
+
+# ---------------------------------------------------------------------------
+# the reference backend
+# ---------------------------------------------------------------------------
+
+
+@register_backend
+class NumPyBackend(ExecutionBackend):
+    """Reference backend: runs the pre-compiled step closures in order.
+
+    The hot loop touches only program-local state: prebound kernels,
+    precompiled view appliers, prefetched shapes, and slot-indexed pool
+    ops - no graph, tensor-spec, or kernel-registry traffic per request.
+    Once a session pool reaches steady state (its free blocks are exactly
+    the program's slot plan), the pool interplay of a run is static by
+    construction and collapses to one counter update.
+    """
+
+    name = "numpy"
+
+    def run(self, program: ExecutionProgram,
+            values: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+        for execute, drops in program.op_list:
+            execute(values)
+            for t in drops:
+                values.pop(t, None)
+        return {name: values[name] for name in program.output_names}
+
+    def run_serving(self, program: ExecutionProgram,
+                    values: dict[str, np.ndarray],
+                    pool: MemoryPool) -> tuple[dict[str, np.ndarray], PoolReport]:
+        return self.run_many(program, (values,), pool)[0][:2]
+
+    def run_many(self, program: ExecutionProgram,
+                 values_list, pool: MemoryPool,
+                 ) -> list[tuple[dict[str, np.ndarray], PoolReport, float]]:
+        # Dispatch state is hoisted out of the request loop once: batch
+        # requests share one resolution of the program and pool.
+        op_list = program.op_list
+        steps = program.steps
+        plan = program.slot_plan
+        slot_sizes = plan.slot_sizes
+        input_slots = plan.input_slots
+        output_names = program.output_names
+        timeline = program.timeline
+        peak_bytes = plan.peak_bytes
+        total_allocated = plan.total_allocated_bytes
+        steady_state = plan.size_class_counts
+        allocs_per_run = plan.allocs_per_run
+        matches_free_state = getattr(pool, "matches_free_state", None)
+        allocate = pool.allocate
+        release = pool.release
+        perf = time.perf_counter
+        results = []
+        for values in values_list:
+            start = perf()
+            if matches_free_state is not None \
+                    and matches_free_state(steady_state):
+                # Steady state: every allocation of this run is a reuse
+                # and every block returns to the pool, so the walk leaves
+                # the free state untouched; apply the static deltas once.
+                # A raising kernel propagates with the pool untouched -
+                # nothing was borrowed yet from its point of view.
+                for execute, drops in op_list:
+                    execute(values)
+                    for t in drops:
+                        values.pop(t, None)
+                outputs = {name: values[name] for name in output_names}
+                pool.reuses += allocs_per_run
+                if pool.live_bytes + peak_bytes > pool.peak_bytes:
+                    pool.peak_bytes = pool.live_bytes + peak_bytes
+                allocations = 0
+                reuses = allocs_per_run
+            else:
+                allocations_before = pool.allocations
+                reuses_before = pool.reuses
+                # Slot-indexed liveness: every acquired slot is returned
+                # even when a kernel raises, so a failed request cannot
+                # corrupt the long-lived pool of a serving session.
+                active = bytearray(len(slot_sizes))
+                try:
+                    for slot in input_slots:
+                        allocate(slot_sizes[slot])
+                        active[slot] = 1
+                    for index, (execute, drops) in enumerate(op_list):
+                        execute(values)
+                        step = steps[index]
+                        for slot in step.alloc_slots:
+                            allocate(slot_sizes[slot])
+                            active[slot] = 1
+                        for slot in step.release_slots:
+                            release(slot_sizes[slot])
+                            active[slot] = 0
+                        for t in drops:
+                            values.pop(t, None)
+                    outputs = {name: values[name] for name in output_names}
+                finally:
+                    # Graph outputs, never-consumed inputs, and - on
+                    # failure - whatever was live at the raising step.
+                    for slot, is_live in enumerate(active):
+                        if is_live:
+                            release(slot_sizes[slot])
+                allocations = pool.allocations - allocations_before
+                reuses = pool.reuses - reuses_before
+            report = PoolReport(
+                peak_bytes=peak_bytes,
+                peak_copy_bytes=0,
+                final_bytes=pool.live_bytes,
+                timeline=timeline,
+                allocations=allocations,
+                reuses=reuses,
+                total_allocated_bytes=total_allocated,
+            )
+            results.append((outputs, report, perf() - start))
+        return results

@@ -1,25 +1,32 @@
 """Compile-once / run-many execution sessions.
 
 A :class:`Session` holds one compiled (model, framework, device) triple:
-the optimized graph, its layout plan, its cost-model config, and a
-long-lived :class:`~repro.memory.pool.MemoryPool`.  Compilation goes
-through the bench harness's process-wide compile/cost cell cache (PR 1),
-so compiling the same triple twice - or costing it in a benchmark and
-then serving it - reuses one compile.  Repeated ``run(inputs)`` /
-``run_batch(list_of_inputs)`` calls then execute through the NumPy
-executor with pool-backed buffer accounting and per-request latency/cost
-bookkeeping:
+the optimized graph, its lowered
+:class:`~repro.runtime.program.ExecutionProgram`, its cost-model config,
+and a long-lived :class:`~repro.memory.pool.SizeClassPool`.  Compilation
+goes through the bench harness's process-wide compile/cost cell cache
+(PR 1), so compiling the same triple twice - or costing it in a benchmark
+and then serving it - reuses one compile *and* one lowering.
+
+The session itself is now only request admission + statistics: every
+``run(inputs)`` / ``run_batch(list_of_inputs)`` validates the request,
+merges it over the session's materialized parameters, and hands the
+values to the session's :class:`~repro.runtime.program.ExecutionBackend`
+- the per-node interpretation (kernel lookups, view resolution, liveness
+bookkeeping) was all moved to compile time by
+:func:`~repro.runtime.program.lower`:
 
 * parameters are materialized once at session creation, not per request;
-* the liveness schedule (which tensors are materialized, when each dies)
-  is precomputed once from :func:`repro.memory.pool.liveness_schedule`;
-* every run allocates activations from the session's pool and releases
-  them as they die, so the *second* run of a session satisfies its
-  requests from blocks the first run returned - observable as
-  ``RunStats.pool.allocations`` dropping to (near) zero while
-  ``reuses`` climbs;
+* buffer liveness is a static slot plan computed once from
+  :func:`repro.memory.pool.liveness_schedule`, so per-request pool
+  accounting is slot-indexed integer ops against the session's pool -
+  the *second* run of a session satisfies every request from blocks the
+  first run returned (observable as ``RunStats.pool.allocations``
+  dropping to zero while ``reuses`` climbs);
 * dead intermediate ndarrays are dropped mid-run, bounding true process
-  memory by the live set rather than the whole graph.
+  memory by the live set rather than the whole graph;
+* ``run_batch`` executes through one backend invocation, amortizing
+  dispatch across the batch.
 
     >>> session = compile_session("Swin", "Ours")
     >>> out = session.run(session.make_inputs(seed=0))
@@ -30,17 +37,16 @@ bookkeeping:
 from __future__ import annotations
 
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..ir.graph import Graph
-from ..memory.pool import (
-    LivenessSchedule, PoolEvent, PoolReport, SizeClassPool, liveness_schedule,
-)
+from ..memory.pool import PoolReport, SizeClassPool
 from .device import DeviceSpec, SD8GEN2
-from .executor import make_inputs, run_node
+from .executor import make_inputs
+from .program import ExecutionProgram, get_backend, lower
 
 
 @dataclass
@@ -75,25 +81,43 @@ class SessionStats:
 
 
 class Session:
-    """One compiled module, ready to serve repeated requests."""
+    """One compiled module, ready to serve repeated requests.
+
+    The session is request admission + stats; execution is the lowered
+    program on the configured backend (``"numpy"`` by default)."""
 
     def __init__(self, graph: Graph, plan, config, device: DeviceSpec,
                  framework: str = "Ours", model: str = "",
-                 cell=None) -> None:
+                 cell=None, program: ExecutionProgram | None = None,
+                 backend: str = "numpy") -> None:
         self.graph = graph
         self.plan = plan
         self.config = config
         self.device = device
         self.framework = framework
         self.model = model
+        self.backend = backend
+        self._backend = get_backend(backend)
         self._cell = cell
         self._report = None
+        self._est_latency_ms: float | None = None
         self.pool = SizeClassPool()
-        self._schedule: LivenessSchedule = liveness_schedule(graph)
-        self._order = graph.topo_order()
+        self._program = program
         self._param_values: dict[str, np.ndarray] | None = None
         self._input_cache: dict[int, dict[str, np.ndarray]] = {}
         self.stats = SessionStats()
+
+    @property
+    def program(self) -> ExecutionProgram:
+        """The lowered program this session serves.
+
+        The ``Ours`` pipeline lowers as its final pass, so the program
+        usually arrives with the compile-cache result; other frameworks
+        lower lazily here (memoized on the graph, hence still shared
+        across sessions of the same compiled graph)."""
+        if self._program is None:
+            self._program = lower(self.graph)
+        return self._program
 
     @property
     def _params(self) -> dict[str, np.ndarray]:
@@ -125,7 +149,7 @@ class Session:
     def est_latency_ms(self) -> float:
         return self.report.latency_ms
 
-    # -- serving -----------------------------------------------------------
+    # -- admission ---------------------------------------------------------
 
     def make_inputs(self, seed: int = 0) -> dict[str, np.ndarray]:
         """Deterministic random values for the graph inputs only.
@@ -144,6 +168,39 @@ class Session:
             self._input_cache[seed] = found
         return dict(found)
 
+    def _admit(self, inputs: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+        """Validate one request and merge it over the session parameters.
+
+        Every tensor the compiled graph declares is adopted from
+        ``inputs`` (extra tensors - e.g. the full value dict of the
+        *source* graph - are ignored) and checked against its spec, so a
+        wrong-shape or wrong-dtype request fails here with an error
+        naming the tensor instead of deep inside a kernel.
+        """
+        tensors = self.graph.tensors
+        values = dict(self._params)
+        for name, value in inputs.items():
+            spec = tensors.get(name)
+            if spec is None:
+                continue
+            if not isinstance(value, np.ndarray):
+                value = np.asarray(value)
+            if value.shape != spec.shape:
+                raise ValueError(
+                    f"input {name!r}: got shape {tuple(value.shape)}, "
+                    f"expected {spec.shape}")
+            if value.dtype != spec.dtype.numpy_dtype:
+                raise ValueError(
+                    f"input {name!r}: got dtype {value.dtype}, expected "
+                    f"{np.dtype(spec.dtype.numpy_dtype)}")
+            values[name] = value
+        missing = [name for name in self.graph.inputs if name not in values]
+        if missing:
+            raise ValueError(f"missing graph inputs: {missing}")
+        return values
+
+    # -- serving -----------------------------------------------------------
+
     def run(self, inputs: dict[str, np.ndarray] | None = None,
             seed: int = 0) -> dict[str, np.ndarray]:
         """Serve one request; returns the graph outputs.
@@ -156,106 +213,73 @@ class Session:
         both is rejected to avoid silently ignoring one.
         """
         start = time.perf_counter()
-        graph = self.graph
         if inputs is None:
             inputs = self.make_inputs(seed)
         elif seed != 0:
             raise ValueError("pass either inputs or seed, not both")
-        values = dict(self._params)
-        for name, value in inputs.items():
-            if name in graph.tensors:
-                values[name] = value
-        missing = [name for name in graph.inputs if name not in values]
-        if missing:
-            raise ValueError(f"missing graph inputs: {missing}")
-
-        pool = self.pool
-        before = pool.stats()
-        tensors = graph.tensors
-        schedule = self._schedule
-        materialized = schedule.materialized
-        live: dict[str, int] = {}
-        total_allocated = 0
-        timeline: list[PoolEvent] = []
-        peak_live = 0
-
-        # Every allocated block is returned to the pool even when a kernel
-        # raises (bad input shapes, etc.): a failed request must not
-        # corrupt the long-lived pool of a serving session.
-        try:
-            for t in graph.inputs:
-                size = tensors[t].size_bytes
-                pool.allocate(size)
-                live[t] = size
-                total_allocated += size
-            for step, node in enumerate(self._order):
-                run_node(graph, node, values)
-                for t in node.outputs:
-                    if t in materialized:
-                        size = tensors[t].size_bytes
-                        pool.allocate(size)
-                        live[t] = size
-                        total_allocated += size
-                peak_live = max(peak_live, pool.live_bytes)
-                timeline.append(PoolEvent(step, pool.live_bytes, 0))
-                for t in schedule.releases_at[step]:
-                    size = live.pop(t, None)
-                    if size is not None:
-                        pool.release(size)
-                # Drop dead ndarrays - fusion-group-internal values
-                # included - so process memory tracks the live set, not
-                # the whole graph.
-                for t in schedule.value_drops_at[step]:
-                    values.pop(t, None)
-            outputs = {name: values[name] for name in graph.outputs}
-        finally:
-            # Return every remaining block - graph outputs, never-consumed
-            # inputs, and (on failure) whatever was live at the raising
-            # step - so the next request reuses them.
-            for size in live.values():
-                pool.release(size)
-            live.clear()
-        after = pool.stats()
-
-        wall_s = time.perf_counter() - start
-        run_report = PoolReport(
-            peak_bytes=peak_live,
-            peak_copy_bytes=0,
-            final_bytes=pool.live_bytes,
-            timeline=timeline,
-            allocations=after["allocations"] - before["allocations"],
-            reuses=after["reuses"] - before["reuses"],
-            total_allocated_bytes=total_allocated,
-        )
-        self.stats.requests += 1
-        self.stats.total_wall_s += wall_s
-        self.stats.runs.append(RunStats(
-            request=self.stats.requests,
-            wall_s=wall_s,
-            est_latency_ms=self.est_latency_ms,
-            pool=run_report,
-        ))
+        values = self._admit(inputs)
+        outputs, report = self._backend.run_serving(
+            self.program, values, self.pool)
+        self._record(time.perf_counter() - start, report)
         return outputs
 
     def run_batch(self, batch: list[dict[str, np.ndarray]]
                   ) -> list[dict[str, np.ndarray]]:
-        """Serve a list of requests back to back on the shared pool."""
-        return [self.run(inputs) for inputs in batch]
+        """Serve a list of requests through *one* backend invocation on
+        the shared pool, amortizing dispatch across the batch.
+
+        Per-request ``RunStats.wall_s`` covers admission + execution,
+        comparable to :meth:`run`.  The batch is all-or-nothing for
+        *statistics*: a request failing mid-batch propagates before any
+        of the batch is recorded (the pool itself stays consistent
+        either way).
+        """
+        perf = time.perf_counter
+        values_list = []
+        admit_walls = []
+        admit = self._admit
+        for inputs in batch:
+            start = perf()
+            values_list.append(admit(inputs))
+            admit_walls.append(perf() - start)
+        results = self._backend.run_many(self.program, values_list, self.pool)
+        outputs = []
+        for admit_s, (out, report, wall_s) in zip(admit_walls, results):
+            self._record(admit_s + wall_s, report)
+            outputs.append(out)
+        return outputs
+
+    def _record(self, wall_s: float, report: PoolReport) -> None:
+        est = self._est_latency_ms
+        if est is None:  # the cost report sums kernel costs; price once
+            est = self._est_latency_ms = self.est_latency_ms
+        stats = self.stats
+        stats.requests += 1
+        stats.total_wall_s += wall_s
+        stats.runs.append(RunStats(
+            request=stats.requests,
+            wall_s=wall_s,
+            est_latency_ms=est,
+            pool=report,
+        ))
 
 
 def compile_session(model: str | Graph, framework: str = "Ours",
                     device: DeviceSpec = SD8GEN2, batch: int = 1,
-                    check_memory: bool = False, **fw_kwargs) -> Session:
+                    check_memory: bool = False, backend: str = "numpy",
+                    **fw_kwargs) -> Session:
     """Compile a (model, framework, device) triple into a fresh Session.
 
     Compilation is served by the bench harness's cell cache: repeated
     calls for the same triple (or a benchmark that already costed it)
-    share one compile.  Raises ``RuntimeError`` when the framework does
-    not support the model (capability or memory limits).
+    share one compile - and, through the program memoization, one
+    lowering.  Raises ``RuntimeError`` when the framework does not
+    support the model (capability or memory limits).
     """
     # Imported lazily: the harness sits above the runtime layer.
     from ..bench.harness import run_cell
 
+    get_backend(backend)  # fail on a bad backend name before compiling
     if batch != 1 and not isinstance(model, str):
         raise ValueError(
             "batch only applies to registry-name models; build the Graph "
@@ -270,7 +294,7 @@ def compile_session(model: str | Graph, framework: str = "Ours",
         graph=result.graph, plan=result.plan, config=result.config,
         device=device, framework=framework,
         model=model if isinstance(model, str) else model.name,
-        cell=cell,
+        cell=cell, program=result.program, backend=backend,
     )
 
 
@@ -279,35 +303,68 @@ class Engine:
 
     ``compile()`` returns the *same* Session for the same triple, so its
     pool (and its warmed free blocks) carry across callers - the
-    compile-once/run-many contract at process scope.
+    compile-once/run-many contract at process scope.  With
+    ``max_sessions`` set, the registry is bounded: compiling a new triple
+    past the limit evicts the least-recently-used session, so a
+    long-lived process cannot grow sessions without bound.  ``evict()``
+    drops a triple explicitly.
     """
 
-    def __init__(self, device: DeviceSpec = SD8GEN2) -> None:
+    def __init__(self, device: DeviceSpec = SD8GEN2,
+                 max_sessions: int | None = None) -> None:
+        if max_sessions is not None and max_sessions < 1:
+            raise ValueError("max_sessions must be at least 1")
         self.device = device
-        self._sessions: dict = {}
+        self.max_sessions = max_sessions
+        self._sessions: OrderedDict = OrderedDict()
 
-    def compile(self, model: str | Graph, framework: str = "Ours",
-                device: DeviceSpec | None = None, batch: int = 1,
-                **fw_kwargs) -> Session:
-        # The harness defines model identity (name, or graph id +
-        # generation) so this registry agrees with the cell cache it
-        # fronts; pinning the graph in the entry keeps the id valid.
+    def _key(self, model, framework, device, batch, fw_kwargs):
+        """Hashable triple identity, or None when uncacheable.
+
+        The harness defines model identity (name, or graph id +
+        generation) so this registry agrees with the cell cache it
+        fronts; pinning the graph in the entry keeps the id valid.
+        """
         from ..bench.harness import model_cache_key
 
         key = (model_cache_key(model), framework, device or self.device,
                batch, tuple(sorted(fw_kwargs.items())))
         try:
-            found = self._sessions.get(key)
+            hash(key)
         except TypeError:  # unhashable config: compile uncached
+            return None
+        return key
+
+    def compile(self, model: str | Graph, framework: str = "Ours",
+                device: DeviceSpec | None = None, batch: int = 1,
+                **fw_kwargs) -> Session:
+        key = self._key(model, framework, device, batch, fw_kwargs)
+        if key is None:
             return compile_session(model, framework, device or self.device,
                                    batch, **fw_kwargs)
-        if found is None:
-            session = compile_session(model, framework, device or self.device,
-                                      batch, **fw_kwargs)
-            self._sessions[key] = (
-                session, model if isinstance(model, Graph) else None)
-            return session
-        return found[0]
+        found = self._sessions.get(key)
+        if found is not None:
+            self._sessions.move_to_end(key)  # LRU: refresh recency
+            return found[0]
+        session = compile_session(model, framework, device or self.device,
+                                  batch, **fw_kwargs)
+        self._sessions[key] = (
+            session, model if isinstance(model, Graph) else None)
+        if self.max_sessions is not None \
+                and len(self._sessions) > self.max_sessions:
+            self._sessions.popitem(last=False)  # drop least recently used
+        return session
+
+    def evict(self, model: str | Graph, framework: str = "Ours",
+              device: DeviceSpec | None = None, batch: int = 1,
+              **fw_kwargs) -> bool:
+        """Drop the live session for a triple; True when one was evicted."""
+        key = self._key(model, framework, device, batch, fw_kwargs)
+        return key is not None and self._sessions.pop(key, None) is not None
+
+    def clear(self) -> None:
+        """Drop every live session."""
+        self._sessions.clear()
 
     @property
     def num_sessions(self) -> int:

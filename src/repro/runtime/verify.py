@@ -13,7 +13,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..ir.graph import Graph
-from .executor import execute, make_inputs
+from .executor import make_inputs
+from .program import get_backend, lower
 
 
 @dataclass
@@ -55,16 +56,27 @@ def verify_equivalence(
     seeds: tuple[int, ...] = (0, 1),
     rtol: float = 1e-4,
     atol: float = 1e-5,
+    backend: str = "numpy",
 ) -> VerificationReport:
-    """Compare graph outputs over several input seeds."""
+    """Compare graph outputs over several input seeds.
+
+    Both graphs are lowered once (memoized per graph generation) and
+    executed through the named
+    :class:`~repro.runtime.program.ExecutionBackend` - the same program
+    path the executor and the serving sessions use, so verification
+    exercises exactly the code that serves requests.
+    """
+    run = get_backend(backend).run
+    ref_program = lower(reference)
+    cand_program = lower(candidate)
     report = VerificationReport(seeds=tuple(seeds))
     worst: dict[str, OutputCheck] = {}
     for seed in seeds:
         inputs = make_inputs(reference, seed=seed)
-        ref_out = execute(reference, inputs)
-        cand_out = execute(
-            candidate, {k: v for k, v in inputs.items()
-                        if k in candidate.tensors})
+        ref_out = run(ref_program, dict(inputs))
+        cand_out = run(
+            cand_program, {k: v for k, v in inputs.items()
+                           if k in candidate.tensors})
         for name in ref_out:
             a = np.asarray(ref_out[name], dtype=np.float64)
             b = np.asarray(cand_out[name], dtype=np.float64)

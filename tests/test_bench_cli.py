@@ -68,6 +68,8 @@ class TestTimings:
         for entry in data["pass_timings"].values():
             assert entry["runs"] >= 1
             assert entry["wall_s"] >= 0
+        # serving walls belong to the full-suite trajectory only
+        assert "serve" not in data
         out = capsys.readouterr().out
         assert "Pipeline timings" in out
 

@@ -19,11 +19,11 @@ class TestCanonicalPasses:
     def test_default_pass_list(self):
         names = [p.name for p in canonical_passes()]
         assert names == ["lte", "dce", "index-simplify", "fusion",
-                         "layout-select", "tuning"]
+                         "layout-select", "tuning", "lower"]
 
     def test_no_lte_drops_elimination_block(self):
         names = [p.name for p in canonical_passes(PipelineStages(lte=False))]
-        assert names == ["fusion", "layout-select", "tuning"]
+        assert names == ["fusion", "layout-select", "tuning", "lower"]
 
     def test_no_layout_selection_uses_default_layout(self):
         names = [p.name for p in canonical_passes(
@@ -95,7 +95,7 @@ class TestInstrumentation:
         result = smartmem_optimize(attention_graph)
         assert [r.name for r in result.pass_records] == [
             "lte", "dce", "index-simplify", "fusion", "layout-select",
-            "tuning"]
+            "tuning", "lower"]
         assert all(r.wall_s >= 0 for r in result.pass_records)
         assert result.pass_timings["lte"] >= 0
 
@@ -116,7 +116,7 @@ class TestInstrumentation:
 class TestRegistry:
     def test_canonical_passes_registered(self):
         for name in ("lte", "dce", "index-simplify", "fusion",
-                     "layout-select", "default-layout", "tuning"):
+                     "layout-select", "default-layout", "tuning", "lower"):
             assert name in available_passes()
 
     def test_make_pass_by_name(self):

@@ -1,0 +1,223 @@
+"""Tests for the lowered ExecutionProgram + pluggable backend layer."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.core import smartmem_optimize
+from repro.ir.tensor import TensorSpec
+from repro.memory.pool import SizeClassPool, liveness_schedule
+from repro.models import SMOKE_CONFIGS, build
+from repro.runtime import (
+    ExecutionBackend, ExecutionProgram, NumPyBackend, available_backends,
+    execute, get_backend, lower, make_inputs, register_backend, run_node,
+)
+
+
+def _interpret(graph, inputs):
+    """The pre-lowering reference: run_node over the topo order."""
+    values = dict(inputs)
+    for node in graph.topo_order():
+        run_node(graph, node, values)
+    return {name: values[name] for name in graph.outputs}
+
+
+@pytest.mark.parametrize("name", sorted(SMOKE_CONFIGS))
+class TestBackendParity:
+    """Program execution == per-node interpretation on the whole zoo."""
+
+    def test_program_outputs_match_execute(self, name):
+        graph = build(name, **SMOKE_CONFIGS[name])
+        inputs = make_inputs(graph)
+        ref = _interpret(graph, inputs)
+        out = execute(graph, inputs)  # the program path
+        assert list(out) == list(ref)
+        for key in ref:
+            assert np.array_equal(out[key], ref[key]), key
+        # and through the full Ours pipeline (views attached, nodes fused)
+        optimized = smartmem_optimize(graph).graph
+        opt_inputs = {k: v for k, v in inputs.items()
+                      if k in optimized.tensors}
+        opt_interp = _interpret(optimized, dict(opt_inputs))
+        opt_program = execute(optimized, opt_inputs)
+        for key in opt_interp:
+            assert np.array_equal(opt_program[key], opt_interp[key]), key
+            assert np.allclose(ref[key], opt_program[key],
+                               rtol=1e-4, atol=1e-5), key
+
+
+@pytest.mark.parametrize("name", ["ViT", "Swin", "Pythia", "SD-UNet",
+                                  "ResNext", "Conformer"])
+class TestSlotPlan:
+    """Static buffer-slot assignment is a valid register allocation."""
+
+    def _replay(self, graph):
+        """Walk the liveness schedule over the plan, checking invariants."""
+        program = lower(graph)
+        plan = program.slot_plan
+        schedule = liveness_schedule(graph)
+        live_slot: dict[int, str] = {}
+        live_by_class: Counter = Counter()
+        peak_by_class: Counter = Counter()
+
+        def acquire(tensor):
+            slot = plan.tensor_slot[tensor]
+            size = graph.tensors[tensor].size_bytes
+            # exact size class, and never shared while both tensors live
+            assert plan.slot_sizes[slot] == size
+            assert slot not in live_slot, (tensor, live_slot[slot])
+            live_slot[slot] = tensor
+            live_by_class[size] += 1
+            peak_by_class[size] = max(peak_by_class[size], live_by_class[size])
+
+        for t in graph.inputs:
+            acquire(t)
+        order = graph.topo_order()
+        for step, node in enumerate(order):
+            for t in node.outputs:
+                if t in schedule.materialized:
+                    acquire(t)
+            for t in schedule.releases_at[step]:
+                slot = plan.tensor_slot.get(t)
+                if slot is not None and live_slot.get(slot) == t:
+                    del live_slot[slot]
+                    live_by_class[plan.slot_sizes[slot]] -= 1
+        return plan, peak_by_class
+
+    def test_no_two_live_tensors_share_a_slot(self, name):
+        graph = build(name, **SMOKE_CONFIGS[name])
+        self._replay(graph)  # acquire() asserts per step
+
+    def test_slot_count_bounded_by_liveness_peak(self, name):
+        graph = build(name, **SMOKE_CONFIGS[name])
+        plan, peak_by_class = self._replay(graph)
+        for size, count in Counter(plan.slot_sizes).items():
+            assert count <= peak_by_class[size], size
+        # and in bytes: the plan never exceeds the walk's peak footprint
+        assert plan.peak_bytes <= sum(
+            size * count for size, count in peak_by_class.items())
+
+
+class TestLowering:
+    def test_program_memoized_per_generation(self, attention_graph):
+        a = lower(attention_graph)
+        assert lower(attention_graph) is a
+        attention_graph.add_tensor(TensorSpec("scratch", (1,)))
+        b = lower(attention_graph)
+        assert b is not a
+
+    def test_optimize_result_carries_program(self, attention_graph):
+        result = smartmem_optimize(attention_graph)
+        assert isinstance(result.program, ExecutionProgram)
+        assert result.program.graph is result.graph
+        assert result.program is lower(result.graph)  # one lowering
+        lower_record = [r for r in result.pass_records if r.name == "lower"]
+        assert len(lower_record) == 1
+        assert lower_record[0].stats["steps"] == len(result.graph.nodes)
+
+    def test_static_pool_walk(self, attention_graph):
+        program = lower(attention_graph)
+        plan = program.slot_plan
+        assert len(plan.timeline_live) == len(attention_graph.topo_order())
+        assert plan.peak_bytes == max(plan.timeline_live)
+        assert plan.allocs_per_run >= plan.num_slots
+        assert plan.size_class_counts == Counter(plan.slot_sizes)
+
+    def test_views_preresolved(self, attention_graph):
+        optimized = smartmem_optimize(attention_graph).graph
+        program = lower(optimized)
+        lowered_views = sum(len(s.appliers) for s in program.steps)
+        graph_views = sum(
+            1 for node in optimized.iter_nodes()
+            for view in node.input_views.values() if not view.is_identity)
+        assert lowered_views == graph_views > 0
+
+
+class TestServingExecution:
+    def test_steady_state_skips_pool_traffic(self, attention_graph):
+        program = lower(attention_graph)
+        pool = SizeClassPool()
+        backend = get_backend("numpy")
+        values = make_inputs(attention_graph)
+        _, first = backend.run_serving(program, dict(values), pool)
+        assert first.allocations == program.slot_plan.num_slots
+        # steady state: the free blocks are exactly the slot plan
+        assert pool.matches_free_state(program.slot_plan.size_class_counts)
+        out, second = backend.run_serving(program, dict(values), pool)
+        assert second.allocations == 0
+        assert second.reuses == program.slot_plan.allocs_per_run
+        assert second.final_bytes == 0
+        assert second.peak_bytes == first.peak_bytes
+        ref = execute(attention_graph, dict(values))
+        for key in ref:
+            assert np.array_equal(out[key], ref[key])
+
+    def test_failed_run_leaves_pool_consistent(self, attention_graph):
+        program = lower(attention_graph)
+        pool = SizeClassPool()
+        backend = get_backend("numpy")
+        values = make_inputs(attention_graph)
+        bad = dict(values)
+        bad["x"] = bad["x"][:, :-1]  # wrong shape -> step raises mid-run
+        # failure on a cold pool: the slow path's cleanup returns blocks
+        with pytest.raises(Exception):
+            backend.run_serving(program, dict(bad), pool)
+        assert pool.live_bytes == 0
+        backend.run_serving(program, dict(values), pool)
+        # failure at steady state: the fast path never touches the pool
+        with pytest.raises(Exception):
+            backend.run_serving(program, dict(bad), pool)
+        assert pool.live_bytes == 0
+        # still serves correctly afterwards, still all-reuse
+        _, report = backend.run_serving(program, dict(values), pool)
+        assert report.allocations == 0
+
+    def test_run_many_matches_single_runs(self, attention_graph):
+        program = lower(attention_graph)
+        backend = get_backend("numpy")
+        pool = SizeClassPool()
+        batch = [make_inputs(attention_graph, seed=s) for s in range(3)]
+        results = backend.run_many(program, [dict(b) for b in batch], pool)
+        assert len(results) == 3
+        for inputs, (out, report, wall_s) in zip(batch, results):
+            ref = execute(attention_graph, inputs)
+            assert wall_s > 0
+            for key in ref:
+                assert np.array_equal(out[key], ref[key])
+
+
+class TestBackendRegistry:
+    def test_numpy_backend_registered(self):
+        assert "numpy" in available_backends()
+        assert isinstance(get_backend("numpy"), NumPyBackend)
+        assert get_backend("numpy") is get_backend("numpy")  # singleton
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(KeyError, match="unknown backend"):
+            get_backend("tpu")
+
+    def test_register_backend_requires_name(self):
+        with pytest.raises(ValueError):
+            @register_backend
+            class Nameless(ExecutionBackend):
+                pass
+
+    def test_custom_backend_pluggable(self, attention_graph):
+        calls = []
+
+        @register_backend
+        class CountingBackend(NumPyBackend):
+            name = "numpy-counting"
+
+            def run(self, program, values):
+                calls.append(program.num_steps)
+                return super().run(program, values)
+
+        backend = get_backend("numpy-counting")
+        values = make_inputs(attention_graph)
+        out = backend.run(lower(attention_graph), dict(values))
+        assert calls == [len(attention_graph.nodes)]
+        ref = execute(attention_graph, values)
+        for key in ref:
+            assert np.array_equal(out[key], ref[key])

@@ -122,6 +122,139 @@ class TestSessionAccounting:
             session.report.latency_ms)
 
 
+class TestInputValidation:
+    """Malformed requests fail at admission with an error naming the
+    tensor, never deep inside a kernel."""
+
+    @pytest.fixture(scope="class")
+    def session(self):
+        g = build("ViT", **SMALL_CONFIGS["ViT"])
+        return compile_session(g, "Ours")
+
+    def test_wrong_shape_names_tensor(self, session):
+        inputs = session.make_inputs()
+        name = next(iter(inputs))
+        inputs[name] = inputs[name][..., :-1]
+        with pytest.raises(ValueError, match=f"input '{name}'.*shape"):
+            session.run(inputs)
+
+    def test_wrong_dtype_names_tensor(self, session):
+        inputs = session.make_inputs()
+        name = next(iter(inputs))
+        inputs[name] = inputs[name].astype(np.float64)
+        with pytest.raises(ValueError, match=f"input '{name}'.*dtype"):
+            session.run(inputs)
+
+    def test_rejection_happens_before_execution(self, session):
+        inputs = session.make_inputs()
+        name = next(iter(inputs))
+        inputs[name] = inputs[name][..., :-1]
+        requests = session.stats.requests
+        live = session.pool.live_bytes
+        with pytest.raises(ValueError):
+            session.run(inputs)
+        assert session.stats.requests == requests
+        assert session.pool.live_bytes == live
+
+    def test_extra_tensors_still_ignored(self, session):
+        inputs = session.make_inputs()
+        inputs["not_a_graph_tensor"] = np.zeros(3)
+        out = session.run(inputs)
+        assert out
+
+
+class TestEngineLRU:
+    def _stages(self, n):
+        # distinct hashable configs -> distinct triples
+        return PipelineStages(tuned_boost=1.1 + n / 100)
+
+    def test_eviction_beyond_max_sessions(self):
+        g = build("ViT", **SMALL_CONFIGS["ViT"])
+        engine = Engine(max_sessions=2)
+        a = engine.compile(g, stages=self._stages(0))
+        engine.compile(g, stages=self._stages(1))
+        engine.compile(g, stages=self._stages(2))
+        assert engine.num_sessions == 2
+        # a was least recently used: recompiling yields a fresh session
+        assert engine.compile(g, stages=self._stages(0)) is not a
+
+    def test_use_refreshes_recency(self):
+        g = build("ViT", **SMALL_CONFIGS["ViT"])
+        engine = Engine(max_sessions=2)
+        a = engine.compile(g, stages=self._stages(0))
+        b = engine.compile(g, stages=self._stages(1))
+        assert engine.compile(g, stages=self._stages(0)) is a  # touch a
+        engine.compile(g, stages=self._stages(2))  # evicts b, not a
+        assert engine.compile(g, stages=self._stages(0)) is a
+        assert engine.compile(g, stages=self._stages(1)) is not b
+
+    def test_unbounded_by_default(self):
+        g = build("ViT", **SMALL_CONFIGS["ViT"])
+        engine = Engine()
+        for n in range(4):
+            engine.compile(g, stages=self._stages(n))
+        assert engine.num_sessions == 4
+
+    def test_max_sessions_validated(self):
+        with pytest.raises(ValueError, match="max_sessions"):
+            Engine(max_sessions=0)
+
+    def test_evict_api(self):
+        g = build("ViT", **SMALL_CONFIGS["ViT"])
+        engine = Engine()
+        session = engine.compile(g)
+        assert engine.evict(g) is True
+        assert engine.evict(g) is False  # already gone
+        assert engine.num_sessions == 0
+        assert engine.compile(g) is not session
+
+    def test_clear(self):
+        g = build("ViT", **SMALL_CONFIGS["ViT"])
+        engine = Engine()
+        engine.compile(g)
+        engine.clear()
+        assert engine.num_sessions == 0
+
+
+class TestProgramPlumbing:
+    def test_sessions_share_one_lowering(self):
+        g = build("ViT", **SMALL_CONFIGS["ViT"])
+        a = compile_session(g, "Ours")
+        b = compile_session(g, "Ours")
+        assert a.program is b.program  # program rides the compile cache
+
+    def test_ours_program_comes_from_lower_pass(self):
+        g = build("Swin", **SMALL_CONFIGS["Swin"])
+        session = compile_session(g, "Ours")
+        assert session._program is not None  # no lazy lowering needed
+        assert session.program.graph is session.graph
+
+    def test_baseline_framework_lowers_lazily(self):
+        g = build("ResNext", **SMALL_CONFIGS["ResNext"])
+        session = compile_session(g, "DNNF")
+        assert session._program is None
+        assert session.program.num_steps == len(session.graph.nodes)
+
+    def test_unknown_backend_rejected(self):
+        g = build("ViT", **SMALL_CONFIGS["ViT"])
+        with pytest.raises(KeyError, match="unknown backend"):
+            compile_session(g, "Ours", backend="tpu")
+
+    def test_run_batch_single_backend_invocation(self, monkeypatch):
+        g = build("ViT", **SMALL_CONFIGS["ViT"])
+        session = compile_session(g, "Ours")
+        calls = []
+        original = session._backend.run_many
+
+        def counting_run_many(program, values_list, pool):
+            calls.append(len(values_list))
+            return original(program, values_list, pool)
+
+        monkeypatch.setattr(session._backend, "run_many", counting_run_many)
+        session.run_batch([session.make_inputs(seed=s) for s in range(3)])
+        assert calls == [3]
+
+
 class TestCompileOnce:
     def test_engine_returns_same_session(self):
         g = build("ViT", **SMALL_CONFIGS["ViT"])
