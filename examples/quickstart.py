@@ -41,3 +41,14 @@ small = build_model("Swin", image=56, dim=24, depths=(1, 1), heads=(2, 4))
 small_module = optimize(small)
 assert outputs_equal(small, small_module.graph)
 print("\nNumerical check: optimized graph == original graph  [OK]")
+
+# 6. To actually *serve* the optimized model, use the typed front door:
+#    repro.compile wraps the whole pipeline plus lowering in a
+#    CompiledModel (see examples/serving.py for repro.serve and the
+#    micro-batching scheduler).
+import repro
+
+model = repro.compile(small)
+response = model.run(model.make_request(seed=0))
+print(f"served one request in {response.stats.wall_s * 1e3:.2f} ms "
+      f"(estimated on-device: {response.stats.est_latency_ms:.1f} ms)")

@@ -1,58 +1,80 @@
-"""Serving: compile once, run many - the lowered-program execution path.
+"""Serving: repro.compile / repro.serve - the typed service-layer API.
 
-A Session compiles a (model, framework, device) triple once - the graph
-is optimized, lowered to an ExecutionProgram (pre-bound kernels,
-pre-resolved views, static buffer-slot plan), and parameters are
-materialized once - then serves repeated run()/run_batch() requests with
-steady-state pool reuse.
+``repro.compile`` turns a model into a CompiledModel serving typed
+InferenceRequest/InferenceResponse objects (compile once, run many).
+``repro.serve`` puts the same compiled model behind a dynamic
+micro-batching scheduler: concurrent submit() calls are coalesced into
+one backend invocation on the lowered-program path, so dispatch is paid
+per micro-batch instead of per request.
 
 Run:  python examples/serving.py
 """
 
+import threading
+
+import repro
 from repro.models import build_smoke
-from repro.runtime import Engine
 
-# 1. An Engine keeps one live session per compiled triple, bounded by an
-#    LRU so a long-lived server cannot grow sessions without bound.
-engine = Engine(max_sessions=8)
-graph = build_smoke("Pythia")          # serving-scale config
-session = engine.compile(graph, "Ours")
-program = session.program
-print(f"Pythia (smoke): {len(session.graph.nodes)} nodes lowered to "
-      f"{program.num_steps} steps on backend {session.backend!r}")
-print(f"slot plan: {program.slot_plan.num_slots} buffer slots, "
-      f"peak {program.slot_plan.peak_bytes / 1024:.1f} KiB")
+# 1. Compile once.  Sessions are cached process-wide on the graph's
+#    *content fingerprint*: rebuilding an identical graph hits the cache.
+graph = build_smoke("Pythia")
+model = repro.compile(graph)
+program = model.program
+print(f"Pythia (smoke): {len(model.graph.nodes)} nodes lowered to "
+      f"{program.num_steps} steps")
+print(f"admission spec: {model.input_signature}")
+assert repro.compile(build_smoke("Pythia")).session is model.session
 
-# 2. Serve requests.  The first run warms the pool (allocates blocks);
-#    every later run is served entirely from reused blocks.
-inputs = session.make_inputs(seed=0)
-for _ in range(10):
-    session.run(inputs)
-first, *_, last = session.stats.runs
-print(f"\nrequest  1: {first.wall_s * 1e3:7.3f} ms  "
-      f"pool allocations={first.pool.allocations:3d} reuses={first.pool.reuses}")
-print(f"request {session.stats.requests:2d}: {last.wall_s * 1e3:7.3f} ms  "
-      f"pool allocations={last.pool.allocations:3d} reuses={last.pool.reuses}")
-assert last.pool.allocations == 0, "steady state must reuse every block"
+# 2. Typed request in, typed response out - with per-request RunStats.
+request = model.make_request(seed=0)
+response = model.run(request)
+print(f"\nrun: outputs={sorted(response.outputs)}  "
+      f"wall={response.stats.wall_s * 1e3:.3f} ms  "
+      f"pool allocations={response.stats.pool.allocations}")
 
-# 3. Batched serving goes through one backend invocation.
-batch = [session.make_inputs(seed=s) for s in range(4)]
-outputs = session.run_batch(batch)
-print(f"\nrun_batch: served {len(outputs)} requests "
-      f"(total so far: {session.stats.requests}, "
-      f"mean {session.stats.mean_wall_s * 1e3:.3f} ms)")
-
-# 4. Requests are validated at admission: a malformed tensor fails with
-#    an error naming it, never deep inside a kernel.
-bad = dict(inputs)
-name = next(iter(bad))
-bad[name] = bad[name][..., :-1]
+# 3. Malformed requests fail at admission with an error naming the
+#    tensor - including wrong-*name* tensors, never deep inside a kernel.
 try:
-    session.run(bad)
+    model.run({"not_a_tensor": request.inputs[next(iter(request.inputs))]})
 except ValueError as err:
-    print(f"\nrejected malformed request: {err}")
+    print(f"rejected: {err}")
 
-# 5. The same triple compiles to the same live session; evict() drops it.
-assert engine.compile(graph, "Ours") is session
-engine.evict(graph, "Ours")
-print(f"\nevicted; engine now holds {engine.num_sessions} session(s)")
+# 4. repro.serve: a scheduler coalesces concurrent traffic into
+#    micro-batches.  Four client threads submit 32 requests; the worker
+#    drains them through one run_many invocation per batch.
+service = repro.serve(graph, max_batch_size=8, max_wait_ms=20.0)
+responses = []
+record = responses.append
+lock = threading.Lock()
+
+
+def client(seeds):
+    futures = [service.submit(model.make_request(seed=s)) for s in seeds]
+    for future in futures:
+        response = future.result(timeout=60)
+        with lock:
+            record(response)
+
+
+threads = [threading.Thread(target=client, args=(range(i, 32, 4),))
+           for i in range(4)]
+for t in threads:
+    t.start()
+for t in threads:
+    t.join()
+
+report = service.report()
+print(f"\nscheduler: {report.requests} requests in {report.batches} "
+      f"micro-batches (mean {report.mean_batch_size:.1f}/batch, largest "
+      f"{report.largest_batch}, queue peak {report.queue_depth_peak})")
+print(f"executor-side throughput: {report.throughput_rps:,.0f} req/s")
+assert len(responses) == 32
+assert report.largest_batch <= 8
+assert any(r.batch_size > 1 for r in responses), "burst must coalesce"
+
+# 5. Graceful shutdown: close() drains the queue, then joins the worker.
+pending = [service.submit(model.make_request(seed=s)) for s in range(6)]
+service.close()
+assert all(f.done() for f in pending)
+print(f"closed after draining: {service.report().requests} requests total, "
+      f"queue depth {service.report().queue_depth}")

@@ -1,16 +1,36 @@
 """SmartMem reproduction: layout transformation elimination and adaptation
 for efficient DNN execution on mobile (Niu et al., ASPLOS 2024).
 
-Quickstart::
+Quickstart - compile once, serve typed requests::
 
-    from repro import build_model, optimize, estimate_cost, SD8GEN2
+    import repro
 
-    graph = build_model("Swin")
-    module = optimize(graph)                      # the SmartMem pipeline
-    report = estimate_cost(module, SD8GEN2)       # analytical device model
-    print(report.latency_ms, module.operator_count)
+    model = repro.compile("Pythia")               # SmartMem pipeline + lowering
+    request = model.make_request(seed=0)          # or InferenceRequest(inputs={...})
+    response = model.run(request)
+    print(response.outputs.keys(), response.stats.wall_s)
+
+Serving concurrent traffic - a scheduler coalesces requests into
+micro-batches on the lowered program path::
+
+    with repro.serve("Pythia", max_batch_size=16) as service:
+        futures = [service.submit(model.make_request(seed=s).inputs)
+                   for s in range(64)]
+        responses = [f.result() for f in futures]
+        print(service.report().throughput_rps)
+
+The analysis layer is unchanged: ``optimize()`` runs the SmartMem
+pipeline on a graph and ``estimate_cost()`` prices it on a device model::
+
+    graph = repro.build_model("Swin")
+    module = repro.optimize(graph)
+    report = repro.estimate_cost(module, repro.SD8GEN2)
 """
 
+from .api import (
+    CompiledModel, CompileOptions, InferenceFuture, InferenceRequest,
+    InferenceResponse, ServeOptions, Service, ServiceReport, compile, serve,
+)
 from .core.pipeline import OptimizeResult, PipelineStages, smartmem_optimize
 from .ir.builder import GraphBuilder
 from .ir.graph import Graph
@@ -18,7 +38,7 @@ from .models import build as build_model
 from .runtime.cost_model import CostModelConfig, CostReport, estimate
 from .runtime.device import DEVICES, DIMENSITY700, DeviceSpec, SD835, SD8GEN2, V100
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 
 def optimize(graph: Graph, stages: PipelineStages | None = None) -> OptimizeResult:
@@ -34,8 +54,10 @@ def estimate_cost(module: OptimizeResult, device: DeviceSpec = SD8GEN2,
 
 
 __all__ = [
-    "CostModelConfig", "CostReport", "DEVICES", "DIMENSITY700", "DeviceSpec",
-    "Graph", "GraphBuilder", "OptimizeResult", "PipelineStages", "SD835",
-    "SD8GEN2", "V100", "build_model", "estimate", "estimate_cost", "optimize",
-    "smartmem_optimize", "__version__",
+    "CompileOptions", "CompiledModel", "CostModelConfig", "CostReport",
+    "DEVICES", "DIMENSITY700", "DeviceSpec", "Graph", "GraphBuilder",
+    "InferenceFuture", "InferenceRequest", "InferenceResponse",
+    "OptimizeResult", "PipelineStages", "SD835", "SD8GEN2", "ServeOptions",
+    "Service", "ServiceReport", "V100", "build_model", "compile", "estimate",
+    "estimate_cost", "optimize", "serve", "smartmem_optimize", "__version__",
 ]

@@ -1,0 +1,36 @@
+"""The canonical public surface: typed compile & serve front doors.
+
+Two entry points replace the historical trio of idioms
+(``optimize()``/``estimate_cost()``, ``compile_session()`` with raw
+ndarray dicts, positional ``Engine`` tuples):
+
+* :func:`repro.compile` - compile once, run many, synchronously::
+
+      model = repro.compile(graph)                    # CompiledModel
+      response = model.run(InferenceRequest(inputs))  # InferenceResponse
+      response.outputs, response.stats.wall_s
+
+* :func:`repro.serve` - the same compiled model behind a dynamic
+  micro-batching scheduler for concurrent traffic::
+
+      with repro.serve(graph, max_batch_size=16) as service:
+          futures = [service.submit(r) for r in requests]
+          responses = [f.result() for f in futures]
+
+Both are configured by frozen options dataclasses
+(:class:`CompileOptions`, :class:`ServeOptions`) and speak typed
+:class:`InferenceRequest`/:class:`InferenceResponse` objects instead of
+raw ndarray dicts.
+"""
+
+from .compiled import CompiledModel, compile, compile_private, session_cache
+from .messages import InferenceRequest, InferenceResponse, as_request
+from .options import CompileOptions, ServeOptions, merge_options
+from .service import InferenceFuture, Service, ServiceReport, serve
+
+__all__ = [
+    "CompileOptions", "CompiledModel", "InferenceFuture", "InferenceRequest",
+    "InferenceResponse", "Service", "ServeOptions", "ServiceReport",
+    "as_request", "compile", "compile_private", "merge_options", "serve",
+    "session_cache",
+]

@@ -1,0 +1,203 @@
+"""``repro.compile``: the typed compile-once front door.
+
+A :class:`CompiledModel` wraps one
+:class:`~repro.runtime.session.Session` behind typed
+request/response objects with *strict* admission: a request must name
+exactly the compiled graph's declared inputs, and every tensor is
+checked against the program's
+:attr:`~repro.runtime.program.ExecutionProgram.input_signature`, so a
+wrong-*name* tensor fails as loudly as a wrong-shape one.
+
+``compile()`` fronts a process-wide :class:`SessionRegistry` keyed on
+graph content fingerprints: recompiling a structurally identical user
+graph returns the same live session (and its warmed pool).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Mapping
+
+import numpy as np
+
+from ..ir.graph import Graph
+from ..runtime.session import Session, SessionRegistry, _compile_session
+from .messages import InferenceRequest, InferenceResponse, as_request
+from .options import CompileOptions, merge_options
+
+_REGISTRY = SessionRegistry(max_sessions=64)
+"""Process-wide session cache behind :func:`compile`, LRU-bounded so a
+long-lived server compiling many distinct triples cannot grow sessions
+(graphs, materialized parameters, pools) without bound."""
+
+
+def session_cache() -> SessionRegistry:
+    """The process-wide registry (for explicit ``evict()``/``clear()``)."""
+    return _REGISTRY
+
+
+class CompiledModel:
+    """One compiled model serving typed requests.
+
+    Not thread-safe: concurrent callers should go through
+    :func:`repro.serve`, whose scheduler owns a private session.
+    """
+
+    def __init__(self, session: Session) -> None:
+        self._session = session
+        program = session.program
+        self._signature = {
+            name: (shape, np.dtype(dtype))
+            for name, shape, dtype in program.input_signature}
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def session(self) -> Session:
+        """The underlying execution session (pool, stats, program)."""
+        return self._session
+
+    @property
+    def graph(self) -> Graph:
+        return self._session.graph
+
+    @property
+    def program(self):
+        return self._session.program
+
+    @property
+    def input_signature(self):
+        """(name, shape, dtype) per declared input - the admission spec."""
+        return self._session.program.input_signature
+
+    @property
+    def est_latency_ms(self) -> float:
+        return self._session.est_latency_ms
+
+    @property
+    def stats(self):
+        return self._session.stats
+
+    def make_request(self, seed: int = 0, **meta) -> InferenceRequest:
+        """Deterministic random request (tests, warmup, load generators)."""
+        return InferenceRequest(inputs=self._session.make_inputs(seed), **meta)
+
+    # -- admission ---------------------------------------------------------
+
+    def admit(self, request: InferenceRequest) -> dict[str, np.ndarray]:
+        """Validate one request and merge it over the session parameters.
+
+        Raises :class:`ValueError` naming the offending tensor for empty
+        requests, unknown input names, missing inputs, wrong shapes, and
+        wrong dtypes - before anything reaches the backend.
+        """
+        inputs = request.inputs
+        rid = request.request_id
+        who = "request" if rid is None else f"request {rid!r}"
+        signature = self._signature
+        if not inputs:
+            raise ValueError(
+                f"{who} has no input tensors; expected {sorted(signature)}")
+        values = dict(self._session._params)
+        for name, value in inputs.items():
+            spec = signature.get(name)
+            if spec is None:
+                raise ValueError(
+                    f"{who}: unknown input tensor {name!r}; this "
+                    f"model takes {sorted(signature)}")
+            shape, dtype = spec
+            if not isinstance(value, np.ndarray):
+                value = np.asarray(value)
+            if value.shape != shape:
+                raise ValueError(
+                    f"{who}: input {name!r}: got shape "
+                    f"{tuple(value.shape)}, expected {shape}")
+            if value.dtype != dtype:
+                raise ValueError(
+                    f"{who}: input {name!r}: got dtype "
+                    f"{value.dtype}, expected {dtype}")
+            values[name] = value
+        if len(inputs) < len(signature):
+            missing = [n for n in signature if n not in inputs]
+            raise ValueError(f"{who}: missing input tensors {missing}")
+        return values
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, request: InferenceRequest | Mapping[str, np.ndarray],
+            ) -> InferenceResponse:
+        """Serve one request synchronously."""
+        request = as_request(request)
+        session = self._session
+        start = time.perf_counter()
+        values = self.admit(request)
+        outputs, report = session._backend.run_serving(
+            session.program, values, session.pool)
+        stats = session._record(time.perf_counter() - start, report)
+        return InferenceResponse(
+            request_id=request.request_id, outputs=outputs, stats=stats)
+
+    __call__ = run
+
+    def run_batch(self, requests) -> list[InferenceResponse]:
+        """Serve a list of requests through one backend invocation."""
+        if not requests:
+            raise ValueError(
+                "run_batch() needs at least one request; got an empty batch")
+        session = self._session
+        requests = [as_request(r) for r in requests]
+        perf = time.perf_counter
+        admitted = []
+        for request in requests:
+            start = perf()
+            values = self.admit(request)
+            admitted.append((request, values, perf() - start))
+        results = session._backend.run_many(
+            session.program, [values for _, values, _ in admitted],
+            session.pool)
+        n = len(results)
+        responses = []
+        for (request, _, admit_s), (outputs, report, wall_s) in zip(
+                admitted, results):
+            responses.append(InferenceResponse(
+                request_id=request.request_id, outputs=outputs,
+                stats=session._record(admit_s + wall_s, report),
+                batch_size=n))
+        return responses
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        s = self._session
+        return (f"CompiledModel({s.model or s.graph.name!r}, "
+                f"framework={s.framework!r}, backend={s.backend!r})")
+
+
+def compile(model: str | Graph, options: CompileOptions | None = None,
+            **overrides) -> CompiledModel:
+    """Compile a model into a :class:`CompiledModel` (cached per triple).
+
+    ``model`` is a registry name or a :class:`~repro.ir.graph.Graph`;
+    ``options`` (or loose keyword overrides) pick the
+    framework/device/backend.  Sessions are cached process-wide on the
+    model's content fingerprint plus the options, so repeated compiles -
+    including of a *rebuilt but identical* graph - share one session.
+    """
+    options = merge_options(CompileOptions, options, overrides)
+    session = _REGISTRY.compile(
+        model, options.framework, options.device, options.batch,
+        backend=options.backend, check_memory=options.check_memory,
+        **options.framework_kwargs())
+    return CompiledModel(session)
+
+
+def compile_private(model: str | Graph,
+                    options: CompileOptions) -> CompiledModel:
+    """A CompiledModel over a *private* session (no registry).
+
+    Used by :func:`repro.serve`: a service's worker thread must own its
+    pool exclusively, so it never shares a session with direct callers.
+    """
+    session = _compile_session(
+        model, options.framework, options.device, options.batch,
+        check_memory=options.check_memory, backend=options.backend,
+        **options.framework_kwargs())
+    return CompiledModel(session)

@@ -1,0 +1,83 @@
+"""Typed configuration for the service-layer front doors.
+
+The old surface spread configuration over positional tuples
+(``Engine.compile(model, framework, device, batch)``) and loose keyword
+arguments; the options dataclasses make every knob named, defaulted, and
+hashable (so they can participate in session-cache keys).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+from ..core.passes import PipelineStages
+from ..runtime.device import DeviceSpec, SD8GEN2
+
+
+@dataclass(frozen=True)
+class CompileOptions:
+    """Everything :func:`repro.compile` needs besides the model.
+
+    ``stages`` feeds the SmartMem pass pipeline (ablation toggles, tuned
+    boost); the remaining fields pick the framework/device/backend triple
+    the session is compiled for.
+    """
+
+    framework: str = "Ours"
+    device: DeviceSpec = SD8GEN2
+    batch: int = 1
+    backend: str = "numpy"
+    check_memory: bool = False
+    stages: PipelineStages | None = None
+
+    def framework_kwargs(self) -> dict:
+        """Keyword arguments forwarded to the framework constructor."""
+        return {} if self.stages is None else {"stages": self.stages}
+
+
+@dataclass(frozen=True)
+class ServeOptions:
+    """Scheduler configuration for :func:`repro.serve`.
+
+    The service coalesces up to ``max_batch_size`` compatible requests
+    arriving within ``max_wait_ms`` of each other into one backend
+    invocation; ``max_wait_ms=0`` still coalesces whatever is already
+    queued but never delays a lone request.  ``max_queue`` bounds the
+    request queue (``submit`` raises once it is full) so a slow consumer
+    exerts backpressure instead of growing memory without bound.
+    """
+
+    max_batch_size: int = 8
+    max_wait_ms: float = 2.0
+    max_queue: int | None = None
+    compile: CompileOptions = field(default_factory=CompileOptions)
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be at least 1")
+        if self.max_wait_ms < 0:
+            raise ValueError("max_wait_ms cannot be negative")
+        if self.max_queue is not None and self.max_queue < 1:
+            raise ValueError("max_queue must be at least 1")
+
+
+def merge_options(cls, options, overrides: dict):
+    """One options object from an optional instance + keyword overrides.
+
+    Lets the front doors accept either a prebuilt dataclass, loose
+    keywords, or both (keywords win field-by-field).
+    """
+    if options is None:
+        return cls(**overrides)
+    if not isinstance(options, cls):
+        raise TypeError(
+            f"options must be {cls.__name__}, got {type(options).__name__}")
+    if not overrides:
+        return options
+    known = {f.name for f in fields(cls)}
+    unknown = sorted(set(overrides) - known)
+    if unknown:
+        raise TypeError(f"unknown {cls.__name__} fields: {unknown}")
+    merged = {f.name: getattr(options, f.name) for f in fields(cls)}
+    merged.update(overrides)
+    return cls(**merged)

@@ -1,0 +1,411 @@
+"""``repro.serve``: a compiled model behind a micro-batching scheduler.
+
+A :class:`Service` owns a private session and a worker thread draining a
+thread-safe priority queue.  Concurrent ``submit()`` calls are admitted
+in the submitting thread (fail-fast, and off the worker's critical
+path), queued, and coalesced - up to ``max_batch_size`` batch-compatible
+requests arriving within ``max_wait_ms`` of each other - into **one**
+``backend.run_many`` invocation on the lowered program path, amortizing
+per-request dispatch the way the compiler amortized per-request
+interpretation.  Results come back through lightweight futures; the
+whole batch's futures are resolved under one lock acquisition.
+
+    service = repro.serve("Pythia")
+    futures = [service.submit(req) for req in requests]
+    responses = [f.result() for f in futures]
+    print(service.report().throughput_rps)
+    service.close()                     # drains the queue, joins the worker
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from ..ir.graph import Graph
+from .compiled import CompiledModel, compile_private
+from .messages import InferenceRequest, InferenceResponse, as_request
+from .options import ServeOptions, merge_options
+
+
+class InferenceFuture:
+    """Handle to one submitted request.
+
+    ``result()`` blocks until the scheduler resolves the request - with
+    its :class:`~repro.api.InferenceResponse`, or by raising the error
+    the request failed with (deadline misses raise ``TimeoutError``).
+    Futures share their service's condition variable, so resolving a
+    coalesced batch wakes every waiter with one notification.
+    """
+
+    __slots__ = ("_service", "_response", "_error", "_resolved")
+
+    def __init__(self, service: "Service") -> None:
+        self._service = service
+        self._response: InferenceResponse | None = None
+        self._error: BaseException | None = None
+        self._resolved = False
+
+    def done(self) -> bool:
+        return self._resolved
+
+    def result(self, timeout: float | None = None) -> InferenceResponse:
+        if not self._resolved:
+            deadline = None if timeout is None \
+                else time.monotonic() + timeout
+            with self._service._completed:
+                while not self._resolved:
+                    remaining = None if deadline is None \
+                        else deadline - time.monotonic()
+                    if remaining is not None and remaining <= 0:
+                        raise TimeoutError("request is still pending")
+                    self._service._completed.wait(remaining)
+        if self._error is not None:
+            raise self._error
+        return self._response
+
+    def exception(self, timeout: float | None = None) -> BaseException | None:
+        try:
+            self.result(timeout)
+        except BaseException as err:  # noqa: BLE001 - the stored failure
+            if err is self._error:
+                return err
+            raise  # still pending after `timeout`
+        return None
+
+
+class _Pending:
+    """One queued request: heap-ordered by (priority desc, arrival)."""
+
+    __slots__ = ("order", "priority", "request_id", "values", "future",
+                 "enqueued_s", "deadline_s")
+
+    def __init__(self, order, priority, request_id, values, future,
+                 enqueued_s, deadline_s) -> None:
+        self.order = order
+        self.priority = priority
+        self.request_id = request_id
+        self.values = values
+        self.future = future
+        self.enqueued_s = enqueued_s
+        self.deadline_s = deadline_s
+
+    def __lt__(self, other: "_Pending") -> bool:
+        if self.priority != other.priority:
+            return self.priority > other.priority  # higher drains first
+        return self.order < other.order
+
+
+@dataclass
+class ServiceReport:
+    """Lifetime scheduler statistics, surfaced by :meth:`Service.report`."""
+
+    requests: int
+    batches: int
+    mean_batch_size: float
+    largest_batch: int
+    queue_depth: int
+    queue_depth_peak: int
+    expired: int
+    failed: int
+    total_exec_s: float
+    throughput_rps: float
+    """Executor-side rate: requests served per second of backend time."""
+    closed: bool
+
+
+class Service:
+    """A compiled model served by a dynamic micro-batching scheduler.
+
+    Thread-safe: any number of threads may ``submit()`` concurrently.
+    The service owns its session (and pool) exclusively - all execution
+    happens on the single worker thread, so the compile-once/run-many
+    pool discipline holds under concurrent traffic without locking the
+    hot loop.
+    """
+
+    def __init__(self, compiled: CompiledModel, options: ServeOptions,
+                 _start: bool = True) -> None:
+        self._compiled = compiled
+        self._options = options
+        session = compiled.session
+        self._session = session
+        self._program = session.program
+        self._batch_key = self._program.batch_key
+        self._pool = session.pool
+        self._backend = session._backend
+        self._max_batch = options.max_batch_size
+        self._wait_s = options.max_wait_ms / 1e3
+        self._max_queue = options.max_queue
+
+        self._lock = threading.Lock()
+        self._work = threading.Condition(self._lock)      # producer -> worker
+        self._completed = threading.Condition(self._lock)  # worker -> waiters
+        # Default-priority requests ride a FIFO deque (O(1) C-speed ends,
+        # no Python-level comparisons on the submit hot path); the heap
+        # only engages for requests with an explicit priority.
+        self._fifo: deque[_Pending] = deque()
+        self._heap: list[_Pending] = []
+        self._submitted = 0
+        self._closed = False
+
+        self._requests = 0
+        self._batches = 0
+        self._expired = 0
+        self._failed = 0
+        self._largest_batch = 0
+        self._queue_peak = 0
+        self._total_exec_s = 0.0
+
+        self._worker: threading.Thread | None = None
+        if _start:
+            self._worker = threading.Thread(
+                target=self._drain_loop, daemon=True,
+                name=f"repro-service-{session.model or session.graph.name}")
+            self._worker.start()
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def compiled(self) -> CompiledModel:
+        return self._compiled
+
+    @property
+    def program(self):
+        return self._program
+
+    @property
+    def batch_key(self):
+        """The coalescing contract this service schedules under.
+
+        Every request is admitted against the one program carrying this
+        key, which is what licenses unconditional coalescing in
+        :meth:`_next_batch`; a multi-program scheduler would group its
+        queue by this token before batching.
+        """
+        return self._batch_key
+
+    @property
+    def options(self) -> ServeOptions:
+        return self._options
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._fifo) + len(self._heap)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def report(self) -> ServiceReport:
+        """Snapshot of the scheduler's lifetime statistics."""
+        with self._lock:
+            requests = self._requests
+            batches = self._batches
+            total_exec_s = self._total_exec_s
+            return ServiceReport(
+                requests=requests,
+                batches=batches,
+                mean_batch_size=requests / batches if batches else 0.0,
+                largest_batch=self._largest_batch,
+                queue_depth=self._depth(),
+                queue_depth_peak=self._queue_peak,
+                expired=self._expired,
+                failed=self._failed,
+                total_exec_s=total_exec_s,
+                throughput_rps=requests / total_exec_s
+                if total_exec_s else 0.0,
+                closed=self._closed,
+            )
+
+    def _depth(self) -> int:
+        return len(self._fifo) + len(self._heap)
+
+    def _pop_next(self) -> _Pending:
+        """Next entry by (priority desc, arrival): FIFO unless an
+        explicitly prioritized entry outranks the FIFO head."""
+        if not self._heap:
+            return self._fifo.popleft()
+        if not self._fifo or self._heap[0] < self._fifo[0]:
+            return heapq.heappop(self._heap)
+        return self._fifo.popleft()
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, request: InferenceRequest | Mapping[str, np.ndarray],
+               ) -> InferenceFuture:
+        """Queue one request; returns a future resolving to its response.
+
+        Admission runs here, in the submitting thread: malformed
+        requests (empty, unknown/missing tensor names, wrong
+        shape/dtype) raise :class:`ValueError` immediately, and the
+        per-request merge work overlaps the worker's execution of
+        earlier batches.
+        """
+        request = as_request(request)
+        values = self._compiled.admit(request)
+        future = InferenceFuture(self)
+        now = time.monotonic()
+        deadline_s = None if request.deadline_ms is None \
+            else now + request.deadline_ms / 1e3
+        priority = request.priority
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("service is closed")
+            depth = self._depth()
+            if self._max_queue is not None and depth >= self._max_queue:
+                raise RuntimeError(
+                    f"service queue is full ({self._max_queue} requests)")
+            order = self._submitted
+            self._submitted += 1
+            request_id = request.request_id \
+                if request.request_id is not None else order
+            entry = _Pending(order, priority, request_id, values, future,
+                             now, deadline_s)
+            if priority == 0:
+                self._fifo.append(entry)
+            else:
+                heapq.heappush(self._heap, entry)
+            if depth + 1 > self._queue_peak:
+                self._queue_peak = depth + 1
+            self._work.notify()
+        return future
+
+    def infer(self, request: InferenceRequest | Mapping[str, np.ndarray],
+              timeout: float | None = None) -> InferenceResponse:
+        """Synchronous convenience: ``submit(request).result()``."""
+        return self.submit(request).result(timeout)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self, timeout: float | None = None) -> None:
+        """Graceful shutdown: drain the queue, then join the worker.
+
+        Every request submitted before ``close()`` is served; later
+        ``submit()`` calls raise.  Idempotent.
+        """
+        with self._lock:
+            self._closed = True
+            self._work.notify_all()
+        if self._worker is not None:
+            self._worker.join(timeout)
+
+    def __enter__(self) -> "Service":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- the scheduler -----------------------------------------------------
+
+    def _next_batch(self) -> list[_Pending] | None:
+        """Block until work is available; coalesce a batch.
+
+        The coalescing window opens when the first request is seen:
+        the worker waits up to ``max_wait_ms`` for the batch to fill,
+        leaving early when it does (or on shutdown, which drains
+        without delay).
+        """
+        with self._lock:
+            while not self._fifo and not self._heap:
+                if self._closed:
+                    return None
+                self._work.wait()
+            if self._wait_s > 0.0 and not self._closed \
+                    and self._depth() < self._max_batch:
+                deadline = time.monotonic() + self._wait_s
+                while self._depth() < self._max_batch and not self._closed:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._work.wait(remaining)
+            if not self._heap:  # common case: one C-speed bulk slice
+                fifo = self._fifo
+                n = min(self._max_batch, len(fifo))
+                return [fifo.popleft() for _ in range(n)]
+            n = min(self._max_batch, self._depth())
+            return [self._pop_next() for _ in range(n)]
+
+    def _drain_loop(self) -> None:
+        while True:
+            batch = self._next_batch()
+            if batch is None:
+                return
+            self._execute(batch)
+
+    def _execute(self, batch: list[_Pending]) -> None:
+        """Run one coalesced batch through a single backend invocation."""
+        dequeued = time.monotonic()
+        expired: list[_Pending] = []
+        live: list[_Pending] = []
+        for entry in batch:
+            if entry.deadline_s is not None and dequeued > entry.deadline_s:
+                entry.future._error = TimeoutError(
+                    f"request {entry.request_id!r} missed its deadline "
+                    f"({(dequeued - entry.enqueued_s) * 1e3:.1f} ms queued)")
+                expired.append(entry)
+            else:
+                live.append(entry)
+        if expired:
+            with self._lock:
+                for entry in expired:
+                    entry.future._resolved = True
+                self._expired += len(expired)
+                self._completed.notify_all()
+        if not live:
+            return
+
+        session = self._session
+        perf = time.perf_counter
+        start = perf()
+        try:
+            results = self._backend.run_many(
+                self._program, [entry.values for entry in live], self._pool)
+        except Exception as err:  # noqa: BLE001 - fail the whole batch
+            with self._lock:
+                for entry in live:
+                    entry.future._error = err
+                    entry.future._resolved = True
+                self._failed += len(live)
+                self._completed.notify_all()
+            return
+        exec_s = perf() - start
+
+        n = len(live)
+        record = session._record
+        resolved = []
+        for entry, (outputs, report, wall_s) in zip(live, results):
+            resolved.append((entry.future, InferenceResponse(
+                request_id=entry.request_id, outputs=outputs,
+                stats=record(wall_s, report), batch_size=n,
+                queued_ms=(dequeued - entry.enqueued_s) * 1e3)))
+        with self._lock:
+            for future, response in resolved:
+                future._response = response
+                future._resolved = True
+            self._requests += n
+            self._batches += 1
+            self._total_exec_s += exec_s
+            if n > self._largest_batch:
+                self._largest_batch = n
+            self._completed.notify_all()
+
+
+def serve(model: str | Graph, options: ServeOptions | None = None,
+          **overrides) -> Service:
+    """Compile ``model`` and stand up a :class:`Service` in front of it.
+
+    ``options`` (or loose keyword overrides, e.g.
+    ``serve(g, max_batch_size=16)``) configure the scheduler;
+    ``options.compile`` picks the framework/device/backend.  The service
+    compiles through the shared compile caches but owns its *session*
+    (pool, stats) privately - its worker thread is the only executor.
+    """
+    options = merge_options(ServeOptions, options, overrides)
+    return Service(compile_private(model, options.compile), options)

@@ -147,6 +147,17 @@ def main(argv: list[str]) -> int:
                   f"{entry['program_run_ms']:.3f}", f"{entry['speedup']:.2f}x"]
                  for name, entry in serve["models"].items()],
                 title="== Steady-state serving (Session.run wall time) =="))
+            scheduler = serve.get("scheduler")
+            if scheduler:
+                print(format_table(
+                    ["Model", "sequential (req/s)", "scheduler (req/s)",
+                     "speedup", "mean batch"],
+                    [[name, f"{entry['sequential_rps']:.0f}",
+                      f"{entry['scheduler_rps']:.0f}",
+                      f"{entry['speedup']:.2f}x", f"{entry['mean_batch']:.1f}"]
+                     for name, entry in scheduler["models"].items()],
+                    title="== Micro-batching scheduler (coalesced "
+                          "throughput vs sequential Session.run) =="))
         print(f"wrote perf trajectory to {timings_path}")
     return 0
 

@@ -23,7 +23,7 @@ from ..memory.pool import (
 )
 from ..models import build_smoke
 from ..runtime.executor import make_inputs, run_node
-from ..runtime.session import RunStats, compile_session
+from ..runtime.session import RunStats, _compile_session
 
 #: Models measured by default: transformer-family smoke configs whose
 #: request times are small enough that dispatch overhead is visible, plus
@@ -137,7 +137,7 @@ def measure_serving(models: tuple[str, ...] = SERVE_MODELS,
     best = 0.0
     for name in models:
         graph = build_smoke(name)
-        session = compile_session(graph, "Ours")
+        session = _compile_session(graph, "Ours")
         interp = InterpreterSession(session.graph, session.report)
         inputs = session.make_inputs()
         for _ in range(warmup):
@@ -166,6 +166,80 @@ def measure_serving(models: tuple[str, ...] = SERVE_MODELS,
         }
     return {
         "requests": requests,
+        "models": per_model,
+        "best_speedup": round(best, 2),
+        "scheduler": measure_scheduler(),
+    }
+
+
+#: Dispatch-bound smoke models (tiny tensors, many steps): the regime the
+#: scheduler's coalescing is built for.
+SCHEDULER_MODELS = ("Pythia", "SD-TextEncoder")
+
+
+def measure_scheduler(models: tuple[str, ...] = SCHEDULER_MODELS,
+                      requests: int = 128, max_batch_size: int = 16,
+                      repeats: int = 5, warmup: int = 8) -> dict:
+    """Coalesced micro-batch throughput vs. sequential ``Session.run``.
+
+    The sequential baseline loops ``Session.run`` over ``requests``
+    prebuilt inputs - the PR 3 idiom, one dispatch per request.  The
+    scheduler path submits the same burst to a :class:`repro.api.Service`
+    and waits for every future: the worker coalesces the queue into
+    micro-batches of up to ``max_batch_size`` and serves each through one
+    ``run_many`` invocation, so per-request dispatch (steady-state pool
+    check, report construction, run wrapping) is paid per *batch*, and
+    submit-side admission overlaps execution.  Both paths are warmed to
+    pool steady state and best-of-``repeats`` walls are reported.
+    """
+    from ..api import InferenceRequest, ServeOptions, serve
+
+    perf = time.perf_counter
+    per_model = {}
+    best = 0.0
+    for name in models:
+        graph = build_smoke(name)
+        session = _compile_session(graph, "Ours")
+        inputs = session.make_inputs()
+        for _ in range(warmup):
+            session.run(inputs)
+        sequential_walls = []
+        for _ in range(repeats):
+            start = perf()
+            for _ in range(requests):
+                session.run(inputs)
+            sequential_walls.append(perf() - start)
+
+        service = serve(graph, ServeOptions(
+            max_batch_size=max_batch_size, max_wait_ms=5.0))
+        burst = [InferenceRequest(inputs=inputs) for _ in range(requests)]
+        for future in [service.submit(r) for r in burst[:max_batch_size]]:
+            future.result()  # warm the service's private pool
+        scheduler_walls = []
+        for _ in range(repeats):
+            start = perf()
+            futures = [service.submit(r) for r in burst]
+            for future in futures:
+                future.result()
+            scheduler_walls.append(perf() - start)
+        report = service.report()
+        service.close()
+
+        sequential_s = min(sequential_walls)
+        scheduler_s = min(scheduler_walls)
+        speedup = sequential_s / scheduler_s if scheduler_s else 0.0
+        best = max(best, speedup)
+        per_model[name] = {
+            "sequential_rps":
+                round(requests / sequential_s, 1) if sequential_s else 0.0,
+            "scheduler_rps":
+                round(requests / scheduler_s, 1) if scheduler_s else 0.0,
+            "speedup": round(speedup, 2),
+            "mean_batch": round(report.mean_batch_size, 2),
+        }
+    return {
+        "requests": requests,
+        "max_batch_size": max_batch_size,
         "models": per_model,
         "best_speedup": round(best, 2),
     }

@@ -17,7 +17,9 @@ graph can be verified bit-for-bit against the original.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
+import json
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
@@ -110,6 +112,25 @@ class Graph:
         here must be treated as immutable by callers.
         """
         return self._analysis_cache
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the graph: structure, tensor specs, and
+        optimizer annotations (groups, views, layouts).
+
+        Two graphs built the same way fingerprint identically whatever
+        their object identity, so a session cache keyed on the
+        fingerprint survives a user rebuilding the same model.  Memoized
+        per generation (any structural mutation recomputes it).
+        """
+        found = self._analysis_cache.get("fingerprint")
+        if found is None:
+            from .serialize import graph_to_json
+
+            payload = json.dumps(graph_to_json(self), sort_keys=True,
+                                 default=str)
+            found = hashlib.sha256(payload.encode()).hexdigest()
+            self._analysis_cache["fingerprint"] = found
+        return found
 
     # -- construction --------------------------------------------------------
 

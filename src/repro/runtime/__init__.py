@@ -13,12 +13,16 @@ from .program import (
     ExecutionBackend, ExecutionProgram, NumPyBackend, SlotPlan, Step,
     available_backends, get_backend, lower, register_backend,
 )
-from .session import Engine, RunStats, Session, SessionStats, compile_session
+from .session import (
+    Engine, RunStats, Session, SessionRegistry, SessionStats,
+    compile_session, stable_model_key,
+)
 
 __all__ = [
     "Artifact", "Engine", "ExecutionBackend", "ExecutionProgram",
     "GeneratedKernel", "NumPyBackend", "RunStats", "Session",
-    "SessionStats", "SlotPlan", "Step", "VerificationReport",
+    "SessionRegistry", "SessionStats", "SlotPlan", "Step",
+    "VerificationReport", "stable_model_key",
     "available_backends", "compile_session", "generate_group",
     "generate_kernel", "get_backend", "lower", "plan_from_json",
     "plan_to_json", "register_backend", "verify_equivalence",

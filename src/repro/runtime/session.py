@@ -37,6 +37,7 @@ bookkeeping) was all moved to compile time by
 from __future__ import annotations
 
 import time
+import warnings
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 
@@ -47,6 +48,18 @@ from ..memory.pool import PoolReport, SizeClassPool
 from .device import DeviceSpec, SD8GEN2
 from .executor import make_inputs
 from .program import ExecutionProgram, get_backend, lower
+
+_DEPRECATION_WARNED: set[str] = set()
+"""Shim names that already warned this process (each warns exactly once)."""
+
+
+def _warn_deprecated(name: str, instead: str) -> None:
+    if name in _DEPRECATION_WARNED:
+        return
+    _DEPRECATION_WARNED.add(name)
+    warnings.warn(
+        f"{name} is deprecated; use {instead} (see the repro.api package)",
+        DeprecationWarning, stacklevel=3)
 
 
 @dataclass
@@ -234,6 +247,9 @@ class Session:
         of the batch is recorded (the pool itself stays consistent
         either way).
         """
+        if not batch:
+            raise ValueError(
+                "run_batch() needs at least one request; got an empty batch")
         perf = time.perf_counter
         values_list = []
         admit_walls = []
@@ -249,25 +265,27 @@ class Session:
             outputs.append(out)
         return outputs
 
-    def _record(self, wall_s: float, report: PoolReport) -> None:
+    def _record(self, wall_s: float, report: PoolReport) -> RunStats:
         est = self._est_latency_ms
         if est is None:  # the cost report sums kernel costs; price once
             est = self._est_latency_ms = self.est_latency_ms
         stats = self.stats
         stats.requests += 1
         stats.total_wall_s += wall_s
-        stats.runs.append(RunStats(
+        run = RunStats(
             request=stats.requests,
             wall_s=wall_s,
             est_latency_ms=est,
             pool=report,
-        ))
+        )
+        stats.runs.append(run)
+        return run
 
 
-def compile_session(model: str | Graph, framework: str = "Ours",
-                    device: DeviceSpec = SD8GEN2, batch: int = 1,
-                    check_memory: bool = False, backend: str = "numpy",
-                    **fw_kwargs) -> Session:
+def _compile_session(model: str | Graph, framework: str = "Ours",
+                     device: DeviceSpec = SD8GEN2, batch: int = 1,
+                     check_memory: bool = False, backend: str = "numpy",
+                     **fw_kwargs) -> Session:
     """Compile a (model, framework, device) triple into a fresh Session.
 
     Compilation is served by the bench harness's cell cache: repeated
@@ -275,6 +293,10 @@ def compile_session(model: str | Graph, framework: str = "Ours",
     share one compile - and, through the program memoization, one
     lowering.  Raises ``RuntimeError`` when the framework does not
     support the model (capability or memory limits).
+
+    Internal workhorse behind :func:`repro.api.compile` and
+    :func:`repro.api.serve`; the public :func:`compile_session` is a
+    deprecation shim over it.
     """
     # Imported lazily: the harness sits above the runtime layer.
     from ..bench.harness import run_cell
@@ -298,14 +320,46 @@ def compile_session(model: str | Graph, framework: str = "Ours",
     )
 
 
-class Engine:
-    """Session registry: one live Session per compiled triple.
+def compile_session(model: str | Graph, framework: str = "Ours",
+                    device: DeviceSpec = SD8GEN2, batch: int = 1,
+                    check_memory: bool = False, backend: str = "numpy",
+                    **fw_kwargs) -> Session:
+    """Deprecated alias for the typed front door.
+
+    Prefer ``repro.compile(model, CompileOptions(...))`` - a
+    :class:`~repro.api.CompiledModel` wraps the same Session (exposed as
+    ``.session``) behind typed request/response objects.
+    """
+    _warn_deprecated("compile_session()", "repro.compile()")
+    return _compile_session(model, framework, device, batch,
+                            check_memory=check_memory, backend=backend,
+                            **fw_kwargs)
+
+
+def stable_model_key(model: str | Graph):
+    """Content identity of a model argument for session caching.
+
+    Registry names key by value; graphs key by *content fingerprint*, so
+    a user rebuilding an identical graph object hits the same session
+    cache entry instead of recompiling (the cell cache underneath still
+    keys graphs by object identity - only the session registry is
+    normalized).
+    """
+    if isinstance(model, Graph):
+        return ("graph", model.fingerprint())
+    return ("name", model)
+
+
+class SessionRegistry:
+    """Session cache: one live Session per compiled triple.
 
     ``compile()`` returns the *same* Session for the same triple, so its
     pool (and its warmed free blocks) carry across callers - the
-    compile-once/run-many contract at process scope.  With
-    ``max_sessions`` set, the registry is bounded: compiling a new triple
-    past the limit evicts the least-recently-used session, so a
+    compile-once/run-many contract at process scope.  Graph-object
+    models are keyed by :meth:`~repro.ir.graph.Graph.fingerprint`, so
+    recompiling a structurally identical user graph hits the cache.
+    With ``max_sessions`` set, the registry is bounded: compiling a new
+    triple past the limit evicts the least-recently-used session, so a
     long-lived process cannot grow sessions without bound.  ``evict()``
     drops a triple explicitly.
     """
@@ -318,17 +372,10 @@ class Engine:
         self.max_sessions = max_sessions
         self._sessions: OrderedDict = OrderedDict()
 
-    def _key(self, model, framework, device, batch, fw_kwargs):
-        """Hashable triple identity, or None when uncacheable.
-
-        The harness defines model identity (name, or graph id +
-        generation) so this registry agrees with the cell cache it
-        fronts; pinning the graph in the entry keeps the id valid.
-        """
-        from ..bench.harness import model_cache_key
-
-        key = (model_cache_key(model), framework, device or self.device,
-               batch, tuple(sorted(fw_kwargs.items())))
+    def _key(self, model, framework, device, batch, backend, fw_kwargs):
+        """Hashable triple identity, or None when uncacheable."""
+        key = (stable_model_key(model), framework, device or self.device,
+               batch, backend, tuple(sorted(fw_kwargs.items())))
         try:
             hash(key)
         except TypeError:  # unhashable config: compile uncached
@@ -337,19 +384,18 @@ class Engine:
 
     def compile(self, model: str | Graph, framework: str = "Ours",
                 device: DeviceSpec | None = None, batch: int = 1,
-                **fw_kwargs) -> Session:
-        key = self._key(model, framework, device, batch, fw_kwargs)
+                backend: str = "numpy", **fw_kwargs) -> Session:
+        key = self._key(model, framework, device, batch, backend, fw_kwargs)
         if key is None:
-            return compile_session(model, framework, device or self.device,
-                                   batch, **fw_kwargs)
+            return _compile_session(model, framework, device or self.device,
+                                    batch, backend=backend, **fw_kwargs)
         found = self._sessions.get(key)
         if found is not None:
             self._sessions.move_to_end(key)  # LRU: refresh recency
-            return found[0]
-        session = compile_session(model, framework, device or self.device,
-                                  batch, **fw_kwargs)
-        self._sessions[key] = (
-            session, model if isinstance(model, Graph) else None)
+            return found
+        session = _compile_session(model, framework, device or self.device,
+                                   batch, backend=backend, **fw_kwargs)
+        self._sessions[key] = session
         if self.max_sessions is not None \
                 and len(self._sessions) > self.max_sessions:
             self._sessions.popitem(last=False)  # drop least recently used
@@ -357,9 +403,9 @@ class Engine:
 
     def evict(self, model: str | Graph, framework: str = "Ours",
               device: DeviceSpec | None = None, batch: int = 1,
-              **fw_kwargs) -> bool:
+              backend: str = "numpy", **fw_kwargs) -> bool:
         """Drop the live session for a triple; True when one was evicted."""
-        key = self._key(model, framework, device, batch, fw_kwargs)
+        key = self._key(model, framework, device, batch, backend, fw_kwargs)
         return key is not None and self._sessions.pop(key, None) is not None
 
     def clear(self) -> None:
@@ -369,3 +415,17 @@ class Engine:
     @property
     def num_sessions(self) -> int:
         return len(self._sessions)
+
+
+class Engine(SessionRegistry):
+    """Deprecated alias of :class:`SessionRegistry`.
+
+    Prefer ``repro.compile()`` (which fronts a process-wide registry) or
+    ``repro.serve()`` for a scheduled service; this shim only adds a
+    one-time :class:`DeprecationWarning` on construction.
+    """
+
+    def __init__(self, device: DeviceSpec = SD8GEN2,
+                 max_sessions: int | None = None) -> None:
+        _warn_deprecated("Engine", "repro.compile() / repro.serve()")
+        super().__init__(device, max_sessions)

@@ -1,0 +1,378 @@
+"""Tests for the typed service-layer API: repro.compile / repro.serve."""
+
+import threading
+import time
+import warnings
+
+import numpy as np
+import pytest
+
+import repro
+from repro.api import (
+    CompileOptions, InferenceRequest, ServeOptions, Service, serve,
+)
+from repro.models import SMOKE_CONFIGS, build
+from repro.runtime import Engine, compile_session, execute, make_inputs
+from repro.runtime import session as session_module
+
+
+def _smoke(name):
+    return build(name, **SMOKE_CONFIGS[name])
+
+
+def _reference(graph, inputs):
+    """What the service must produce: the compiled graph executed over
+    seed-0 parameters overlaid with the request's input tensors."""
+    return execute(graph, {**make_inputs(graph, seed=0), **inputs})
+
+
+def _graph_inputs(graph, seed):
+    full = make_inputs(graph, seed=seed)
+    return {name: full[name] for name in graph.inputs}
+
+
+class TestCompileFrontDoor:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return repro.compile(_smoke("ViT"))
+
+    def test_run_matches_execute(self, model):
+        inputs = _graph_inputs(model.graph, seed=3)
+        response = model.run(InferenceRequest(inputs=inputs, request_id="r3"))
+        ref = _reference(model.graph, inputs)
+        assert sorted(response.outputs) == sorted(ref)
+        for key in ref:
+            assert np.array_equal(response.outputs[key], ref[key]), key
+        assert response.request_id == "r3"
+        assert response.batch_size == 1
+        assert response.stats.wall_s > 0
+        assert response.stats.pool.total_allocated_bytes > 0
+
+    def test_plain_mapping_accepted(self, model):
+        inputs = _graph_inputs(model.graph, seed=1)
+        assert model.run(inputs).outputs
+
+    def test_run_batch(self, model):
+        requests = [InferenceRequest(inputs=_graph_inputs(model.graph, s),
+                                     request_id=s) for s in range(3)]
+        responses = model.run_batch(requests)
+        assert [r.request_id for r in responses] == [0, 1, 2]
+        assert all(r.batch_size == 3 for r in responses)
+        name = next(iter(responses[0].outputs))
+        assert not np.array_equal(responses[0].outputs[name],
+                                  responses[1].outputs[name])
+
+    def test_identical_rebuilt_graph_hits_session_cache(self):
+        g1, g2 = _smoke("ViT"), _smoke("ViT")
+        assert g1 is not g2
+        assert g1.fingerprint() == g2.fingerprint()
+        assert repro.compile(g1).session is repro.compile(g2).session
+
+    def test_options_merge_and_validation(self):
+        g = _smoke("ViT")
+        options = CompileOptions(framework="Ours")
+        assert repro.compile(g, options).session \
+            is repro.compile(g, framework="Ours").session
+        with pytest.raises(TypeError, match="unknown CompileOptions fields"):
+            repro.compile(g, options, not_a_field=1)
+        with pytest.raises(KeyError, match="unknown backend"):
+            repro.compile(g, backend="tpu")
+        with pytest.raises(RuntimeError, match="cannot serve"):
+            repro.compile(g, framework="NCNN")
+
+    def test_input_signature_is_admission_spec(self, model):
+        assert model.input_signature == model.program.input_signature
+        names = [name for name, _, _ in model.input_signature]
+        assert names == list(model.graph.inputs)
+
+    def test_batch_key_stable_across_identical_compiles(self):
+        a = repro.compile(_smoke("ViT")).program.batch_key
+        b = repro.compile(_smoke("ViT")).program.batch_key
+        assert a == b
+
+
+class TestStrictAdmission:
+    """The typed surface rejects malformed requests at admission, with an
+    error naming the tensor - including wrong-*name* tensors, which the
+    legacy Session silently ignored."""
+
+    @pytest.fixture(scope="class")
+    def model(self):
+        return repro.compile(_smoke("ViT"))
+
+    def test_unknown_tensor_name_rejected(self, model):
+        inputs = _graph_inputs(model.graph, 0)
+        inputs["not_a_tensor"] = np.zeros(3)
+        with pytest.raises(ValueError, match="unknown input tensor "
+                                             "'not_a_tensor'"):
+            model.run(inputs)
+
+    def test_empty_request_rejected(self, model):
+        with pytest.raises(ValueError, match="no input tensors"):
+            model.run({})
+
+    def test_missing_input_rejected(self):
+        model = repro.compile(_smoke("SD-UNet"))  # three inputs: drop one
+        inputs = _graph_inputs(model.graph, 0)
+        assert len(inputs) > 1
+        del inputs[sorted(inputs)[0]]
+        with pytest.raises(ValueError, match="missing input tensors"):
+            model.run(inputs)
+
+    def test_wrong_shape_names_tensor(self, model):
+        inputs = _graph_inputs(model.graph, 0)
+        name = next(iter(inputs))
+        inputs[name] = inputs[name][..., :-1]
+        with pytest.raises(ValueError, match=f"input {name!r}.*shape"):
+            model.run(inputs)
+
+    def test_wrong_dtype_names_tensor(self, model):
+        inputs = _graph_inputs(model.graph, 0)
+        name = next(iter(inputs))
+        inputs[name] = inputs[name].astype(np.float64)
+        with pytest.raises(ValueError, match=f"input {name!r}.*dtype"):
+            model.run(inputs)
+
+    def test_empty_batch_rejected(self, model):
+        with pytest.raises(ValueError, match="empty batch"):
+            model.run_batch([])
+
+    def test_session_empty_batch_rejected(self, model):
+        with pytest.raises(ValueError, match="empty batch"):
+            model.session.run_batch([])
+
+    def test_submit_rejects_before_queueing(self):
+        service = serve(_smoke("ViT"), max_wait_ms=0.0)
+        try:
+            with pytest.raises(ValueError, match="unknown input tensor"):
+                service.submit({"bogus": np.zeros(3)})
+            assert service.report().requests == 0
+        finally:
+            service.close()
+
+
+class TestServiceScheduler:
+    def test_concurrent_submitters_get_their_own_outputs(self):
+        service = serve(_smoke("Pythia"), max_batch_size=4, max_wait_ms=10.0)
+        graph = service.program.graph
+        seeds = list(range(12))
+        refs = {s: _reference(graph, _graph_inputs(graph, s)) for s in seeds}
+        responses = {}
+        errors = []
+
+        def client(worker_seeds):
+            try:
+                futures = [
+                    (s, service.submit(InferenceRequest(
+                        inputs=_graph_inputs(graph, s), request_id=s)))
+                    for s in worker_seeds]
+                for s, future in futures:
+                    responses[s] = future.result(timeout=30)
+            except Exception as err:  # noqa: BLE001 - surfaced below
+                errors.append(err)
+
+        threads = [threading.Thread(target=client, args=(seeds[i::4],))
+                   for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        service.close()
+        assert not errors
+        assert sorted(responses) == seeds
+        for s in seeds:
+            assert responses[s].request_id == s
+            for key in refs[s]:
+                assert np.array_equal(responses[s].outputs[key],
+                                      refs[s][key]), (s, key)
+
+    def test_coalescing_respects_max_batch_size(self):
+        service = serve(_smoke("Pythia"), max_batch_size=4, max_wait_ms=200.0)
+        inputs = _graph_inputs(service.program.graph, 0)
+        futures = [service.submit(inputs) for _ in range(10)]
+        responses = [f.result(timeout=30) for f in futures]
+        service.close()
+        report = service.report()
+        assert all(1 <= r.batch_size <= 4 for r in responses)
+        assert report.largest_batch <= 4
+        assert report.requests == 10
+        assert report.batches >= 3  # 10 requests cannot fit 2 batches of 4
+        assert any(r.batch_size > 1 for r in responses), \
+            "burst submission must coalesce"
+
+    def test_zero_wait_serves_immediately(self):
+        service = serve(_smoke("Pythia"), max_batch_size=8, max_wait_ms=0.0)
+        start = time.perf_counter()
+        response = service.infer(_graph_inputs(service.program.graph, 0),
+                                 timeout=30)
+        wall = time.perf_counter() - start
+        service.close()
+        assert response.batch_size == 1
+        assert wall < 5  # no artificial coalescing delay
+
+    def test_close_drains_queue(self):
+        service = serve(_smoke("Pythia"), max_batch_size=4, max_wait_ms=50.0)
+        inputs = _graph_inputs(service.program.graph, 0)
+        futures = [service.submit(inputs) for _ in range(25)]
+        service.close()
+        assert all(f.done() for f in futures)
+        assert all(f.result().outputs for f in futures)
+        report = service.report()
+        assert report.requests == 25
+        assert report.queue_depth == 0
+        assert report.closed
+        with pytest.raises(RuntimeError, match="closed"):
+            service.submit(inputs)
+
+    def test_priority_orders_the_queue(self):
+        model = repro.compile(_smoke("Pythia"))
+        service = Service(model, ServeOptions(max_batch_size=2,
+                                              max_wait_ms=0.0), _start=False)
+        inputs = _graph_inputs(service.program.graph, 0)
+        service.submit(InferenceRequest(inputs, request_id="a"))
+        service.submit(InferenceRequest(inputs, request_id="b"))
+        service.submit(InferenceRequest(inputs, request_id="c", priority=5))
+        first = service._next_batch()
+        second = service._next_batch()
+        assert [e.request_id for e in first] == ["c", "a"]
+        assert [e.request_id for e in second] == ["b"]
+        service._execute(first)
+        service._execute(second)
+        service.close()
+
+    def test_deadline_miss_fails_with_timeout(self):
+        model = repro.compile(_smoke("Pythia"))
+        service = Service(model, ServeOptions(max_batch_size=2,
+                                              max_wait_ms=0.0), _start=False)
+        inputs = _graph_inputs(service.program.graph, 0)
+        expired = service.submit(InferenceRequest(inputs, deadline_ms=0.0))
+        alive = service.submit(InferenceRequest(inputs))
+        time.sleep(0.005)
+        service._execute(service._next_batch())
+        with pytest.raises(TimeoutError, match="missed its deadline"):
+            expired.result()
+        assert isinstance(expired.exception(), TimeoutError)
+        assert alive.result().outputs
+        report = service.report()
+        assert report.expired == 1
+        assert report.requests == 1
+        service.close()
+
+    def test_backend_failure_fails_the_batch(self):
+        model = repro.compile(_smoke("Pythia"))
+        service = Service(model, ServeOptions(max_batch_size=4,
+                                              max_wait_ms=0.0), _start=False)
+        inputs = _graph_inputs(service.program.graph, 0)
+
+        class FailingBackend:
+            def run_many(self, program, values_list, pool):
+                raise RuntimeError("kernel exploded")
+
+        service._backend = FailingBackend()
+        futures = [service.submit(inputs) for _ in range(2)]
+        service._execute(service._next_batch())
+        for future in futures:
+            with pytest.raises(RuntimeError, match="kernel exploded"):
+                future.result()
+        assert service.report().failed == 2
+        service.close()
+
+    def test_queue_backpressure(self):
+        model = repro.compile(_smoke("Pythia"))
+        service = Service(model, ServeOptions(max_batch_size=2,
+                                              max_wait_ms=0.0, max_queue=2),
+                          _start=False)
+        inputs = _graph_inputs(service.program.graph, 0)
+        service.submit(inputs)
+        service.submit(inputs)
+        with pytest.raises(RuntimeError, match="queue is full"):
+            service.submit(inputs)
+        service._execute(service._next_batch())
+        service.close()
+
+    def test_future_result_timeout(self):
+        model = repro.compile(_smoke("Pythia"))
+        service = Service(model, ServeOptions(max_wait_ms=0.0), _start=False)
+        future = service.submit(_graph_inputs(service.program.graph, 0))
+        with pytest.raises(TimeoutError, match="pending"):
+            future.result(timeout=0.01)
+        service._execute(service._next_batch())
+        assert future.result().outputs
+        service.close()
+
+    def test_report_statistics(self):
+        with serve(_smoke("Pythia"), max_batch_size=8,
+                   max_wait_ms=20.0) as service:
+            inputs = _graph_inputs(service.program.graph, 0)
+            for future in [service.submit(inputs) for _ in range(16)]:
+                future.result(timeout=30)
+            report = service.report()
+        assert report.requests == 16
+        assert report.batches >= 2
+        assert report.mean_batch_size == pytest.approx(
+            report.requests / report.batches)
+        assert report.queue_depth_peak >= report.largest_batch > 0
+        assert report.total_exec_s > 0
+        assert report.throughput_rps > 0
+
+    def test_batch_key_is_the_programs(self):
+        with serve(_smoke("Pythia"), max_wait_ms=0.0) as service:
+            assert service.batch_key == service.program.batch_key
+
+    def test_service_records_into_session_stats(self):
+        with serve(_smoke("Pythia"), max_wait_ms=0.0) as service:
+            inputs = _graph_inputs(service.program.graph, 0)
+            service.infer(inputs, timeout=30)
+            service.infer(inputs, timeout=30)
+            session = service.compiled.session
+            assert session.stats.requests == 2
+            # steady state: the second request reuses every pool block
+            assert session.stats.runs[-1].pool.allocations == 0
+
+    def test_serve_options_validated(self):
+        with pytest.raises(ValueError, match="max_batch_size"):
+            ServeOptions(max_batch_size=0)
+        with pytest.raises(ValueError, match="max_wait_ms"):
+            ServeOptions(max_wait_ms=-1.0)
+        with pytest.raises(ValueError, match="max_queue"):
+            ServeOptions(max_queue=0)
+
+
+class TestDeprecationShims:
+    def _reset(self, name):
+        session_module._DEPRECATION_WARNED.discard(name)
+
+    def test_compile_session_warns_exactly_once(self):
+        self._reset("compile_session()")
+        g = _smoke("ViT")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            session = compile_session(g, "Ours")
+            compile_session(g, "Ours")
+        relevant = [w for w in caught
+                    if issubclass(w.category, DeprecationWarning)
+                    and "compile_session" in str(w.message)]
+        assert len(relevant) == 1
+        assert "repro.compile" in str(relevant[0].message)
+        assert session.run(session.make_inputs())  # still fully functional
+
+    def test_engine_warns_exactly_once(self):
+        self._reset("Engine")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            Engine()
+            engine = Engine()
+        relevant = [w for w in caught
+                    if issubclass(w.category, DeprecationWarning)
+                    and "Engine" in str(w.message)]
+        assert len(relevant) == 1
+        g = _smoke("ViT")
+        assert engine.compile(g) is engine.compile(g)  # shim still works
+
+    def test_engine_normalizes_graph_keys_by_fingerprint(self):
+        engine = Engine()
+        g1, g2 = _smoke("ViT"), _smoke("ViT")
+        assert engine.compile(g1) is engine.compile(g2)
+        assert engine.num_sessions == 1
+        assert engine.evict(g2) is True  # either object addresses the entry
+        assert engine.num_sessions == 0
