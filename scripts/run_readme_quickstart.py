@@ -1,0 +1,46 @@
+"""Execute the README's python snippets, failing on drift.
+
+Extracts every fenced ```python block from README.md and runs them in
+order in one shared namespace (later blocks may reuse names defined by
+earlier ones, exactly as a reader following along would).  Any raise -
+an API rename, a changed default, a stale assert - fails the run, so CI
+keeps the documented quickstart honest.
+
+    PYTHONPATH=src python scripts/run_readme_quickstart.py [README.md]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+import time
+from pathlib import Path
+
+FENCE = re.compile(r"^```python\s*$(.*?)^```\s*$", re.MULTILINE | re.DOTALL)
+
+
+def extract_blocks(text: str) -> list[str]:
+    """All fenced ```python blocks, in document order."""
+    return [match.group(1) for match in FENCE.finditer(text)]
+
+
+def main(argv: list[str]) -> int:
+    readme = Path(argv[1]) if len(argv) > 1 else \
+        Path(__file__).resolve().parent.parent / "README.md"
+    blocks = extract_blocks(readme.read_text())
+    if not blocks:
+        print(f"no ```python blocks found in {readme}")
+        return 1
+    namespace: dict = {"__name__": "__readme__"}
+    for index, block in enumerate(blocks, start=1):
+        print(f"== {readme.name} python block {index}/{len(blocks)} ==")
+        start = time.perf_counter()
+        code = compile(block, f"<{readme.name}:block-{index}>", "exec")
+        exec(code, namespace)
+        print(f"   ok ({time.perf_counter() - start:.2f}s)")
+    print(f"all {len(blocks)} blocks ran clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

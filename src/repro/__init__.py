@@ -10,6 +10,11 @@ Quickstart - compile once, serve typed requests::
     response = model.run(request)
     print(response.outputs.keys(), response.stats.wall_s)
 
+Execution backends are pluggable per compile -
+``CompileOptions(backend="codegen")`` runs the program through fused
+generated Python instead of the reference step interpreter (identical
+outputs; see ``docs/architecture.md`` for the backend registry).
+
 Serving concurrent traffic - a scheduler coalesces requests into
 micro-batches on the lowered program path::
 

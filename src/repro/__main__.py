@@ -19,10 +19,28 @@ from .runtime.artifact import Artifact
 from .runtime.cost_model import CostModelConfig
 
 
+_EPILOG = """\
+other entry points:
+  python -m repro.bench all              regenerate the paper tables/figures
+  python -m repro.bench --all --timings  + perf trajectory (BENCH_pipeline.json:
+                                         pass timings, serving walls, backend
+                                         comparison, scheduler throughput)
+  repro.compile / repro.serve            typed serving API (compile once, run
+                                         many; micro-batching scheduler) - see
+                                         the README quickstart
+
+docs:
+  README.md             install, quickstart, bench invocation, API migration
+  docs/architecture.md  layer map + how to add a pass / an execution backend
+"""
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="SmartMem: optimize a DNN model for mobile execution")
+        description="SmartMem: optimize a DNN model for mobile execution",
+        epilog=_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("model", nargs="?", help="catalog model name")
     parser.add_argument("--device", default=SD8GEN2.name,
                         choices=sorted(DEVICES))

@@ -39,6 +39,17 @@ def session_cache() -> SessionRegistry:
 class CompiledModel:
     """One compiled model serving typed requests.
 
+    The synchronous face of the compile-once/run-many contract:
+    :meth:`run` serves one :class:`~repro.api.InferenceRequest` and
+    returns an :class:`~repro.api.InferenceResponse` carrying the named
+    outputs plus per-request :class:`~repro.runtime.session.RunStats`
+    (wall time, estimated on-device latency, pool delta);
+    :meth:`run_batch` serves a list through **one** backend invocation.
+    Admission is strict - see :meth:`admit`.  Introspection:
+    :attr:`input_signature` (the admission spec), :attr:`program` (the
+    lowered steps/slot plan), :attr:`est_latency_ms`, :attr:`stats`,
+    and :attr:`session` for the underlying execution session.
+
     Not thread-safe: concurrent callers should go through
     :func:`repro.serve`, whose scheduler owns a private session.
     """
@@ -175,11 +186,43 @@ def compile(model: str | Graph, options: CompileOptions | None = None,
             **overrides) -> CompiledModel:
     """Compile a model into a :class:`CompiledModel` (cached per triple).
 
-    ``model`` is a registry name or a :class:`~repro.ir.graph.Graph`;
-    ``options`` (or loose keyword overrides) pick the
-    framework/device/backend.  Sessions are cached process-wide on the
-    model's content fingerprint plus the options, so repeated compiles -
-    including of a *rebuilt but identical* graph - share one session.
+    Runs the SmartMem pass pipeline once, lowers the optimized graph to
+    an :class:`~repro.runtime.program.ExecutionProgram`, and wraps the
+    resulting session behind typed request/response objects.  The
+    compile-once/run-many contract holds at process scope: sessions are
+    cached on the model's content fingerprint plus the options, so
+    repeated compiles - including of a *rebuilt but identical* graph -
+    return the same live session and its warmed pool.
+
+    Arguments:
+        model: a catalog name (``"Pythia"``, see
+            ``repro.models.ALL_MODELS``) or a built
+            :class:`~repro.ir.graph.Graph`.
+        options: a :class:`CompileOptions` picking framework, device,
+            batch, execution ``backend`` (``"numpy"`` or ``"codegen"``),
+            and pipeline stages.  Defaults to ``CompileOptions()``.
+        **overrides: loose keyword alternatives for any
+            :class:`CompileOptions` field, e.g.
+            ``compile(g, backend="codegen")``; they win field-by-field
+            over ``options``.
+
+    Returns:
+        A :class:`CompiledModel` ready to serve
+        :class:`~repro.api.InferenceRequest`\\ s synchronously.  For
+        concurrent traffic put it behind :func:`repro.serve` instead.
+
+    Raises:
+        RuntimeError: the framework cannot serve the model (capability
+            or device-memory limits).
+        TypeError: unknown override names, or ``options`` of the wrong
+            type.
+
+    Example::
+
+        model = repro.compile("Pythia", repro.CompileOptions(
+            backend="codegen"))
+        response = model.run(model.make_request(seed=0))
+        response.outputs, response.stats.wall_s
     """
     options = merge_options(CompileOptions, options, overrides)
     session = _REGISTRY.compile(

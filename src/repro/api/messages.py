@@ -26,10 +26,14 @@ class InferenceRequest:
     wrong shapes, and wrong dtypes are all rejected at admission with an
     error naming the tensor.
 
-    ``priority`` orders queued requests (higher drains first);
-    ``deadline_ms`` is a submit-relative deadline after which the
+    ``request_id`` is echoed on the response (the scheduler substitutes
+    its submission index when ``None``); ``priority`` orders queued
+    requests (higher drains first, default ``0`` rides the FIFO fast
+    path); ``deadline_ms`` is a submit-relative deadline after which the
     scheduler fails the request with :class:`TimeoutError` instead of
-    executing it.
+    executing it (``None``: never expires).  Scheduling metadata is
+    ignored by the synchronous :meth:`CompiledModel.run` path, which
+    executes immediately.
     """
 
     inputs: Mapping[str, np.ndarray]
@@ -42,10 +46,14 @@ class InferenceRequest:
 class InferenceResponse:
     """The result of one served request.
 
-    ``stats`` is the session's per-request accounting (wall seconds,
-    estimated latency, pool delta).  ``batch_size`` reports how many
-    requests shared the backend invocation that produced this response;
-    ``queued_ms`` is the time the request spent waiting to be coalesced.
+    ``outputs`` maps graph-output names to arrays (:meth:`output` picks
+    one, or the sole output when unnamed).  ``stats`` is the session's
+    per-request accounting (``wall_s``, ``est_latency_ms``, and the
+    ``pool`` delta - a steady-state session reports zero new
+    allocations).  ``batch_size`` reports how many requests shared the
+    backend invocation that produced this response; ``queued_ms`` is
+    the time the request spent waiting to be coalesced (always ``0.0``
+    on the synchronous path).
     """
 
     request_id: str | int | None

@@ -18,9 +18,25 @@ from ..runtime.device import DeviceSpec, SD8GEN2
 class CompileOptions:
     """Everything :func:`repro.compile` needs besides the model.
 
-    ``stages`` feeds the SmartMem pass pipeline (ablation toggles, tuned
-    boost); the remaining fields pick the framework/device/backend triple
-    the session is compiled for.
+    Fields (all defaulted; the instance is frozen and hashable so it can
+    participate in session-cache keys):
+
+    * ``framework`` - compiler pipeline to run (``"Ours"`` = SmartMem;
+      baseline names from ``repro.baselines.ALL_FRAMEWORKS`` work too).
+    * ``device`` - :class:`~repro.runtime.device.DeviceSpec` the cost
+      model prices against (default Snapdragon 8 Gen 2).
+    * ``batch`` - request batch size built into the graph; only applies
+      to registry-name models (build a :class:`~repro.ir.graph.Graph`
+      at the desired batch size otherwise).
+    * ``backend`` - execution-backend registry name
+      (:func:`repro.runtime.available_backends`): ``"numpy"`` is the
+      reference interpreter over pre-compiled step closures,
+      ``"codegen"`` compiles the whole step loop to Python source.
+      Outputs are identical; only the execution strategy differs.
+    * ``check_memory`` - reject models whose peak footprint exceeds the
+      device budget instead of just costing them.
+    * ``stages`` - :class:`~repro.core.passes.PipelineStages` feeding
+      the SmartMem pass pipeline (ablation toggles, tuned boost).
     """
 
     framework: str = "Ours"
@@ -45,6 +61,10 @@ class ServeOptions:
     queued but never delays a lone request.  ``max_queue`` bounds the
     request queue (``submit`` raises once it is full) so a slow consumer
     exerts backpressure instead of growing memory without bound.
+    ``compile`` nests the :class:`CompileOptions` the service's private
+    session is compiled with (framework, device, execution backend).
+
+    Out-of-range values raise :class:`ValueError` at construction.
     """
 
     max_batch_size: int = 8

@@ -128,6 +128,19 @@ class Service:
     happens on the single worker thread, so the compile-once/run-many
     pool discipline holds under concurrent traffic without locking the
     hot loop.
+
+    Request lifecycle: :meth:`submit` admits the request in the calling
+    thread (malformed requests raise :class:`ValueError` immediately),
+    enqueues it (FIFO for default priority, heap for prioritized;
+    :class:`RuntimeError` once ``max_queue`` is hit), and returns an
+    :class:`InferenceFuture`.  The worker coalesces up to
+    ``max_batch_size`` queued requests arriving within ``max_wait_ms``
+    into one ``backend.run_many`` invocation; expired deadlines resolve
+    their futures with :class:`TimeoutError`, an executor failure fails
+    the whole batch.  :meth:`infer` is the synchronous convenience,
+    :meth:`report` snapshots lifetime statistics, and :meth:`close`
+    (or using the service as a context manager) drains the queue and
+    joins the worker.
     """
 
     def __init__(self, compiled: CompiledModel, options: ServeOptions,
@@ -401,11 +414,39 @@ def serve(model: str | Graph, options: ServeOptions | None = None,
           **overrides) -> Service:
     """Compile ``model`` and stand up a :class:`Service` in front of it.
 
-    ``options`` (or loose keyword overrides, e.g.
-    ``serve(g, max_batch_size=16)``) configure the scheduler;
-    ``options.compile`` picks the framework/device/backend.  The service
-    compiles through the shared compile caches but owns its *session*
-    (pool, stats) privately - its worker thread is the only executor.
+    The concurrent face of the serving stack: any number of threads may
+    ``submit()`` requests; a worker thread coalesces them into
+    micro-batches on the lowered program path and resolves futures.
+
+    Arguments:
+        model: a catalog name or a built :class:`~repro.ir.graph.Graph`.
+        options: a :class:`ServeOptions` - scheduler knobs
+            (``max_batch_size``, ``max_wait_ms``, ``max_queue``) plus a
+            nested :class:`CompileOptions` (``options.compile``) picking
+            framework/device/execution backend.
+        **overrides: loose keyword alternatives for any
+            :class:`ServeOptions` field, e.g.
+            ``serve(g, max_batch_size=16)``.
+
+    Returns:
+        A running :class:`Service`.  Use it as a context manager, or
+        call :meth:`Service.close` to drain and join the worker.
+
+    Raises:
+        RuntimeError: the framework cannot serve the model.
+        ValueError: out-of-range scheduler options.
+
+    The service compiles through the shared compile caches but owns its
+    *session* (pool, stats) privately - its worker thread is the only
+    executor, so the compile-once/run-many pool discipline holds under
+    concurrent traffic without locking the hot loop.
+
+    Example::
+
+        with repro.serve("Pythia", max_batch_size=16) as service:
+            futures = [service.submit(r) for r in requests]
+            responses = [f.result() for f in futures]
+        service.report().throughput_rps
     """
     options = merge_options(ServeOptions, options, overrides)
     return Service(compile_private(model, options.compile), options)

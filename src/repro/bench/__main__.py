@@ -8,8 +8,10 @@
 ``--timings`` records the wall time and compile/cost-cache traffic of
 every experiment, per-pass compile time, and steady-state serving walls
 (``serve`` section: lowered program vs. the PR-2 interpreter loop per
-model), and writes the perf trajectory to ``BENCH_pipeline.json``
-(override the path with ``--timings-out``).
+model, plus a per-model ``backends`` comparison - numpy vs. codegen
+``Session.run`` - and the ``scheduler`` coalescing measurement), and
+writes the perf trajectory to ``BENCH_pipeline.json`` (override the
+path with ``--timings-out``).
 """
 
 from __future__ import annotations
@@ -147,6 +149,18 @@ def main(argv: list[str]) -> int:
                   f"{entry['program_run_ms']:.3f}", f"{entry['speedup']:.2f}x"]
                  for name, entry in serve["models"].items()],
                 title="== Steady-state serving (Session.run wall time) =="))
+            backends = serve.get("backends")
+            if backends:
+                names = backends["backends"]
+                print(format_table(
+                    ["Model"] + [f"{n} (ms)" for n in names]
+                    + [f"{n} speedup" for n in names[1:]],
+                    [[model]
+                     + [f"{entry[f'{n}_run_ms']:.3f}" for n in names]
+                     + [f"{entry[f'{n}_speedup']:.2f}x" for n in names[1:]]
+                     for model, entry in backends["models"].items()],
+                    title="== Execution backends (steady-state "
+                          "Session.run wall time) =="))
             scheduler = serve.get("scheduler")
             if scheduler:
                 print(format_table(

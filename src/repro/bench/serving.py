@@ -169,6 +169,58 @@ def measure_serving(models: tuple[str, ...] = SERVE_MODELS,
         "models": per_model,
         "best_speedup": round(best, 2),
         "scheduler": measure_scheduler(),
+        "backends": measure_backends(),
+    }
+
+
+#: Execution backends compared head-to-head on steady-state Session.run.
+COMPARED_BACKENDS = ("numpy", "codegen")
+
+
+def measure_backends(models: tuple[str, ...] = SERVE_MODELS,
+                     backends: tuple[str, ...] = COMPARED_BACKENDS,
+                     requests: int = 50, warmup: int = 5) -> dict:
+    """Steady-state ``Session.run`` wall time per execution backend.
+
+    One session per (model, backend) over the *same* compiled graph (the
+    compile cache shares one lowering), each warmed to pool steady state,
+    then timed over ``requests`` runs; best (minimum) wall per backend is
+    reported with the speedup of every backend over the first one
+    (``numpy``, the reference).  This is the registry comparison the
+    codegen backend is benchmarked through - future backends only need a
+    registry name to join the table.
+    """
+    perf = time.perf_counter
+    reference = backends[0]
+    per_model = {}
+    best = 0.0
+    for name in models:
+        graph = build_smoke(name)
+        entry: dict = {}
+        walls: dict[str, float] = {}
+        for backend in backends:
+            session = _compile_session(graph, "Ours", backend=backend)
+            inputs = session.make_inputs()
+            for _ in range(warmup):
+                session.run(inputs)
+            backend_walls = []
+            for _ in range(requests):
+                start = perf()
+                session.run(inputs)
+                backend_walls.append(perf() - start)
+            walls[backend] = min(backend_walls) * 1e3
+            entry[f"{backend}_run_ms"] = round(walls[backend], 4)
+        ref_ms = walls[reference]
+        for backend in backends[1:]:
+            speedup = ref_ms / walls[backend] if walls[backend] else 0.0
+            entry[f"{backend}_speedup"] = round(speedup, 2)
+            best = max(best, speedup)
+        per_model[name] = entry
+    return {
+        "requests": requests,
+        "backends": list(backends),
+        "models": per_model,
+        "best_speedup": round(best, 2),
     }
 
 

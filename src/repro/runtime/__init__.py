@@ -2,6 +2,10 @@
 
 from .artifact import Artifact, plan_from_json, plan_to_json
 from .codegen import GeneratedKernel, generate_group, generate_kernel
+from .codegen_backend import (
+    CodegenBackend, CompiledProgramModule, compile_program,
+    emit_program_source, program_source,
+)
 from .verify import VerificationReport, verify_equivalence
 from .cost_model import (
     CostModelConfig, CostReport, KernelCost, estimate, peak_activation_bytes,
@@ -19,13 +23,16 @@ from .session import (
 )
 
 __all__ = [
-    "Artifact", "Engine", "ExecutionBackend", "ExecutionProgram",
+    "Artifact", "CodegenBackend", "CompiledProgramModule", "Engine",
+    "ExecutionBackend", "ExecutionProgram",
     "GeneratedKernel", "NumPyBackend", "RunStats", "Session",
     "SessionRegistry", "SessionStats", "SlotPlan", "Step",
     "VerificationReport", "stable_model_key",
-    "available_backends", "compile_session", "generate_group",
+    "available_backends", "compile_program", "compile_session",
+    "emit_program_source", "generate_group",
     "generate_kernel", "get_backend", "lower", "plan_from_json",
-    "plan_to_json", "register_backend", "verify_equivalence",
+    "plan_to_json", "program_source", "register_backend",
+    "verify_equivalence",
     "CostModelConfig", "CostReport", "DEVICES", "DIMENSITY700", "DeviceSpec",
     "KernelCost", "SD835", "SD8GEN2", "V100", "estimate", "execute",
     "get_kernel", "make_inputs", "outputs_equal", "peak_activation_bytes",

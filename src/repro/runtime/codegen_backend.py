@@ -1,0 +1,322 @@
+"""Fused codegen execution backend: ExecutionPrograms compiled to Python.
+
+The :class:`~repro.runtime.program.NumPyBackend` already pays per-step
+dispatch only once per step - but it still pays it on every request: one
+closure call, one argument-list comprehension, one dict read per input,
+one dict write per output, one drop loop.  On dispatch-bound models
+(tiny tensors, many steps) that residue is a measurable fraction of the
+request wall time.
+
+:class:`CodegenBackend` removes it by *compiling the whole step loop to
+Python source* once per program:
+
+* every step of the program becomes inline statements in a single
+  generated function, so chains of elementwise/view steps are fused into
+  one compiled unit with no per-step closure dispatch;
+* interior values live in function locals (``LOAD_FAST``) instead of the
+  values dict; inputs and parameters are read from the request dict
+  exactly once;
+* pre-resolved view chains are inlined as direct ndarray method calls
+  (``.reshape(...)``, ``.transpose(...)``, constant slice subscripts)
+  instead of applier-closure calls;
+* kernels and per-step attrs are bound as module globals of the
+  generated module; slot indices and byte sizes appear as integer
+  literals, so the pool-accounted variant interleaves ``allocate(4096)``
+  /-``release`` calls with the fused body;
+* shape checks and error messages match the reference backend
+  statement-for-statement, so a misbehaving kernel fails identically on
+  both backends.
+
+The module source is emitted by :func:`emit_program_source`, compiled
+once by :func:`compile_program`, and cached on
+:attr:`~repro.runtime.program.ExecutionProgram.backend_cache` - the
+program itself is memoized per graph generation by
+:func:`~repro.runtime.program.lower`, so the compiled runner inherits
+exactly the lowering's lifetime and invalidation, mirroring the
+``lower()`` memoization discipline.
+
+Everything *around* the fused body - steady-state pool collapse, warm-up
+slot accounting, failure cleanup, micro-batch coalescing - is inherited
+from :class:`NumPyBackend` through the :meth:`_compile_runners` hook, so
+there is still exactly one pool/batching discipline in the codebase.
+
+Select it anywhere a backend name is accepted::
+
+    repro.compile("Pythia", repro.CompileOptions(backend="codegen"))
+    verify_equivalence(graph, optimized, backend="codegen")
+
+This is the template for future backends (multi-process, true OpenCL):
+subclass, override :meth:`_compile_runners`, ``@register_backend``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable
+
+from .program import ExecutionProgram, NumPyBackend, register_backend
+
+_MODULE_CACHE_KEY = "codegen.module"
+
+_UNPRINTABLE = re.compile(r"[^ -~]")
+
+
+def _comment_text(text: str) -> str:
+    """Comment-safe rendering of free-form names: anything outside
+    printable ASCII (a newline would terminate the comment and corrupt
+    the module) becomes ``?``.  Only cosmetic text goes through here -
+    names that matter semantically are embedded via ``repr``."""
+    return _UNPRINTABLE.sub("?", text)
+
+
+@dataclass(frozen=True)
+class CompiledProgramModule:
+    """One program compiled to a Python module.
+
+    ``source`` is the generated text (inspectable, like the pseudo-OpenCL
+    kernels of :mod:`repro.runtime.codegen`); ``run_plain`` and
+    ``run_accounted`` are the compiled runner pair the backend executes;
+    ``namespace`` is the module globals the source was executed in
+    (kernels and attrs bound by name).
+    """
+
+    source: str
+    run_plain: Callable
+    run_accounted: Callable
+    namespace: dict
+
+
+class _SourceEmitter:
+    """Builds the module source for one :class:`ExecutionProgram`."""
+
+    def __init__(self, program: ExecutionProgram) -> None:
+        self.program = program
+        self.graph = program.graph
+        self.namespace: dict = {}
+        self._kernel_names: dict[int, str] = {}
+        self._attrs_names: dict[int, str] = {}
+        self._locals: dict[str, str] = {}
+        self._externals: set[str] = set()
+        self._external_loads: list[str] = []
+
+    # -- bindings ----------------------------------------------------------
+
+    def _attrs(self, attrs: dict) -> str:
+        """One module global per distinct attrs dict (shared between the
+        plain and accounted variants, like kernels)."""
+        key = id(attrs)
+        name = self._attrs_names.get(key)
+        if name is None:
+            name = f"_a{len(self._attrs_names)}"
+            self._attrs_names[key] = name
+            self.namespace[name] = attrs
+        return name
+
+    def _kernel(self, step) -> str:
+        """One module global per distinct kernel callable."""
+        key = id(step.kernel)
+        name = self._kernel_names.get(key)
+        if name is None:
+            base = "_k_" + re.sub(r"\W", "_", step.op_type)
+            name = base
+            suffix = 2
+            while name in self.namespace:
+                name = f"{base}_{suffix}"
+                suffix += 1
+            self.namespace[name] = step.kernel
+            self._kernel_names[key] = name
+        return name
+
+    def _value(self, name: str) -> str:
+        """The local identifier for a value, loading externals (graph
+        inputs, parameters, interior constants) from the request dict
+        exactly once at the top of the function."""
+        found = self._locals.get(name)
+        if found is None:
+            found = self._locals[name] = f"v{len(self._locals)}"
+            self._externals.add(name)
+            self._external_loads.append(
+                f"    {found} = values[{name!r}]")
+        return found
+
+    def _define(self, name: str) -> str:
+        """The local identifier a step output is bound to."""
+        found = self._locals.get(name)
+        if found is None:
+            found = self._locals[name] = f"v{len(self._locals)}"
+        return found
+
+    # -- rendering ---------------------------------------------------------
+
+    @staticmethod
+    def _render_view(expr: str, chain) -> str:
+        """Inline a pre-resolved view chain as direct ndarray calls."""
+        for step in chain.steps:
+            if step.kind == "reshape":
+                expr = f"{expr}.reshape({step.arg!r})"
+            elif step.kind == "transpose":
+                expr = f"{expr}.transpose({step.arg!r})"
+            else:  # slice: constant subscript, no per-run slice building
+                index = ", ".join(
+                    f"{lo}:{hi}:{st}" for lo, hi, st in step.arg)
+                expr = f"{expr}[{index}]"
+        return expr
+
+    def _emit_check(self, lines, out: str, step, shape) -> None:
+        """The reference backend's shape check, verbatim semantics."""
+        message = (f"kernel {step.op_type} ({step.node_id}) produced "
+                   f"shape %r, spec says {shape!r}")
+        lines.append(f"    if {out}.shape != {shape!r}:")
+        lines.append(f"        raise RuntimeError({message!r}"
+                     f" % ({out}.shape,))")
+
+    def _emit_step(self, lines: list[str], step,
+                   accounted: bool, slot_sizes) -> None:
+        # Views come from the Step's lowering-time capture, never the
+        # live graph: the program must stay faithful to the state it was
+        # lowered from even if the graph mutates afterwards (the numpy
+        # backend's appliers were compiled from the same capture).
+        views = dict(step.views)
+        args = []
+        for pos, arg_name in enumerate(step.arg_names):
+            expr = self._value(arg_name)
+            view = views.get(pos)
+            if view is not None:
+                expr = self._render_view(expr, view)
+            args.append(expr)
+        call = (f"{self._kernel(step)}([{', '.join(args)}], "
+                f"{self._attrs(step.attrs)})")
+        lines.append("    # " + _comment_text(
+            f"{step.node_id}: {step.op_type}({', '.join(step.arg_names)})"))
+        if len(step.out_names) == 1:
+            out = self._define(step.out_names[0])
+            lines.append(f"    {out} = {call}")
+            lines.append(f"    if type({out}) in (tuple, list):")
+            lines.append(f"        {out} = {out}[0]")
+            self._emit_check(lines, out, step, step.out_shapes[0])
+        else:
+            lines.append(f"    _r = {call}")
+            for index, (out_name, shape) in enumerate(
+                    zip(step.out_names, step.out_shapes)):
+                out = self._define(out_name)
+                lines.append(f"    {out} = _r[{index}]")
+                self._emit_check(lines, out, step, shape)
+            lines.append("    _r = None")
+        if accounted:
+            for slot in step.alloc_slots:
+                lines.append(f"    allocate({slot_sizes[slot]}); "
+                             f"active[{slot}] = 1")
+            for slot in step.release_slots:
+                lines.append(f"    release({slot_sizes[slot]}); "
+                             f"active[{slot}] = 0")
+        for dead in step.drops:
+            local = self._locals.get(dead)
+            if local is not None:
+                # Free the backing ndarray as soon as the value dies,
+                # bounding process memory by the live set (the reference
+                # backend's values.pop).
+                lines.append(f"    {local} = None")
+            if local is None or dead in self._externals:
+                # Only externals (and never-referenced values) live in
+                # the request dict; interior values are locals only.
+                lines.append(f"    values.pop({dead!r}, None)")
+
+    def _emit_body(self, accounted: bool) -> list[str]:
+        """The fused step loop, shared by both runner variants."""
+        self._locals = {}
+        self._externals = set()
+        self._external_loads = []
+        program = self.program
+        slot_sizes = program.slot_plan.slot_sizes
+        lines: list[str] = []
+        if accounted:
+            for slot in program.slot_plan.input_slots:
+                lines.append(f"    allocate({slot_sizes[slot]}); "
+                             f"active[{slot}] = 1")
+        for step in program.steps:
+            self._emit_step(lines, step, accounted, slot_sizes)
+        returns = ", ".join(
+            f"{name!r}: {self._locals[name]}"
+            if name in self._locals else f"{name!r}: values[{name!r}]"
+            for name in program.output_names)
+        lines.append(f"    return {{{returns}}}")
+        return self._external_loads + lines
+
+    def emit(self) -> str:
+        program = self.program
+        plain = ["def run_plain(values):"] + self._emit_body(False)
+        accounted = ["def run_accounted(values, allocate, release, "
+                     "active):"] + self._emit_body(True)
+        # Comments, not a module docstring: free-form graph names could
+        # otherwise terminate the string literal.
+        header = [
+            "# Generated by repro.runtime.codegen_backend for "
+            + _comment_text(repr(self.graph.name)) + ".",
+            f"# {program.num_steps} steps fused into one function per "
+            f"variant; {len(self._kernel_names)} distinct kernels "
+            "bound as module globals.",
+            "",
+        ]
+        return "\n".join(header + plain + ["", ""] + accounted) + "\n"
+
+
+def emit_program_source(program: ExecutionProgram) -> tuple[str, dict]:
+    """Emit the Python module source for ``program``.
+
+    Returns ``(source, namespace)``: the namespace carries the objects
+    the source refers to by name (kernel callables, per-step attr
+    dicts).  Pure emission - nothing is compiled or executed.
+    """
+    emitter = _SourceEmitter(program)
+    # Emitting binds kernels/attrs into the namespace as a side effect,
+    # so emit first and snapshot after.
+    source = emitter.emit()
+    return source, emitter.namespace
+
+
+def compile_program(program: ExecutionProgram) -> CompiledProgramModule:
+    """Compile ``program``'s generated module (cached on the program).
+
+    The cache rides :attr:`ExecutionProgram.backend_cache`, and the
+    program itself is memoized per graph generation by :func:`lower` -
+    so a graph mutation invalidates the runner exactly when it
+    invalidates the lowering.
+    """
+    found = program.backend_cache.get(_MODULE_CACHE_KEY)
+    if found is None:
+        source, namespace = emit_program_source(program)
+        code = compile(source, f"<repro-codegen:{program.graph.name}>",
+                       "exec")
+        exec(code, namespace)
+        found = program.backend_cache[_MODULE_CACHE_KEY] = \
+            CompiledProgramModule(
+                source=source,
+                run_plain=namespace["run_plain"],
+                run_accounted=namespace["run_accounted"],
+                namespace=namespace,
+            )
+    return found
+
+
+def program_source(program: ExecutionProgram) -> str:
+    """The generated Python source serving ``program`` (for inspection,
+    like :func:`repro.runtime.codegen.generate_kernel` for pseudo-OpenCL)."""
+    return compile_program(program).source
+
+
+@register_backend
+class CodegenBackend(NumPyBackend):
+    """Execution backend that runs the generated fused module.
+
+    Inherits the entire pool/steady-state/micro-batching discipline from
+    :class:`NumPyBackend`; only the per-program executors differ - they
+    are the compiled ``run_plain`` / ``run_accounted`` functions of the
+    generated module instead of closures over the step list.
+    """
+
+    name = "codegen"
+
+    def _compile_runners(self, program: ExecutionProgram):
+        module = compile_program(program)
+        return module.run_plain, module.run_accounted

@@ -101,6 +101,10 @@ class Step:
     arg_names: tuple[str, ...]
     appliers: tuple[tuple[int, Callable], ...]
     """(input position, compiled view applier) for non-identity views."""
+    views: tuple[tuple[int, ViewChain], ...]
+    """(input position, raw ViewChain) the appliers were compiled from -
+    the lowering-time capture backends that re-emit the views (e.g.
+    codegen) must read, never the live graph."""
     attrs: dict
     """The node's attrs dict, shared by reference (treat as read-only)."""
     out_names: tuple[str, ...]
@@ -198,7 +202,8 @@ class ExecutionProgram:
     """A graph lowered for repeated execution on a pluggable backend."""
 
     __slots__ = ("graph", "steps", "slot_plan", "input_names",
-                 "output_names", "input_signature", "timeline", "op_list")
+                 "output_names", "input_signature", "timeline", "op_list",
+                 "backend_cache")
 
     def __init__(self, graph: Graph, steps: tuple[Step, ...],
                  slot_plan: SlotPlan) -> None:
@@ -226,6 +231,12 @@ class ExecutionProgram:
         # per step.
         self.op_list = tuple(
             (_compile_step(step), step.drops) for step in steps)
+        # Per-backend compiled artifacts (e.g. the codegen backend's
+        # generated module), keyed by backend name.  Living on the
+        # program - itself memoized per graph generation by
+        # :func:`lower` - gives backend runners the same lifetime and
+        # invalidation as the lowering they were compiled from.
+        self.backend_cache: dict[str, object] = {}
 
     @property
     def num_steps(self) -> int:
@@ -336,16 +347,23 @@ def lower(graph: Graph) -> ExecutionProgram:
     schedule = liveness_schedule(graph)
     plan, alloc_slots_at, release_slots_at = _assign_slots(
         graph, order, schedule)
-    steps = tuple(
-        Step(
+    def make_step(i: int, node) -> Step:
+        # One view capture; the appliers are *derived* from it, so the
+        # two fields cannot drift apart (the codegen backend re-emits
+        # from ``views`` and must describe exactly what the compiled
+        # appliers execute).
+        views = tuple(
+            (idx, view)
+            for idx, view in sorted(node.input_views.items())
+            if not view.is_identity)
+        return Step(
             node_id=node.id,
             op_type=node.op_type,
             kernel=get_kernel(node.op_type),
             arg_names=tuple(node.inputs),
             appliers=tuple(
-                (idx, _compile_view(view))
-                for idx, view in sorted(node.input_views.items())
-                if not view.is_identity),
+                (idx, _compile_view(view)) for idx, view in views),
+            views=views,
             attrs=node.attrs,
             out_names=tuple(node.outputs),
             out_shapes=tuple(graph.shape(t) for t in node.outputs),
@@ -353,8 +371,8 @@ def lower(graph: Graph) -> ExecutionProgram:
             release_slots=tuple(release_slots_at[i]),
             drops=tuple(schedule.value_drops_at[i]),
         )
-        for i, node in enumerate(order)
-    )
+
+    steps = tuple(make_step(i, node) for i, node in enumerate(order))
     program = ExecutionProgram(graph, steps, plan)
     cache[_PROGRAM_CACHE_KEY] = program
     return program
@@ -446,17 +464,74 @@ class NumPyBackend(ExecutionBackend):
     Once a session pool reaches steady state (its free blocks are exactly
     the program's slot plan), the pool interplay of a run is static by
     construction and collapses to one counter update.
+
+    Execution strategy is a per-program *runner pair* built once by
+    :meth:`_compile_runners` and cached on
+    :attr:`ExecutionProgram.backend_cache`:
+
+    * ``plain(values) -> outputs`` - the steady-state / verification
+      executor (no pool traffic);
+    * ``accounted(values, allocate, release, active) -> outputs`` - the
+      warm-up executor, interleaving slot-indexed pool ops with the
+      steps and marking acquired slots in ``active`` so the caller can
+      release whatever is live even when a kernel raises.
+
+    Subclasses that execute differently (e.g. the codegen backend, which
+    compiles the whole step loop to Python source) only override
+    :meth:`_compile_runners`; the pool/steady-state/batching discipline
+    in :meth:`run_many` is shared.
     """
 
     name = "numpy"
 
+    def _runners(self, program: ExecutionProgram):
+        """The program's ``(plain, accounted)`` executors, built once per
+        (program, backend) and cached on the program."""
+        found = program.backend_cache.get(self.name)
+        if found is None:
+            found = program.backend_cache[self.name] = \
+                self._compile_runners(program)
+        return found
+
+    def _compile_runners(self, program: ExecutionProgram):
+        """Build the ``(plain, accounted)`` executor pair - the only
+        method an execution-strategy subclass needs to override."""
+        op_list = program.op_list
+        output_names = program.output_names
+        steps = program.steps
+        plan = program.slot_plan
+        slot_sizes = plan.slot_sizes
+        input_slots = plan.input_slots
+
+        def plain(values: dict) -> dict:
+            for execute, drops in op_list:
+                execute(values)
+                for t in drops:
+                    values.pop(t, None)
+            return {name: values[name] for name in output_names}
+
+        def accounted(values: dict, allocate, release, active) -> dict:
+            for slot in input_slots:
+                allocate(slot_sizes[slot])
+                active[slot] = 1
+            for index, (execute, drops) in enumerate(op_list):
+                execute(values)
+                step = steps[index]
+                for slot in step.alloc_slots:
+                    allocate(slot_sizes[slot])
+                    active[slot] = 1
+                for slot in step.release_slots:
+                    release(slot_sizes[slot])
+                    active[slot] = 0
+                for t in drops:
+                    values.pop(t, None)
+            return {name: values[name] for name in output_names}
+
+        return plain, accounted
+
     def run(self, program: ExecutionProgram,
             values: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
-        for execute, drops in program.op_list:
-            execute(values)
-            for t in drops:
-                values.pop(t, None)
-        return {name: values[name] for name in program.output_names}
+        return self._runners(program)[0](values)
 
     def run_serving(self, program: ExecutionProgram,
                     values: dict[str, np.ndarray],
@@ -468,12 +543,9 @@ class NumPyBackend(ExecutionBackend):
                  ) -> list[tuple[dict[str, np.ndarray], PoolReport, float]]:
         # Dispatch state is hoisted out of the request loop once: batch
         # requests share one resolution of the program and pool.
-        op_list = program.op_list
-        steps = program.steps
+        plain, accounted = self._runners(program)
         plan = program.slot_plan
         slot_sizes = plan.slot_sizes
-        input_slots = plan.input_slots
-        output_names = program.output_names
         timeline = program.timeline
         peak_bytes = plan.peak_bytes
         total_allocated = plan.total_allocated_bytes
@@ -510,11 +582,7 @@ class NumPyBackend(ExecutionBackend):
             try:
                 for values in values_list:
                     start = perf()
-                    for execute, drops in op_list:
-                        execute(values)
-                        for t in drops:
-                            values.pop(t, None)
-                    outputs = {name: values[name] for name in output_names}
+                    outputs = plain(values)
                     results.append((outputs, report, perf() - start))
                     completed += 1
             finally:
@@ -529,11 +597,7 @@ class NumPyBackend(ExecutionBackend):
                     and matches_free_state(steady_state):
                 # Steady state mid-batch (the batch's first requests just
                 # warmed the pool): apply the static deltas once.
-                for execute, drops in op_list:
-                    execute(values)
-                    for t in drops:
-                        values.pop(t, None)
-                outputs = {name: values[name] for name in output_names}
+                outputs = plain(values)
                 pool.reuses += allocs_per_run
                 if pool.live_bytes + peak_bytes > pool.peak_bytes:
                     pool.peak_bytes = pool.live_bytes + peak_bytes
@@ -547,21 +611,7 @@ class NumPyBackend(ExecutionBackend):
                 # corrupt the long-lived pool of a serving session.
                 active = bytearray(len(slot_sizes))
                 try:
-                    for slot in input_slots:
-                        allocate(slot_sizes[slot])
-                        active[slot] = 1
-                    for index, (execute, drops) in enumerate(op_list):
-                        execute(values)
-                        step = steps[index]
-                        for slot in step.alloc_slots:
-                            allocate(slot_sizes[slot])
-                            active[slot] = 1
-                        for slot in step.release_slots:
-                            release(slot_sizes[slot])
-                            active[slot] = 0
-                        for t in drops:
-                            values.pop(t, None)
-                    outputs = {name: values[name] for name in output_names}
+                    outputs = accounted(values, allocate, release, active)
                 finally:
                     # Graph outputs, never-consumed inputs, and - on
                     # failure - whatever was live at the raising step.

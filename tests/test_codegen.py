@@ -3,8 +3,9 @@
 import pytest
 
 from repro.core import smartmem_optimize
+from repro.indexexpr.index_map import IndexMap
 from repro.ir import GraphBuilder, Layout
-from repro.runtime.codegen import generate_group, generate_kernel
+from repro.runtime.codegen import _expr_to_c, generate_group, generate_kernel
 
 
 def eliminated_graph():
@@ -51,6 +52,39 @@ class TestGenerateKernel:
         assert simplified.index_cost_units <= raw.index_cost_units
         # raw form carries more division/modulo operators
         assert raw.source.count("%") >= simplified.source.count("%")
+
+    def test_source_carries_the_simplified_index_exprs(self):
+        """The address computation in the emitted source is rendered from
+        the same ``Expr`` objects the cost model charges for - every
+        non-trivial simplified coordinate expression appears verbatim."""
+        result = eliminated_graph()
+        node = next(n for n in result.graph.iter_nodes()
+                    if n.op_type == "softmax")
+        kernel = generate_kernel(result.graph, node, result.plan)
+        imap = IndexMap.from_view_chain(node.input_views[0], simplified=True)
+        rendered = [_expr_to_c(e) for e in imap.exprs]
+        nontrivial = [r for r in rendered if not r.isidentifier()]
+        assert nontrivial, "the absorbed views must leave residual index math"
+        for text in nontrivial:
+            assert text in kernel.source, text
+
+    def test_unsimplified_source_differs(self):
+        """``simplify=False`` emits the raw (pre-Index-Comprehension)
+        expressions, so the two sources must visibly diverge."""
+        result = eliminated_graph()
+        node = next(n for n in result.graph.iter_nodes()
+                    if n.op_type == "softmax")
+        simplified = generate_kernel(result.graph, node, result.plan,
+                                     simplify_index=True)
+        raw = generate_kernel(result.graph, node, result.plan,
+                              simplify_index=False)
+        assert raw.source != simplified.source
+        raw_map = IndexMap.from_view_chain(node.input_views[0],
+                                           simplified=False)
+        # and the raw source is built from the raw exprs, same contract
+        assert any(
+            _expr_to_c(e) in raw.source for e in raw_map.exprs
+            if not _expr_to_c(e).isidentifier())
 
     def test_reduction_dim_is_innermost_loop(self):
         b = GraphBuilder()
