@@ -33,8 +33,10 @@ pipeline on a graph and ``estimate_cost()`` prices it on a device model::
 """
 
 from .api import (
-    CompiledModel, CompileOptions, InferenceFuture, InferenceRequest,
-    InferenceResponse, ServeOptions, Service, ServiceReport, compile, serve,
+    AdmissionError, BackendCompilationError, CompiledModel, CompileOptions,
+    DeadlineExceeded, ExecutionError, InferenceFuture, InferenceRequest,
+    InferenceResponse, QueueFull, ReproError, RetryPolicy, ServeOptions,
+    Service, ServiceClosed, ServiceReport, compile, serve,
 )
 from .core.pipeline import OptimizeResult, PipelineStages, smartmem_optimize
 from .ir.builder import GraphBuilder
@@ -42,6 +44,7 @@ from .ir.graph import Graph
 from .models import build as build_model
 from .runtime.cost_model import CostModelConfig, CostReport, estimate
 from .runtime.device import DEVICES, DIMENSITY700, DeviceSpec, SD835, SD8GEN2, V100
+from .runtime.faults import FaultPlan, FaultRule
 
 __version__ = "1.1.0"
 
@@ -59,10 +62,13 @@ def estimate_cost(module: OptimizeResult, device: DeviceSpec = SD8GEN2,
 
 
 __all__ = [
-    "CompileOptions", "CompiledModel", "CostModelConfig", "CostReport",
-    "DEVICES", "DIMENSITY700", "DeviceSpec", "Graph", "GraphBuilder",
-    "InferenceFuture", "InferenceRequest", "InferenceResponse",
-    "OptimizeResult", "PipelineStages", "SD835", "SD8GEN2", "ServeOptions",
-    "Service", "ServiceReport", "V100", "build_model", "compile", "estimate",
-    "estimate_cost", "optimize", "serve", "smartmem_optimize", "__version__",
+    "AdmissionError", "BackendCompilationError", "CompileOptions",
+    "CompiledModel", "CostModelConfig", "CostReport", "DEVICES",
+    "DIMENSITY700", "DeadlineExceeded", "DeviceSpec", "ExecutionError",
+    "FaultPlan", "FaultRule", "Graph", "GraphBuilder", "InferenceFuture",
+    "InferenceRequest", "InferenceResponse", "OptimizeResult",
+    "PipelineStages", "QueueFull", "ReproError", "RetryPolicy", "SD835",
+    "SD8GEN2", "ServeOptions", "Service", "ServiceClosed", "ServiceReport",
+    "V100", "build_model", "compile", "estimate", "estimate_cost", "optimize",
+    "serve", "smartmem_optimize", "__version__",
 ]

@@ -24,13 +24,19 @@ raw ndarray dicts.
 """
 
 from .compiled import CompiledModel, compile, compile_private, session_cache
+from .errors import (
+    AdmissionError, BackendCompilationError, DeadlineExceeded, ExecutionError,
+    QueueFull, ReproError, ServiceClosed,
+)
 from .messages import InferenceRequest, InferenceResponse, as_request
-from .options import CompileOptions, ServeOptions, merge_options
+from .options import CompileOptions, RetryPolicy, ServeOptions, merge_options
 from .service import InferenceFuture, Service, ServiceReport, serve
 
 __all__ = [
-    "CompileOptions", "CompiledModel", "InferenceFuture", "InferenceRequest",
-    "InferenceResponse", "Service", "ServeOptions", "ServiceReport",
-    "as_request", "compile", "compile_private", "merge_options", "serve",
-    "session_cache",
+    "AdmissionError", "BackendCompilationError", "CompileOptions",
+    "CompiledModel", "DeadlineExceeded", "ExecutionError", "InferenceFuture",
+    "InferenceRequest", "InferenceResponse", "QueueFull", "ReproError",
+    "RetryPolicy", "Service", "ServeOptions", "ServiceClosed",
+    "ServiceReport", "as_request", "compile", "compile_private",
+    "merge_options", "serve", "session_cache",
 ]

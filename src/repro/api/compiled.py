@@ -22,6 +22,7 @@ import numpy as np
 
 from ..ir.graph import Graph
 from ..runtime.session import Session, SessionRegistry, _compile_session
+from .errors import AdmissionError
 from .messages import InferenceRequest, InferenceResponse, as_request
 from .options import CompileOptions, merge_options
 
@@ -98,39 +99,47 @@ class CompiledModel:
     def admit(self, request: InferenceRequest) -> dict[str, np.ndarray]:
         """Validate one request and merge it over the session parameters.
 
-        Raises :class:`ValueError` naming the offending tensor for empty
+        Raises :class:`~repro.api.errors.AdmissionError` (a
+        :class:`ValueError`) naming the offending tensor for empty
         requests, unknown input names, missing inputs, wrong shapes, and
         wrong dtypes - before anything reaches the backend.
         """
         inputs = request.inputs
         rid = request.request_id
         who = "request" if rid is None else f"request {rid!r}"
+        session = self._session
+
+        def reject(message: str) -> AdmissionError:
+            return AdmissionError(
+                message, request_id=rid,
+                model=session.model or session.graph.name)
+
         signature = self._signature
         if not inputs:
-            raise ValueError(
+            raise reject(
                 f"{who} has no input tensors; expected {sorted(signature)}")
-        values = dict(self._session._params)
+        values = dict(session._params)
         for name, value in inputs.items():
             spec = signature.get(name)
             if spec is None:
-                raise ValueError(
+                raise reject(
                     f"{who}: unknown input tensor {name!r}; this "
                     f"model takes {sorted(signature)}")
             shape, dtype = spec
             if not isinstance(value, np.ndarray):
                 value = np.asarray(value)
             if value.shape != shape:
-                raise ValueError(
+                raise reject(
                     f"{who}: input {name!r}: got shape "
                     f"{tuple(value.shape)}, expected {shape}")
             if value.dtype != dtype:
-                raise ValueError(
+                raise reject(
                     f"{who}: input {name!r}: got dtype "
                     f"{value.dtype}, expected {dtype}")
             values[name] = value
         if len(inputs) < len(signature):
             missing = [n for n in signature if n not in inputs]
-            raise ValueError(f"{who}: missing input tensors {missing}")
+            raise reject(f"{who}: missing input tensors {missing}")
         return values
 
     # -- execution ---------------------------------------------------------
@@ -142,9 +151,10 @@ class CompiledModel:
         session = self._session
         start = time.perf_counter()
         values = self.admit(request)
-        outputs, report = session._backend.run_serving(
-            session.program, values, session.pool)
-        stats = session._record(time.perf_counter() - start, report)
+        results, backend_name = session.execute_values([values])
+        outputs, report, _ = results[0]
+        stats = session._record(
+            time.perf_counter() - start, report, backend_name)
         return InferenceResponse(
             request_id=request.request_id, outputs=outputs, stats=stats)
 
@@ -153,7 +163,7 @@ class CompiledModel:
     def run_batch(self, requests) -> list[InferenceResponse]:
         """Serve a list of requests through one backend invocation."""
         if not requests:
-            raise ValueError(
+            raise AdmissionError(
                 "run_batch() needs at least one request; got an empty batch")
         session = self._session
         requests = [as_request(r) for r in requests]
@@ -163,16 +173,16 @@ class CompiledModel:
             start = perf()
             values = self.admit(request)
             admitted.append((request, values, perf() - start))
-        results = session._backend.run_many(
-            session.program, [values for _, values, _ in admitted],
-            session.pool)
+        results, backend_name = session.execute_values(
+            [values for _, values, _ in admitted])
         n = len(results)
         responses = []
         for (request, _, admit_s), (outputs, report, wall_s) in zip(
                 admitted, results):
             responses.append(InferenceResponse(
                 request_id=request.request_id, outputs=outputs,
-                stats=session._record(admit_s + wall_s, report),
+                stats=session._record(admit_s + wall_s, report,
+                                      backend_name),
                 batch_size=n))
         return responses
 
@@ -227,7 +237,8 @@ def compile(model: str | Graph, options: CompileOptions | None = None,
     options = merge_options(CompileOptions, options, overrides)
     session = _REGISTRY.compile(
         model, options.framework, options.device, options.batch,
-        backend=options.backend, check_memory=options.check_memory,
+        backend=options.backend, faults=options.faults,
+        check_memory=options.check_memory,
         **options.framework_kwargs())
     return CompiledModel(session)
 
@@ -242,5 +253,6 @@ def compile_private(model: str | Graph,
     session = _compile_session(
         model, options.framework, options.device, options.batch,
         check_memory=options.check_memory, backend=options.backend,
+        faults=options.faults,
         **options.framework_kwargs())
     return CompiledModel(session)

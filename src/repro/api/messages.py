@@ -53,7 +53,9 @@ class InferenceResponse:
     allocations).  ``batch_size`` reports how many requests shared the
     backend invocation that produced this response; ``queued_ms`` is
     the time the request spent waiting to be coalesced (always ``0.0``
-    on the synchronous path).
+    on the synchronous path); ``attempts`` counts executions of the
+    request (``> 1`` only when the scheduler's
+    :class:`~repro.api.RetryPolicy` re-enqueued a retryable failure).
     """
 
     request_id: str | int | None
@@ -61,6 +63,7 @@ class InferenceResponse:
     stats: RunStats
     batch_size: int = 1
     queued_ms: float = 0.0
+    attempts: int = 1
 
     def output(self, name: str | None = None) -> np.ndarray:
         """One output array - by name, or the sole output when unnamed."""

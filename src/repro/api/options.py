@@ -12,6 +12,41 @@ from dataclasses import dataclass, field, fields
 
 from ..core.passes import PipelineStages
 from ..runtime.device import DeviceSpec, SD8GEN2
+from ..runtime.faults import FaultPlan
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry schedule for retryable request failures in the scheduler.
+
+    The :class:`~repro.api.Service` re-enqueues a failed request when its
+    error is marked ``retryable`` (see :mod:`repro.api.errors`), up to
+    ``max_attempts`` total attempts, backing off exponentially:
+    attempt ``n`` (0-based) waits ``backoff_ms * 2**n`` milliseconds,
+    multiplied by a factor drawn uniformly from ``1 ± jitter``.  A
+    request is never retried past its deadline - if the backoff would
+    overshoot it, the request fails with
+    :class:`~repro.api.errors.DeadlineExceeded` instead of waiting.
+    """
+
+    max_attempts: int = 3
+    backoff_ms: float = 1.0
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.backoff_ms < 0:
+            raise ValueError("backoff_ms cannot be negative")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be within [0, 1)")
+
+    def delay_s(self, attempt: int, rng=None) -> float:
+        """Backoff before re-enqueueing attempt ``attempt + 1``."""
+        delay = self.backoff_ms * (2 ** attempt) / 1e3
+        if self.jitter and rng is not None:
+            delay *= 1.0 + rng.uniform(-self.jitter, self.jitter)
+        return delay
 
 
 @dataclass(frozen=True)
@@ -37,6 +72,11 @@ class CompileOptions:
       device budget instead of just costing them.
     * ``stages`` - :class:`~repro.core.passes.PipelineStages` feeding
       the SmartMem pass pipeline (ablation toggles, tuned boost).
+    * ``faults`` - a :class:`~repro.runtime.faults.FaultPlan` installed
+      on the compiled session, deterministically injecting
+      latency/kernel/alloc/compile faults at the backend-invocation
+      level (reliability testing; ``None`` = the ambient
+      ``REPRO_FAULT_SEED`` chaos plan, if set).
     """
 
     framework: str = "Ours"
@@ -45,6 +85,7 @@ class CompileOptions:
     backend: str = "numpy"
     check_memory: bool = False
     stages: PipelineStages | None = None
+    faults: FaultPlan | None = None
 
     def framework_kwargs(self) -> dict:
         """Keyword arguments forwarded to the framework constructor."""
@@ -64,6 +105,13 @@ class ServeOptions:
     ``compile`` nests the :class:`CompileOptions` the service's private
     session is compiled with (framework, device, execution backend).
 
+    Reliability knobs: ``retry`` is the :class:`RetryPolicy` the
+    scheduler applies to retryable request failures (``None``: fail on
+    first error); ``faults`` is a
+    :class:`~repro.runtime.faults.FaultPlan` whose *service-level* rules
+    (those naming a ``request_id``) the scheduler injects per request
+    and attempt - kernel faults, worker crashes, latency.
+
     Out-of-range values raise :class:`ValueError` at construction.
     """
 
@@ -71,6 +119,8 @@ class ServeOptions:
     max_wait_ms: float = 2.0
     max_queue: int | None = None
     compile: CompileOptions = field(default_factory=CompileOptions)
+    retry: RetryPolicy | None = None
+    faults: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:

@@ -10,6 +10,24 @@ per-request dispatch the way the compiler amortized per-request
 interpretation.  Results come back through lightweight futures; the
 whole batch's futures are resolved under one lock acquisition.
 
+Failure semantics (see ``docs/architecture.md`` for the full contract):
+
+* every scheduler-side failure is a typed :mod:`repro.api.errors` error
+  naming the request - :class:`~repro.api.errors.ServiceClosed` for
+  submits after :meth:`Service.close`,
+  :class:`~repro.api.errors.QueueFull` for backpressure,
+  :class:`~repro.api.errors.DeadlineExceeded` for deadline misses,
+  :class:`~repro.api.errors.ExecutionError` for executor failures;
+* a faulting request inside a coalesced micro-batch is **isolated**:
+  the batch is re-run request-by-request so one bad request cannot fail
+  its batchmates;
+* with a :class:`~repro.api.RetryPolicy` on the options, retryable
+  failures are re-enqueued with exponential backoff - never past the
+  request's deadline;
+* the worker thread is **supervised**: if it crashes, a replacement is
+  spawned, unresolved in-flight requests are rescued back onto the
+  queue, and the crash is counted in :meth:`Service.report`.
+
     service = repro.serve("Pythia")
     futures = [service.submit(req) for req in requests]
     responses = [f.result() for f in futures]
@@ -20,6 +38,8 @@ whole batch's futures are resolved under one lock acquisition.
 from __future__ import annotations
 
 import heapq
+import logging
+import random
 import threading
 import time
 from collections import deque
@@ -29,9 +49,20 @@ from typing import Mapping
 import numpy as np
 
 from ..ir.graph import Graph
+from ..runtime.faults import InjectedCrash
 from .compiled import CompiledModel, compile_private
+from .errors import (
+    DeadlineExceeded, ExecutionError, QueueFull, ReproError, ServiceClosed,
+)
 from .messages import InferenceRequest, InferenceResponse, as_request
 from .options import ServeOptions, merge_options
+
+logger = logging.getLogger("repro.api.service")
+
+_MAX_RESCUES = 2
+"""Times one request may be rescued from a crashed worker before it is
+failed as poisonous (a request whose execution keeps killing workers
+must not crash-loop the service forever)."""
 
 
 class InferenceFuture:
@@ -39,7 +70,8 @@ class InferenceFuture:
 
     ``result()`` blocks until the scheduler resolves the request - with
     its :class:`~repro.api.InferenceResponse`, or by raising the error
-    the request failed with (deadline misses raise ``TimeoutError``).
+    the request failed with (deadline misses raise
+    :class:`~repro.api.errors.DeadlineExceeded`, a ``TimeoutError``).
     Futures share their service's condition variable, so resolving a
     coalesced batch wakes every waiter with one notification.
     """
@@ -84,7 +116,7 @@ class _Pending:
     """One queued request: heap-ordered by (priority desc, arrival)."""
 
     __slots__ = ("order", "priority", "request_id", "values", "future",
-                 "enqueued_s", "deadline_s")
+                 "enqueued_s", "deadline_s", "attempt", "rescues")
 
     def __init__(self, order, priority, request_id, values, future,
                  enqueued_s, deadline_s) -> None:
@@ -95,6 +127,10 @@ class _Pending:
         self.future = future
         self.enqueued_s = enqueued_s
         self.deadline_s = deadline_s
+        self.attempt = 0
+        """0-based execution attempt (bumped by each retry re-enqueue)."""
+        self.rescues = 0
+        """Times this entry was rescued from a crashed worker."""
 
     def __lt__(self, other: "_Pending") -> bool:
         if self.priority != other.priority:
@@ -114,6 +150,15 @@ class ServiceReport:
     queue_depth_peak: int
     expired: int
     failed: int
+    retries: int
+    """Retryable failures re-enqueued under the :class:`RetryPolicy`."""
+    isolated: int
+    """Requests re-run solo after their coalesced batch failed."""
+    worker_restarts: int
+    """Worker-thread crashes survived by spawning a replacement."""
+    fallbacks: int
+    """Backend invocations the session degraded to the reference
+    backend (:attr:`~repro.runtime.session.SessionStats.fallbacks`)."""
     total_exec_s: float
     throughput_rps: float
     """Executor-side rate: requests served per second of backend time."""
@@ -130,17 +175,22 @@ class Service:
     hot loop.
 
     Request lifecycle: :meth:`submit` admits the request in the calling
-    thread (malformed requests raise :class:`ValueError` immediately),
-    enqueues it (FIFO for default priority, heap for prioritized;
-    :class:`RuntimeError` once ``max_queue`` is hit), and returns an
-    :class:`InferenceFuture`.  The worker coalesces up to
+    thread (malformed requests raise
+    :class:`~repro.api.errors.AdmissionError` immediately), enqueues it
+    (FIFO for default priority, heap for prioritized;
+    :class:`~repro.api.errors.QueueFull` once ``max_queue`` is hit), and
+    returns an :class:`InferenceFuture`.  The worker coalesces up to
     ``max_batch_size`` queued requests arriving within ``max_wait_ms``
     into one ``backend.run_many`` invocation; expired deadlines resolve
-    their futures with :class:`TimeoutError`, an executor failure fails
-    the whole batch.  :meth:`infer` is the synchronous convenience,
-    :meth:`report` snapshots lifetime statistics, and :meth:`close`
-    (or using the service as a context manager) drains the queue and
-    joins the worker.
+    their futures with :class:`~repro.api.errors.DeadlineExceeded`, an
+    executor failure is isolated per request (and retried under the
+    options' :class:`~repro.api.RetryPolicy` when retryable).
+    :meth:`infer` is the synchronous convenience, :meth:`report`
+    snapshots lifetime statistics, and :meth:`close` (or using the
+    service as a context manager) drains the queue - including pending
+    retries - and joins the worker.  ``close()`` is idempotent;
+    :meth:`submit` after it raises
+    :class:`~repro.api.errors.ServiceClosed` without enqueueing.
     """
 
     def __init__(self, compiled: CompiledModel, options: ServeOptions,
@@ -156,6 +206,11 @@ class Service:
         self._max_batch = options.max_batch_size
         self._wait_s = options.max_wait_ms / 1e3
         self._max_queue = options.max_queue
+        self._retry = options.retry
+        self._injector = options.faults.injector() \
+            if options.faults is not None else None
+        self._rng = random.Random(
+            options.faults.seed if options.faults is not None else 0)
 
         self._lock = threading.Lock()
         self._work = threading.Condition(self._lock)      # producer -> worker
@@ -172,16 +227,25 @@ class Service:
         self._batches = 0
         self._expired = 0
         self._failed = 0
+        self._retries = 0
+        self._isolated = 0
+        self._worker_restarts = 0
+        self._pending_retries = 0
         self._largest_batch = 0
         self._queue_peak = 0
         self._total_exec_s = 0.0
 
         self._worker: threading.Thread | None = None
         if _start:
-            self._worker = threading.Thread(
-                target=self._drain_loop, daemon=True,
-                name=f"repro-service-{session.model or session.graph.name}")
-            self._worker.start()
+            self._worker = self._spawn_worker()
+
+    def _spawn_worker(self) -> threading.Thread:
+        session = self._session
+        worker = threading.Thread(
+            target=self._drain_loop, daemon=True,
+            name=f"repro-service-{session.model or session.graph.name}")
+        worker.start()
+        return worker
 
     # -- introspection -----------------------------------------------------
 
@@ -231,6 +295,10 @@ class Service:
                 queue_depth_peak=self._queue_peak,
                 expired=self._expired,
                 failed=self._failed,
+                retries=self._retries,
+                isolated=self._isolated,
+                worker_restarts=self._worker_restarts,
+                fallbacks=self._session.stats.fallbacks,
                 total_exec_s=total_exec_s,
                 throughput_rps=requests / total_exec_s
                 if total_exec_s else 0.0,
@@ -257,9 +325,12 @@ class Service:
 
         Admission runs here, in the submitting thread: malformed
         requests (empty, unknown/missing tensor names, wrong
-        shape/dtype) raise :class:`ValueError` immediately, and the
-        per-request merge work overlaps the worker's execution of
-        earlier batches.
+        shape/dtype) raise :class:`~repro.api.errors.AdmissionError`
+        immediately, and the per-request merge work overlaps the
+        worker's execution of earlier batches.  After :meth:`close`,
+        raises :class:`~repro.api.errors.ServiceClosed` without
+        enqueueing; at ``max_queue``, raises
+        :class:`~repro.api.errors.QueueFull` (retryable backpressure).
         """
         request = as_request(request)
         values = self._compiled.admit(request)
@@ -270,11 +341,15 @@ class Service:
         priority = request.priority
         with self._lock:
             if self._closed:
-                raise RuntimeError("service is closed")
+                raise ServiceClosed(
+                    "service is closed", request_id=request.request_id,
+                    model=self._session.model or self._session.graph.name)
             depth = self._depth()
             if self._max_queue is not None and depth >= self._max_queue:
-                raise RuntimeError(
-                    f"service queue is full ({self._max_queue} requests)")
+                raise QueueFull(
+                    f"service queue is full ({self._max_queue} requests)",
+                    request_id=request.request_id,
+                    model=self._session.model or self._session.graph.name)
             order = self._submitted
             self._submitted += 1
             request_id = request.request_id \
@@ -300,14 +375,25 @@ class Service:
     def close(self, timeout: float | None = None) -> None:
         """Graceful shutdown: drain the queue, then join the worker.
 
-        Every request submitted before ``close()`` is served; later
-        ``submit()`` calls raise.  Idempotent.
+        Every request submitted before ``close()`` is served - pending
+        retry backoffs included; later ``submit()`` calls raise
+        :class:`~repro.api.errors.ServiceClosed`.  Idempotent (closing a
+        closed service is a no-op beyond re-joining a dead worker).
         """
         with self._lock:
             self._closed = True
             self._work.notify_all()
-        if self._worker is not None:
-            self._worker.join(timeout)
+        # The worker may be replaced by the supervisor while we join
+        # (a crash during drain): follow the replacement chain.
+        while True:
+            worker = self._worker
+            if worker is None:
+                return
+            worker.join(timeout)
+            if worker.is_alive():  # timeout expired with work left
+                return
+            if self._worker is worker:
+                return
 
     def __enter__(self) -> "Service":
         return self
@@ -323,11 +409,13 @@ class Service:
         The coalescing window opens when the first request is seen:
         the worker waits up to ``max_wait_ms`` for the batch to fill,
         leaving early when it does (or on shutdown, which drains
-        without delay).
+        without delay).  On shutdown the worker exits only once the
+        queue *and* the pending retry backoffs are drained, so a
+        retried request submitted before ``close()`` still resolves.
         """
         with self._lock:
             while not self._fifo and not self._heap:
-                if self._closed:
+                if self._closed and self._pending_retries == 0:
                     return None
                 self._work.wait()
             if self._wait_s > 0.0 and not self._closed \
@@ -346,22 +434,96 @@ class Service:
             return [self._pop_next() for _ in range(n)]
 
     def _drain_loop(self) -> None:
-        while True:
-            batch = self._next_batch()
-            if batch is None:
-                return
-            self._execute(batch)
+        batch: list[_Pending] | None = None
+        try:
+            while True:
+                batch = self._next_batch()
+                if batch is None:
+                    return
+                self._execute(batch)
+                batch = None
+        except BaseException as err:  # noqa: BLE001 - worker crashed
+            self._supervise(err, batch or [])
+
+    def _supervise(self, err: BaseException, batch: list[_Pending]) -> None:
+        """Worker crashed: rescue its in-flight batch, spawn a
+        replacement thread, count the restart.
+
+        Unresolved in-flight entries go back to the *front* of the
+        queue; an entry that keeps crashing workers is failed after
+        ``_MAX_RESCUES`` rescues instead of crash-looping the service.
+        """
+        unresolved = [e for e in batch if not e.future._resolved]
+        with self._lock:
+            self._worker_restarts += 1
+            restarts = self._worker_restarts
+            poisoned = 0
+            for entry in reversed(unresolved):
+                entry.rescues += 1
+                if entry.rescues > _MAX_RESCUES:
+                    entry.future._error = ExecutionError(
+                        f"request {entry.request_id!r} crashed the worker "
+                        f"{entry.rescues} times; giving up ({err})",
+                        request_id=entry.request_id)
+                    entry.future._resolved = True
+                    self._failed += 1
+                    poisoned += 1
+                else:
+                    self._fifo.appendleft(entry)
+            if poisoned:
+                self._completed.notify_all()
+            self._work.notify_all()
+        logger.error(
+            "service worker crashed (%s: %s); restart #%d, %d in-flight "
+            "request(s) rescued", type(err).__name__, err, restarts,
+            len(unresolved) - poisoned)
+        replacement = self._spawn_worker()
+        self._worker = replacement
+
+    def _run_entries(self, entries: list[_Pending]):
+        """One backend invocation over ``entries``, with service-level
+        fault injection.
+
+        Injected kernel faults and crashes fire as pure functions of
+        ``(request_id, attempt)`` (crashes consume a budget), so a fault
+        observed in a coalesced batch fires identically when the entry
+        is isolated or retried - which is what makes the reliability
+        tests deterministic.  Entries' value dicts are passed as copies:
+        the runners mutate values in place, and isolation/retry must
+        replay pristine inputs.
+        """
+        injector = self._injector
+        if injector is not None:
+            for entry in entries:
+                for rule in injector.request_faults(
+                        entry.request_id, entry.attempt):
+                    if rule.kind == "crash":
+                        raise InjectedCrash(
+                            f"injected worker crash "
+                            f"(request {entry.request_id!r})")
+                    if rule.kind == "latency":
+                        time.sleep(rule.latency_ms / 1e3)
+                    elif rule.kind in ("kernel", "alloc"):
+                        raise ExecutionError(
+                            "injected kernel fault" if rule.kind == "kernel"
+                            else "injected allocation failure",
+                            request_id=entry.request_id,
+                            retryable=rule.retryable)
+        return self._session.execute_values(
+            [dict(entry.values) for entry in entries],
+            backend=self._backend)
 
     def _execute(self, batch: list[_Pending]) -> None:
-        """Run one coalesced batch through a single backend invocation."""
+        """Run one coalesced batch; isolate failures per request."""
         dequeued = time.monotonic()
         expired: list[_Pending] = []
         live: list[_Pending] = []
         for entry in batch:
             if entry.deadline_s is not None and dequeued > entry.deadline_s:
-                entry.future._error = TimeoutError(
+                entry.future._error = DeadlineExceeded(
                     f"request {entry.request_id!r} missed its deadline "
-                    f"({(dequeued - entry.enqueued_s) * 1e3:.1f} ms queued)")
+                    f"({(dequeued - entry.enqueued_s) * 1e3:.1f} ms queued)",
+                    request_id=entry.request_id)
                 expired.append(entry)
             else:
                 live.append(entry)
@@ -374,30 +536,37 @@ class Service:
         if not live:
             return
 
-        session = self._session
         perf = time.perf_counter
         start = perf()
         try:
-            results = self._backend.run_many(
-                self._program, [entry.values for entry in live], self._pool)
-        except Exception as err:  # noqa: BLE001 - fail the whole batch
+            results, backend_name = self._run_entries(live)
+        except InjectedCrash:
+            raise  # kills the worker; supervision absorbs it
+        except Exception as err:  # noqa: BLE001 - executor failure
+            if len(live) == 1:
+                self._settle_failure(live[0], err)
+                return
+            # Per-request isolation: re-run each request solo so one
+            # faulting request cannot fail its batchmates.
             with self._lock:
-                for entry in live:
-                    entry.future._error = err
-                    entry.future._resolved = True
-                self._failed += len(live)
-                self._completed.notify_all()
+                self._isolated += len(live)
+            logger.warning(
+                "batch of %d failed (%s: %s); isolating request-by-request",
+                len(live), type(err).__name__, err)
+            for entry in live:
+                self._execute([entry])
             return
         exec_s = perf() - start
 
         n = len(live)
-        record = session._record
+        record = self._session._record
         resolved = []
         for entry, (outputs, report, wall_s) in zip(live, results):
             resolved.append((entry.future, InferenceResponse(
                 request_id=entry.request_id, outputs=outputs,
-                stats=record(wall_s, report), batch_size=n,
-                queued_ms=(dequeued - entry.enqueued_s) * 1e3)))
+                stats=record(wall_s, report, backend_name), batch_size=n,
+                queued_ms=(dequeued - entry.enqueued_s) * 1e3,
+                attempts=entry.attempt + 1)))
         with self._lock:
             for future, response in resolved:
                 future._response = response
@@ -408,6 +577,69 @@ class Service:
             if n > self._largest_batch:
                 self._largest_batch = n
             self._completed.notify_all()
+
+    def _settle_failure(self, entry: _Pending, err: BaseException) -> None:
+        """One request failed solo: retry it if the policy allows,
+        otherwise fail its future with a request-attributed error."""
+        policy = self._retry
+        retryable = isinstance(err, ReproError) and err.retryable
+        if policy is not None and retryable \
+                and entry.attempt + 1 < policy.max_attempts:
+            delay_s = policy.delay_s(entry.attempt, self._rng)
+            if entry.deadline_s is None \
+                    or time.monotonic() + delay_s <= entry.deadline_s:
+                entry.attempt += 1
+                with self._lock:
+                    self._retries += 1
+                    self._pending_retries += 1
+                timer = threading.Timer(
+                    delay_s, self._requeue, args=(entry,))
+                timer.daemon = True
+                timer.start()
+                return
+            # Retryable, but the backoff would overshoot the deadline.
+            with self._lock:
+                entry.future._error = DeadlineExceeded(
+                    f"request {entry.request_id!r} missed its deadline: "
+                    f"retry backoff would overshoot it after "
+                    f"{entry.attempt + 1} attempt(s) ({err})",
+                    request_id=entry.request_id)
+                entry.future._resolved = True
+                self._expired += 1
+                self._completed.notify_all()
+            return
+        with self._lock:
+            entry.future._error = self._attribute(entry, err)
+            entry.future._resolved = True
+            self._failed += 1
+            self._completed.notify_all()
+
+    @staticmethod
+    def _attribute(entry: _Pending, err: BaseException) -> BaseException:
+        """An executor failure re-raised with the request named in the
+        message (multi-client logs must be attributable per request)."""
+        if isinstance(err, ReproError):
+            wrapped = type(err)(
+                f"request {entry.request_id!r}: {err}",
+                request_id=entry.request_id, model=err.model,
+                fingerprint=err.fingerprint, backend=err.backend,
+                retryable=err.retryable)
+        else:
+            wrapped = ExecutionError(
+                f"request {entry.request_id!r}: {err}",
+                request_id=entry.request_id)
+        wrapped.__cause__ = err
+        return wrapped
+
+    def _requeue(self, entry: _Pending) -> None:
+        """Timer callback: put a backed-off retry back on the queue."""
+        with self._lock:
+            self._pending_retries -= 1
+            if entry.priority == 0:
+                self._fifo.append(entry)
+            else:
+                heapq.heappush(self._heap, entry)
+            self._work.notify()
 
 
 def serve(model: str | Graph, options: ServeOptions | None = None,
@@ -421,8 +653,9 @@ def serve(model: str | Graph, options: ServeOptions | None = None,
     Arguments:
         model: a catalog name or a built :class:`~repro.ir.graph.Graph`.
         options: a :class:`ServeOptions` - scheduler knobs
-            (``max_batch_size``, ``max_wait_ms``, ``max_queue``) plus a
-            nested :class:`CompileOptions` (``options.compile``) picking
+            (``max_batch_size``, ``max_wait_ms``, ``max_queue``), the
+            reliability knobs (``retry``, ``faults``), plus a nested
+            :class:`CompileOptions` (``options.compile``) picking
             framework/device/execution backend.
         **overrides: loose keyword alternatives for any
             :class:`ServeOptions` field, e.g.

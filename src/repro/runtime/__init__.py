@@ -12,22 +12,24 @@ from .cost_model import (
 )
 from .device import DEVICES, DIMENSITY700, DeviceSpec, SD835, SD8GEN2, V100, scaled
 from .executor import execute, make_inputs, outputs_equal, run_node
+from .faults import FaultInjector, FaultPlan, FaultRule, InjectedCrash
 from .kernels import get_kernel
 from .program import (
     ExecutionBackend, ExecutionProgram, NumPyBackend, SlotPlan, Step,
     available_backends, get_backend, lower, register_backend,
 )
 from .session import (
-    Engine, RunStats, Session, SessionRegistry, SessionStats,
-    compile_session, stable_model_key,
+    CircuitBreaker, Engine, RunStats, Session, SessionRegistry, SessionStats,
+    circuit_breaker, compile_session, stable_model_key,
 )
 
 __all__ = [
-    "Artifact", "CodegenBackend", "CompiledProgramModule", "Engine",
-    "ExecutionBackend", "ExecutionProgram",
-    "GeneratedKernel", "NumPyBackend", "RunStats", "Session",
+    "Artifact", "CircuitBreaker", "CodegenBackend", "CompiledProgramModule",
+    "Engine", "ExecutionBackend", "ExecutionProgram", "FaultInjector",
+    "FaultPlan", "FaultRule", "GeneratedKernel", "InjectedCrash",
+    "NumPyBackend", "RunStats", "Session",
     "SessionRegistry", "SessionStats", "SlotPlan", "Step",
-    "VerificationReport", "stable_model_key",
+    "VerificationReport", "circuit_breaker", "stable_model_key",
     "available_backends", "compile_program", "compile_session",
     "emit_program_source", "generate_group",
     "generate_kernel", "get_backend", "lower", "plan_from_json",

@@ -55,6 +55,7 @@ import re
 from dataclasses import dataclass
 from typing import Callable
 
+from ..api.errors import BackendCompilationError, ExecutionError
 from .program import ExecutionProgram, NumPyBackend, register_backend
 
 _MODULE_CACHE_KEY = "codegen.module"
@@ -93,7 +94,9 @@ class _SourceEmitter:
     def __init__(self, program: ExecutionProgram) -> None:
         self.program = program
         self.graph = program.graph
-        self.namespace: dict = {}
+        # ExecutionError is pre-bound so the emitted shape checks raise
+        # the same taxonomy type (and message) as the reference backend.
+        self.namespace: dict = {"ExecutionError": ExecutionError}
         self._kernel_names: dict[int, str] = {}
         self._attrs_names: dict[int, str] = {}
         self._locals: dict[str, str] = {}
@@ -168,7 +171,7 @@ class _SourceEmitter:
         message = (f"kernel {step.op_type} ({step.node_id}) produced "
                    f"shape %r, spec says {shape!r}")
         lines.append(f"    if {out}.shape != {shape!r}:")
-        lines.append(f"        raise RuntimeError({message!r}"
+        lines.append(f"        raise ExecutionError({message!r}"
                      f" % ({out}.shape,))")
 
     def _emit_step(self, lines: list[str], step,
@@ -285,10 +288,22 @@ def compile_program(program: ExecutionProgram) -> CompiledProgramModule:
     """
     found = program.backend_cache.get(_MODULE_CACHE_KEY)
     if found is None:
-        source, namespace = emit_program_source(program)
-        code = compile(source, f"<repro-codegen:{program.graph.name}>",
-                       "exec")
-        exec(code, namespace)
+        try:
+            source, namespace = emit_program_source(program)
+            code = compile(source, f"<repro-codegen:{program.graph.name}>",
+                           "exec")
+            exec(code, namespace)
+        except BackendCompilationError:
+            raise
+        except Exception as err:
+            # Emission/compile bugs surface as the taxonomy's retryable
+            # compile failure, which is what licenses the session to
+            # degrade to the reference backend instead of failing the
+            # request.  Nothing is cached: a later call retries.
+            raise BackendCompilationError(
+                f"codegen failed to compile {program.graph.name!r}: {err}",
+                model=program.graph.name, backend=CodegenBackend.name,
+            ) from err
         found = program.backend_cache[_MODULE_CACHE_KEY] = \
             CompiledProgramModule(
                 source=source,

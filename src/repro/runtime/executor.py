@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..api.errors import ExecutionError
 from ..ir.dtype import DType
 from ..ir.graph import Graph, Node
 from .kernels import get_kernel
@@ -64,7 +65,7 @@ def run_node(graph: Graph, node: Node, values: dict[str, np.ndarray]) -> None:
     for out_name, out_value in zip(node.outputs, outputs):
         expected = graph.shape(out_name)
         if tuple(out_value.shape) != expected:
-            raise RuntimeError(
+            raise ExecutionError(
                 f"kernel {node.op_type} ({node.id}) produced shape "
                 f"{out_value.shape}, spec says {expected}"
             )

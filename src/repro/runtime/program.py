@@ -48,6 +48,7 @@ from typing import Callable
 
 import numpy as np
 
+from ..api.errors import ExecutionError
 from ..ir.graph import Graph
 from ..ir.view import ViewChain
 from ..memory.pool import (
@@ -173,7 +174,7 @@ def _compile_step(step: Step) -> Callable[[dict], None]:
             for name, shape, value in zip(out_names, shapes,
                                           kernel(args, attrs)):
                 if value.shape != shape:
-                    raise RuntimeError(
+                    raise ExecutionError(
                         f"kernel {op_type} ({node_id}) produced shape "
                         f"{value.shape}, spec says {shape}")
                 values[name] = value
@@ -190,7 +191,7 @@ def _compile_step(step: Step) -> Callable[[dict], None]:
         if type(result) in (tuple, list):
             result = result[0]
         if result.shape != shape:
-            raise RuntimeError(
+            raise ExecutionError(
                 f"kernel {op_type} ({node_id}) produced shape "
                 f"{result.shape}, spec says {shape}")
         values[out] = result

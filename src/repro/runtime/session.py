@@ -36,6 +36,8 @@ bookkeeping) was all moved to compile time by
 
 from __future__ import annotations
 
+import logging
+import threading
 import time
 import warnings
 from collections import OrderedDict, deque
@@ -43,11 +45,15 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..api.errors import AdmissionError, BackendCompilationError, ReproError
 from ..ir.graph import Graph
 from ..memory.pool import PoolReport, SizeClassPool
 from .device import DeviceSpec, SD8GEN2
 from .executor import make_inputs
+from .faults import REFERENCE_BACKEND, FaultPlan
 from .program import ExecutionProgram, get_backend, lower
+
+logger = logging.getLogger("repro.runtime.session")
 
 _DEPRECATION_WARNED: set[str] = set()
 """Shim names that already warned this process (each warns exactly once)."""
@@ -72,6 +78,10 @@ class RunStats:
     pool: PoolReport
     """Per-request pool delta: ``allocations`` counts *new* blocks this
     run created; ``reuses`` counts requests served from freed blocks."""
+    backend: str = ""
+    """Backend that actually served the request - the session's
+    configured backend unless graceful degradation substituted the
+    reference backend (:attr:`SessionStats.fallbacks`)."""
 
 
 @dataclass
@@ -85,12 +95,66 @@ class SessionStats:
 
     requests: int = 0
     total_wall_s: float = 0.0
+    fallbacks: int = 0
+    """Backend invocations degraded to the reference backend after the
+    configured backend failed to compile or run."""
     runs: deque[RunStats] = field(
         default_factory=lambda: deque(maxlen=256))
 
     @property
     def mean_wall_s(self) -> float:
         return self.total_wall_s / self.requests if self.requests else 0.0
+
+
+class CircuitBreaker:
+    """Stops re-trying a persistently failing backend per program.
+
+    Keyed by ``(backend name, graph fingerprint)``: after ``threshold``
+    *consecutive* failures the circuit opens and
+    :meth:`Session.execute_values` routes that program straight to the
+    reference backend without re-attempting the failing one; a single
+    success closes the circuit again.  Process-wide (like the backend
+    registry) and thread-safe: every session serving the same program on
+    the same backend shares one failure history.
+    """
+
+    def __init__(self, threshold: int = 3) -> None:
+        if threshold < 1:
+            raise ValueError("threshold must be at least 1")
+        self.threshold = threshold
+        self._lock = threading.Lock()
+        self._consecutive: dict[tuple[str, str], int] = {}
+
+    def is_open(self, backend: str, fingerprint: str) -> bool:
+        with self._lock:
+            return self._consecutive.get(
+                (backend, fingerprint), 0) >= self.threshold
+
+    def record_failure(self, backend: str, fingerprint: str) -> bool:
+        """Count one failure; True when this one opened the circuit."""
+        key = (backend, fingerprint)
+        with self._lock:
+            count = self._consecutive.get(key, 0) + 1
+            self._consecutive[key] = count
+            return count == self.threshold
+
+    def record_success(self, backend: str, fingerprint: str) -> None:
+        with self._lock:
+            self._consecutive.pop((backend, fingerprint), None)
+
+    def reset(self) -> None:
+        """Forget every failure history (tests)."""
+        with self._lock:
+            self._consecutive.clear()
+
+
+_CIRCUIT = CircuitBreaker()
+"""Process-wide breaker consulted by every session's fallback path."""
+
+
+def circuit_breaker() -> CircuitBreaker:
+    """The process-wide :class:`CircuitBreaker` (for inspection/reset)."""
+    return _CIRCUIT
 
 
 class Session:
@@ -102,7 +166,8 @@ class Session:
     def __init__(self, graph: Graph, plan, config, device: DeviceSpec,
                  framework: str = "Ours", model: str = "",
                  cell=None, program: ExecutionProgram | None = None,
-                 backend: str = "numpy") -> None:
+                 backend: str = "numpy",
+                 faults: FaultPlan | None = None) -> None:
         self.graph = graph
         self.plan = plan
         self.config = config
@@ -119,6 +184,14 @@ class Session:
         self._param_values: dict[str, np.ndarray] | None = None
         self._input_cache: dict[int, dict[str, np.ndarray]] = {}
         self.stats = SessionStats()
+        # Fault injection: an explicit plan wins; otherwise the ambient
+        # chaos plan (REPRO_FAULT_SEED) applies, injecting only faults
+        # the reliability layer is required to absorb.
+        if faults is None:
+            faults = FaultPlan.from_env()
+        self.faults = faults
+        self._injector = faults.injector() if faults is not None else None
+        self._fingerprint: str | None = None
 
     @property
     def program(self) -> ExecutionProgram:
@@ -199,20 +272,111 @@ class Session:
             if not isinstance(value, np.ndarray):
                 value = np.asarray(value)
             if value.shape != spec.shape:
-                raise ValueError(
+                raise AdmissionError(
                     f"input {name!r}: got shape {tuple(value.shape)}, "
-                    f"expected {spec.shape}")
+                    f"expected {spec.shape}",
+                    model=self.model or self.graph.name)
             if value.dtype != spec.dtype.numpy_dtype:
-                raise ValueError(
+                raise AdmissionError(
                     f"input {name!r}: got dtype {value.dtype}, expected "
-                    f"{np.dtype(spec.dtype.numpy_dtype)}")
+                    f"{np.dtype(spec.dtype.numpy_dtype)}",
+                    model=self.model or self.graph.name)
             values[name] = value
         missing = [name for name in self.graph.inputs if name not in values]
         if missing:
-            raise ValueError(f"missing graph inputs: {missing}")
+            raise AdmissionError(f"missing graph inputs: {missing}",
+                                 model=self.model or self.graph.name)
         return values
 
     # -- serving -----------------------------------------------------------
+
+    @property
+    def fingerprint(self) -> str:
+        """The served graph's content fingerprint (memoized) - the
+        per-program key for error context and the circuit breaker."""
+        if self._fingerprint is None:
+            self._fingerprint = self.graph.fingerprint()
+        return self._fingerprint
+
+    def execute_values(self, values_list, backend=None):
+        """The resilient execution core: run admitted value dicts through
+        one backend invocation, with graceful degradation.
+
+        Every execution path of the serving stack funnels through here -
+        :meth:`run`, :meth:`run_batch`, ``CompiledModel.run[_batch]``,
+        and the :class:`~repro.api.Service` scheduler - so fault
+        injection, the numpy fallback, and the circuit breaker apply
+        uniformly.  Returns ``(results, backend_name)`` where results is
+        the ``run_many``-shaped list of ``(outputs, report, wall_s)`` and
+        ``backend_name`` names the backend that actually served the
+        invocation.
+
+        Degradation: when the configured backend is not the reference
+        one, a :class:`~repro.api.errors.BackendCompilationError` (or any
+        runner failure) is retried on the reference ``numpy`` backend
+        against pristine copies of the inputs - identical outputs, same
+        pool discipline, logged and counted in
+        :attr:`SessionStats.fallbacks` - and the failure feeds the
+        process-wide :class:`CircuitBreaker`; once a program's circuit
+        opens, it routes straight to the reference backend (a later
+        explicit success on the primary closes it again).  Injected
+        session-level faults (:attr:`faults`) fire before the primary
+        invocation; injected kernel/alloc faults propagate (they model
+        backend-independent failures), injected compile faults degrade.
+        """
+        primary = backend if backend is not None else self._backend
+        name = getattr(primary, "name", self.backend)
+        context = {"model": self.model or self.graph.name}
+        fallback = None
+        if name != REFERENCE_BACKEND:
+            context["fingerprint"] = self.fingerprint
+            if _CIRCUIT.is_open(name, self.fingerprint):
+                primary = get_backend(REFERENCE_BACKEND)
+                name = REFERENCE_BACKEND
+            else:
+                fallback = get_backend(REFERENCE_BACKEND)
+        # The runners mutate the value dicts in place (drops, outputs),
+        # so the fallback replays pristine shallow copies.  Only armed
+        # off the reference path: the default backend pays nothing.
+        snapshots = [dict(values) for values in values_list] \
+            if fallback is not None else None
+        injector = self._injector
+        try:
+            if injector is not None:
+                injector.on_invocation(len(values_list), name, context)
+            results = primary.run_many(self.program, values_list, self.pool)
+        except BackendCompilationError as err:
+            if fallback is None:
+                raise
+            self._degrade(name, err)
+            results = fallback.run_many(self.program, snapshots, self.pool)
+            return results, REFERENCE_BACKEND
+        except ReproError:
+            raise  # injected kernel/alloc faults are backend-independent
+        except Exception as err:  # noqa: BLE001 - runner failure
+            if fallback is None:
+                raise
+            # A runner failure on the primary backend degrades too: if
+            # the failure was input-caused the reference backend raises
+            # the same error (shape checks match text-for-text); if it
+            # was a backend bug, the request is rescued.
+            self._degrade(name, err)
+            results = fallback.run_many(self.program, snapshots, self.pool)
+            return results, REFERENCE_BACKEND
+        if fallback is not None:
+            _CIRCUIT.record_success(name, self.fingerprint)
+        return results, name
+
+    def _degrade(self, backend_name: str, err: BaseException) -> None:
+        """Record one fallback to the reference backend."""
+        self.stats.fallbacks += 1
+        opened = _CIRCUIT.record_failure(backend_name, self.fingerprint)
+        logger.warning(
+            "backend %r failed for %r (%s); degrading to %r%s",
+            backend_name, self.model or self.graph.name, err,
+            REFERENCE_BACKEND,
+            " - circuit open, routing straight to the reference backend"
+            if opened else "")
 
     def run(self, inputs: dict[str, np.ndarray] | None = None,
             seed: int = 0) -> dict[str, np.ndarray]:
@@ -231,9 +395,9 @@ class Session:
         elif seed != 0:
             raise ValueError("pass either inputs or seed, not both")
         values = self._admit(inputs)
-        outputs, report = self._backend.run_serving(
-            self.program, values, self.pool)
-        self._record(time.perf_counter() - start, report)
+        results, backend_name = self.execute_values([values])
+        outputs, report, _ = results[0]
+        self._record(time.perf_counter() - start, report, backend_name)
         return outputs
 
     def run_batch(self, batch: list[dict[str, np.ndarray]]
@@ -258,14 +422,15 @@ class Session:
             start = perf()
             values_list.append(admit(inputs))
             admit_walls.append(perf() - start)
-        results = self._backend.run_many(self.program, values_list, self.pool)
+        results, backend_name = self.execute_values(values_list)
         outputs = []
         for admit_s, (out, report, wall_s) in zip(admit_walls, results):
-            self._record(admit_s + wall_s, report)
+            self._record(admit_s + wall_s, report, backend_name)
             outputs.append(out)
         return outputs
 
-    def _record(self, wall_s: float, report: PoolReport) -> RunStats:
+    def _record(self, wall_s: float, report: PoolReport,
+                backend: str | None = None) -> RunStats:
         est = self._est_latency_ms
         if est is None:  # the cost report sums kernel costs; price once
             est = self._est_latency_ms = self.est_latency_ms
@@ -277,6 +442,7 @@ class Session:
             wall_s=wall_s,
             est_latency_ms=est,
             pool=report,
+            backend=backend if backend is not None else self.backend,
         )
         stats.runs.append(run)
         return run
@@ -285,6 +451,7 @@ class Session:
 def _compile_session(model: str | Graph, framework: str = "Ours",
                      device: DeviceSpec = SD8GEN2, batch: int = 1,
                      check_memory: bool = False, backend: str = "numpy",
+                     faults: FaultPlan | None = None,
                      **fw_kwargs) -> Session:
     """Compile a (model, framework, device) triple into a fresh Session.
 
@@ -317,6 +484,7 @@ def _compile_session(model: str | Graph, framework: str = "Ours",
         device=device, framework=framework,
         model=model if isinstance(model, str) else model.name,
         cell=cell, program=result.program, backend=backend,
+        faults=faults,
     )
 
 
@@ -372,10 +540,11 @@ class SessionRegistry:
         self.max_sessions = max_sessions
         self._sessions: OrderedDict = OrderedDict()
 
-    def _key(self, model, framework, device, batch, backend, fw_kwargs):
+    def _key(self, model, framework, device, batch, backend, fw_kwargs,
+             faults=None):
         """Hashable triple identity, or None when uncacheable."""
         key = (stable_model_key(model), framework, device or self.device,
-               batch, backend, tuple(sorted(fw_kwargs.items())))
+               batch, backend, faults, tuple(sorted(fw_kwargs.items())))
         try:
             hash(key)
         except TypeError:  # unhashable config: compile uncached
@@ -384,17 +553,21 @@ class SessionRegistry:
 
     def compile(self, model: str | Graph, framework: str = "Ours",
                 device: DeviceSpec | None = None, batch: int = 1,
-                backend: str = "numpy", **fw_kwargs) -> Session:
-        key = self._key(model, framework, device, batch, backend, fw_kwargs)
+                backend: str = "numpy", faults: FaultPlan | None = None,
+                **fw_kwargs) -> Session:
+        key = self._key(model, framework, device, batch, backend, fw_kwargs,
+                        faults)
         if key is None:
             return _compile_session(model, framework, device or self.device,
-                                    batch, backend=backend, **fw_kwargs)
+                                    batch, backend=backend, faults=faults,
+                                    **fw_kwargs)
         found = self._sessions.get(key)
         if found is not None:
             self._sessions.move_to_end(key)  # LRU: refresh recency
             return found
         session = _compile_session(model, framework, device or self.device,
-                                   batch, backend=backend, **fw_kwargs)
+                                   batch, backend=backend, faults=faults,
+                                   **fw_kwargs)
         self._sessions[key] = session
         if self.max_sessions is not None \
                 and len(self._sessions) > self.max_sessions:
@@ -403,9 +576,11 @@ class SessionRegistry:
 
     def evict(self, model: str | Graph, framework: str = "Ours",
               device: DeviceSpec | None = None, batch: int = 1,
-              backend: str = "numpy", **fw_kwargs) -> bool:
+              backend: str = "numpy", faults: FaultPlan | None = None,
+              **fw_kwargs) -> bool:
         """Drop the live session for a triple; True when one was evicted."""
-        key = self._key(model, framework, device, batch, backend, fw_kwargs)
+        key = self._key(model, framework, device, batch, backend, fw_kwargs,
+                        faults)
         return key is not None and self._sessions.pop(key, None) is not None
 
     def clear(self) -> None:
