@@ -41,7 +41,9 @@ except ValueError as err:
 
 # 4. repro.serve: a scheduler coalesces concurrent traffic into
 #    micro-batches.  Four client threads submit 32 requests; the worker
-#    drains them through one run_many invocation per batch.
+#    drains them through one backend invocation per batch - a stacked
+#    batch-N kernel pass when the program is batch-stackable (Pythia
+#    is), the sequential run_many path otherwise.
 service = repro.serve(graph, max_batch_size=8, max_wait_ms=20.0)
 responses = []
 record = responses.append
@@ -66,11 +68,14 @@ for t in threads:
 report = service.report()
 print(f"\nscheduler: {report.requests} requests in {report.batches} "
       f"micro-batches (mean {report.mean_batch_size:.1f}/batch, largest "
-      f"{report.largest_batch}, queue peak {report.queue_depth_peak})")
+      f"{report.largest_batch}, queue peak {report.queue_depth_peak}, "
+      f"{report.stacked_batches} stacked kernel passes)")
 print(f"executor-side throughput: {report.throughput_rps:,.0f} req/s")
 assert len(responses) == 32
 assert report.largest_batch <= 8
 assert any(r.batch_size > 1 for r in responses), "burst must coalesce"
+assert report.stacked_batches > 0, "multi-request batches must stack"
+assert any(r.stats.batched for r in responses)
 
 # 5. Graceful shutdown: close() drains the queue, then joins the worker.
 pending = [service.submit(model.make_request(seed=s)) for s in range(6)]

@@ -151,7 +151,7 @@ class CompiledModel:
         session = self._session
         start = time.perf_counter()
         values = self.admit(request)
-        results, backend_name = session.execute_values([values])
+        results, backend_name, _ = session.execute_values([values])
         outputs, report, _ = results[0]
         stats = session._record(
             time.perf_counter() - start, report, backend_name)
@@ -161,7 +161,9 @@ class CompiledModel:
     __call__ = run
 
     def run_batch(self, requests) -> list[InferenceResponse]:
-        """Serve a list of requests through one backend invocation."""
+        """Serve a list of requests through one backend invocation - a
+        single stacked kernel pass when the program is batch-stackable
+        (``stats.batched``), a sequential loop otherwise."""
         if not requests:
             raise AdmissionError(
                 "run_batch() needs at least one request; got an empty batch")
@@ -173,7 +175,7 @@ class CompiledModel:
             start = perf()
             values = self.admit(request)
             admitted.append((request, values, perf() - start))
-        results, backend_name = session.execute_values(
+        results, backend_name, batched = session.execute_values(
             [values for _, values, _ in admitted])
         n = len(results)
         responses = []
@@ -182,7 +184,7 @@ class CompiledModel:
             responses.append(InferenceResponse(
                 request_id=request.request_id, outputs=outputs,
                 stats=session._record(admit_s + wall_s, report,
-                                      backend_name),
+                                      backend_name, batched=batched),
                 batch_size=n))
         return responses
 

@@ -51,11 +51,16 @@ class InferenceResponse:
     per-request accounting (``wall_s``, ``est_latency_ms``, and the
     ``pool`` delta - a steady-state session reports zero new
     allocations).  ``batch_size`` reports how many requests shared the
-    backend invocation that produced this response; ``queued_ms`` is
-    the time the request spent waiting to be coalesced (always ``0.0``
-    on the synchronous path); ``attempts`` counts executions of the
-    request (``> 1`` only when the scheduler's
-    :class:`~repro.api.RetryPolicy` re-enqueued a retryable failure).
+    backend invocation that produced this response.  When that
+    invocation was a *stacked* batch-N kernel pass, ``stats.batched`` is
+    True and the attribution is shared: ``stats.pool`` is the one
+    PoolReport of the pass (identical object across the batchmates, not
+    a per-request delta) and ``stats.wall_s`` carries this request's
+    even share of the stacked execution time.  ``queued_ms`` is the time
+    the request spent waiting to be coalesced (always ``0.0`` on the
+    synchronous path); ``attempts`` counts executions of the request
+    (``> 1`` only when the scheduler's :class:`~repro.api.RetryPolicy`
+    re-enqueued a retryable failure).
     """
 
     request_id: str | int | None

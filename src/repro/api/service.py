@@ -5,10 +5,14 @@ thread-safe priority queue.  Concurrent ``submit()`` calls are admitted
 in the submitting thread (fail-fast, and off the worker's critical
 path), queued, and coalesced - up to ``max_batch_size`` batch-compatible
 requests arriving within ``max_wait_ms`` of each other - into **one**
-``backend.run_many`` invocation on the lowered program path, amortizing
-per-request dispatch the way the compiler amortized per-request
-interpretation.  Results come back through lightweight futures; the
-whole batch's futures are resolved under one lock acquisition.
+backend invocation on the lowered program path.  When the program is
+batch-stackable (:func:`repro.runtime.batching.analyze`), that
+invocation is a single *stacked* kernel pass: request tensors
+concatenated along the batch axis, one kernel call per step for the
+whole micro-batch (``ServiceReport.stacked_batches`` counts these) -
+amortizing the kernel work itself, not just dispatch.  Results come
+back through lightweight futures; the whole batch's futures are
+resolved under one lock acquisition.
 
 Failure semantics (see ``docs/architecture.md`` for the full contract):
 
@@ -144,6 +148,9 @@ class ServiceReport:
 
     requests: int
     batches: int
+    stacked_batches: int
+    """Coalesced batches served as ONE stacked kernel pass (a batch-N
+    program variant) instead of a sequential per-request loop."""
     mean_batch_size: float
     largest_batch: int
     queue_depth: int
@@ -225,6 +232,7 @@ class Service:
 
         self._requests = 0
         self._batches = 0
+        self._stacked = 0
         self._expired = 0
         self._failed = 0
         self._retries = 0
@@ -289,6 +297,7 @@ class Service:
             return ServiceReport(
                 requests=requests,
                 batches=batches,
+                stacked_batches=self._stacked,
                 mean_batch_size=requests / batches if batches else 0.0,
                 largest_batch=self._largest_batch,
                 queue_depth=self._depth(),
@@ -539,7 +548,7 @@ class Service:
         perf = time.perf_counter
         start = perf()
         try:
-            results, backend_name = self._run_entries(live)
+            results, backend_name, batched = self._run_entries(live)
         except InjectedCrash:
             raise  # kills the worker; supervision absorbs it
         except Exception as err:  # noqa: BLE001 - executor failure
@@ -564,7 +573,8 @@ class Service:
         for entry, (outputs, report, wall_s) in zip(live, results):
             resolved.append((entry.future, InferenceResponse(
                 request_id=entry.request_id, outputs=outputs,
-                stats=record(wall_s, report, backend_name), batch_size=n,
+                stats=record(wall_s, report, backend_name, batched=batched),
+                batch_size=n,
                 queued_ms=(dequeued - entry.enqueued_s) * 1e3,
                 attempts=entry.attempt + 1)))
         with self._lock:
@@ -573,6 +583,8 @@ class Service:
                 future._resolved = True
             self._requests += n
             self._batches += 1
+            if batched:
+                self._stacked += 1
             self._total_exec_s += exec_s
             if n > self._largest_batch:
                 self._largest_batch = n

@@ -232,17 +232,21 @@ SCHEDULER_MODELS = ("Pythia", "SD-TextEncoder")
 def measure_scheduler(models: tuple[str, ...] = SCHEDULER_MODELS,
                       requests: int = 128, max_batch_size: int = 16,
                       repeats: int = 5, warmup: int = 8) -> dict:
-    """Coalesced micro-batch throughput vs. sequential ``Session.run``.
+    """Stacked micro-batch throughput vs. sequential ``Session.run``.
 
     The sequential baseline loops ``Session.run`` over ``requests``
     prebuilt inputs - the PR 3 idiom, one dispatch per request.  The
     scheduler path submits the same burst to a :class:`repro.api.Service`
     and waits for every future: the worker coalesces the queue into
-    micro-batches of up to ``max_batch_size`` and serves each through one
-    ``run_many`` invocation, so per-request dispatch (steady-state pool
-    check, report construction, run wrapping) is paid per *batch*, and
-    submit-side admission overlaps execution.  Both paths are warmed to
-    pool steady state and best-of-``repeats`` walls are reported.
+    micro-batches of up to ``max_batch_size`` and - both models here
+    being batch-stackable - serves each through ONE kernel pass per
+    program step on a cached batch-N program variant (inputs stacked
+    along the leading axis, outputs split per request).  Per-request
+    dispatch AND per-request kernel invocation are paid per *batch*;
+    ``stacked_batches`` in the per-model entry counts the passes that
+    took the stacked path.  Both paths are warmed to pool steady state
+    (warm-up also compiles the bucket variants) and best-of-``repeats``
+    walls are reported.
     """
     from ..api import InferenceRequest, ServeOptions, serve
 
@@ -288,6 +292,7 @@ def measure_scheduler(models: tuple[str, ...] = SCHEDULER_MODELS,
                 round(requests / scheduler_s, 1) if scheduler_s else 0.0,
             "speedup": round(speedup, 2),
             "mean_batch": round(report.mean_batch_size, 2),
+            "stacked_batches": report.stacked_batches,
         }
     return {
         "requests": requests,

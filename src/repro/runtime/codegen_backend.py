@@ -36,9 +36,14 @@ exactly the lowering's lifetime and invalidation, mirroring the
 ``lower()`` memoization discipline.
 
 Everything *around* the fused body - steady-state pool collapse, warm-up
-slot accounting, failure cleanup, micro-batch coalescing - is inherited
-from :class:`NumPyBackend` through the :meth:`_compile_runners` hook, so
-there is still exactly one pool/batching discipline in the codebase.
+slot accounting, failure cleanup, micro-batch coalescing, stacked
+batch-N execution - is inherited from :class:`NumPyBackend` through the
+:meth:`_compile_runners` hook, so there is still exactly one
+pool/batching discipline in the codebase.  That includes dynamic
+batching for free: a batch-N variant built by
+:func:`repro.runtime.batching.rebatch` is an ordinary
+``ExecutionProgram``, so ``run_stacked`` transparently compiles (and
+caches) batch-N *source* for it through the same hook.
 
 Select it anywhere a backend name is accepted::
 
@@ -259,8 +264,12 @@ class _SourceEmitter:
             f"# {program.num_steps} steps fused into one function per "
             f"variant; {len(self._kernel_names)} distinct kernels "
             "bound as module globals.",
-            "",
         ]
+        if program.batch_factor > 1:
+            header.append(
+                f"# Batch-{program.batch_factor} stacked variant: one "
+                "kernel call per step serves the whole micro-batch.")
+        header.append("")
         return "\n".join(header + plain + ["", ""] + accounted) + "\n"
 
 

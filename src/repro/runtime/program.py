@@ -203,11 +203,13 @@ class ExecutionProgram:
     """A graph lowered for repeated execution on a pluggable backend."""
 
     __slots__ = ("graph", "steps", "slot_plan", "input_names",
-                 "output_names", "input_signature", "timeline", "op_list",
-                 "backend_cache")
+                 "output_names", "input_signature", "batch_factor",
+                 "timeline", "op_list", "backend_cache")
 
     def __init__(self, graph: Graph, steps: tuple[Step, ...],
-                 slot_plan: SlotPlan) -> None:
+                 slot_plan: SlotPlan,
+                 input_signature: tuple | None = None,
+                 batch_factor: int = 1) -> None:
         self.graph = graph
         self.steps = steps
         self.slot_plan = slot_plan
@@ -217,11 +219,19 @@ class ExecutionProgram:
         # program admits - (name, shape, dtype) per graph input.  The
         # service scheduler validates every request against it and only
         # coalesces requests admitted under an equal :attr:`batch_key`
-        # into one ``run_many`` invocation.
-        self.input_signature = tuple(
-            (name, tuple(graph.shape(name)),
-             str(np.dtype(graph.tensors[name].dtype.numpy_dtype)))
-            for name in graph.inputs)
+        # into one backend invocation.  Batch-N variants built by
+        # :func:`repro.runtime.batching.rebatch` pass their scaled
+        # signature explicitly; base lowerings derive it from the graph.
+        if input_signature is not None:
+            self.input_signature = input_signature
+        else:
+            self.input_signature = tuple(
+                (name, tuple(graph.shape(name)),
+                 str(np.dtype(graph.tensors[name].dtype.numpy_dtype)))
+                for name in graph.inputs)
+        # How many stacked requests one pass of this program serves: 1
+        # for base lowerings, the bucket size for rebatched variants.
+        self.batch_factor = batch_factor
         # One PoolEvent tuple per program, shared across every run's
         # PoolReport: the live-byte walk is static, and a tuple keeps a
         # consumer of one run's report from mutating every other's.
@@ -247,12 +257,26 @@ class ExecutionProgram:
     def batch_key(self):
         """Coalescing contract token.
 
-        Requests are batch-compatible - eligible for one ``run_many``
+        Requests are batch-compatible - eligible for one backend
         invocation - only when admitted against programs whose
         ``batch_key`` compares equal.  Equality is necessary, not
         sufficient: a scheduler guarantees sufficiency by admitting all
         coalesced requests against a single program (which is what
         :class:`repro.api.Service` does).
+
+        Compatibility says nothing about *how* the coalesced batch
+        executes.  Whether the requests can additionally be stacked
+        along the leading batch axis into one kernel pass per step is a
+        separate, per-program property proved by
+        :func:`repro.runtime.batching.analyze`: elementwise / matmul /
+        norm / NCHW chains qualify, while ops that reduce, reshape,
+        transpose, concat, or gather across the batch axis do not.
+        Non-stackable programs still coalesce - they just execute the
+        batch sequentially inside the single invocation, never a wrong
+        stacked result.  Batch-N variants built from this program are
+        cached on :attr:`backend_cache` keyed by the bucket size -
+        equivalently ``(batch_key, N)``, since the variant cache lives
+        on the key's referent.
         """
         return (self.graph.name, self.input_signature)
 
@@ -631,4 +655,51 @@ class NumPyBackend(ExecutionBackend):
                 total_allocated_bytes=total_allocated,
             )
             results.append((outputs, report, perf() - start))
+        return results
+
+    def run_stacked(self, program: ExecutionProgram,
+                    variant: ExecutionProgram, values_list,
+                    pool: MemoryPool,
+                    ) -> list[tuple[dict[str, np.ndarray], PoolReport, float]]:
+        """Serve a stackable micro-batch as ONE pass of ``variant``.
+
+        Per-request input tensors are concatenated along the leading
+        batch axis (padded up to ``variant.batch_factor`` by replicating
+        the last request, so every bucket sees well-formed data), the
+        batch-N variant runs once through :meth:`run_many` - one kernel
+        invocation per step for the whole micro-batch - and the batched
+        outputs are split back per request.  Values outside the batched
+        set (graph outputs that are pure parameter expressions) are
+        shared unsliced.  Subclasses inherit this unchanged: the variant
+        is an ordinary program, so the codegen backend transparently
+        emits batch-N source for it via ``_compile_runners``.
+
+        Result rows mirror :meth:`run_many`: ``(outputs, report, wall)``
+        per request, with the PoolReport *shared* (the pass is one pool
+        interaction) and the stacked wall time divided evenly - callers
+        flag the attribution via ``RunStats.batched``.
+        """
+        from .batching import analyze  # deferred: batching imports us
+
+        analysis = analyze(program)
+        extent = analysis.batch_extent
+        batched = analysis.batched
+        n = len(values_list)
+        pad = variant.batch_factor - n
+        stacked = dict(values_list[0])
+        for name in program.input_names:
+            arrays = [values[name] for values in values_list]
+            if pad:
+                arrays.extend([arrays[-1]] * pad)
+            stacked[name] = np.concatenate(arrays, axis=0)
+        (outputs, report, wall), = self.run_many(variant, (stacked,), pool)
+        share = wall / n
+        results = []
+        for i in range(n):
+            lo = i * extent
+            hi = lo + extent
+            results.append((
+                {name: value[lo:hi] if name in batched else value
+                 for name, value in outputs.items()},
+                report, share))
         return results

@@ -25,8 +25,13 @@ bookkeeping) was all moved to compile time by
   dropping to zero while ``reuses`` climbs);
 * dead intermediate ndarrays are dropped mid-run, bounding true process
   memory by the live set rather than the whole graph;
-* ``run_batch`` executes through one backend invocation, amortizing
-  dispatch across the batch.
+* ``run_batch`` executes through one backend invocation - and, when the
+  program is batch-stackable
+  (:func:`repro.runtime.batching.analyze`), through ONE kernel pass for
+  the whole micro-batch: inputs stacked along the batch axis, a cached
+  batch-N program variant run once against a pre-warmed per-bucket
+  pool, outputs split per request.  Non-stackable programs fall back to
+  the sequential per-request loop inside the single invocation.
 
     >>> session = compile_session("Swin", "Ours")
     >>> out = session.run(session.make_inputs(seed=0))
@@ -82,6 +87,13 @@ class RunStats:
     """Backend that actually served the request - the session's
     configured backend unless graceful degradation substituted the
     reference backend (:attr:`SessionStats.fallbacks`)."""
+    batched: bool = False
+    """True when the request was served by a stacked batch-N pass.  The
+    pass is one pool interaction and one wall-clock interval for the
+    whole micro-batch, so :attr:`pool` is *shared* with the batchmates
+    (identical PoolReport object) and :attr:`wall_s` carries this
+    request's even share of the stacked execution time plus its own
+    admission time."""
 
 
 @dataclass
@@ -180,6 +192,11 @@ class Session:
         self._report = None
         self._est_latency_ms: float | None = None
         self.pool = SizeClassPool()
+        # One pool per batch bucket: stacked batch-N passes account
+        # against their bucket's pool (pre-warmed to the variant's slot
+        # plan at first use), keeping the base pool's steady state - and
+        # the tests that assert it - untouched by batching.
+        self._bucket_pools: dict[int, SizeClassPool] = {}
         self._program = program
         self._param_values: dict[str, np.ndarray] | None = None
         self._input_cache: dict[int, dict[str, np.ndarray]] = {}
@@ -305,17 +322,29 @@ class Session:
         Every execution path of the serving stack funnels through here -
         :meth:`run`, :meth:`run_batch`, ``CompiledModel.run[_batch]``,
         and the :class:`~repro.api.Service` scheduler - so fault
-        injection, the numpy fallback, and the circuit breaker apply
-        uniformly.  Returns ``(results, backend_name)`` where results is
-        the ``run_many``-shaped list of ``(outputs, report, wall_s)`` and
+        injection, the numpy fallback, the circuit breaker, *and* the
+        stacked-batch routing apply uniformly.  Returns ``(results,
+        backend_name, batched)`` where results is the
+        ``run_many``-shaped list of ``(outputs, report, wall_s)``,
         ``backend_name`` names the backend that actually served the
-        invocation.
+        invocation, and ``batched`` reports whether the requests were
+        stacked into one kernel pass per step.
+
+        Batching: a multi-request invocation of a batch-stackable
+        program (:func:`repro.runtime.batching.analyze`) routes through
+        ``run_stacked`` - inputs concatenated along the batch axis, one
+        pass of the cached power-of-two batch variant against that
+        bucket's pre-warmed pool, outputs split per request.
+        Non-stackable programs, solo requests, and batches with
+        per-request parameter overrides take the sequential ``run_many``
+        path; both paths are byte-identical per request.
 
         Degradation: when the configured backend is not the reference
         one, a :class:`~repro.api.errors.BackendCompilationError` (or any
         runner failure) is retried on the reference ``numpy`` backend
         against pristine copies of the inputs - identical outputs, same
-        pool discipline, logged and counted in
+        pool discipline (the retry keeps the stacked/sequential routing
+        of the failed attempt), logged and counted in
         :attr:`SessionStats.fallbacks` - and the failure feeds the
         process-wide :class:`CircuitBreaker`; once a program's circuit
         opens, it routes straight to the reference backend (a later
@@ -335,6 +364,17 @@ class Session:
                 name = REFERENCE_BACKEND
             else:
                 fallback = get_backend(REFERENCE_BACKEND)
+        stacked = self._stacked_context(values_list) \
+            if len(values_list) > 1 else None
+        if stacked is None:
+            def invoke(bk, vlist):
+                return bk.run_many(self.program, vlist, self.pool)
+        else:
+            variant, bucket_pool = stacked
+
+            def invoke(bk, vlist):
+                return bk.run_stacked(self.program, variant, vlist,
+                                      bucket_pool)
         # The runners mutate the value dicts in place (drops, outputs),
         # so the fallback replays pristine shallow copies.  Only armed
         # off the reference path: the default backend pays nothing.
@@ -344,13 +384,13 @@ class Session:
         try:
             if injector is not None:
                 injector.on_invocation(len(values_list), name, context)
-            results = primary.run_many(self.program, values_list, self.pool)
+            results = invoke(primary, values_list)
         except BackendCompilationError as err:
             if fallback is None:
                 raise
             self._degrade(name, err)
-            results = fallback.run_many(self.program, snapshots, self.pool)
-            return results, REFERENCE_BACKEND
+            results = invoke(fallback, snapshots)
+            return results, REFERENCE_BACKEND, stacked is not None
         except ReproError:
             raise  # injected kernel/alloc faults are backend-independent
         except Exception as err:  # noqa: BLE001 - runner failure
@@ -361,11 +401,55 @@ class Session:
             # the same error (shape checks match text-for-text); if it
             # was a backend bug, the request is rescued.
             self._degrade(name, err)
-            results = fallback.run_many(self.program, snapshots, self.pool)
-            return results, REFERENCE_BACKEND
+            results = invoke(fallback, snapshots)
+            return results, REFERENCE_BACKEND, stacked is not None
         if fallback is not None:
             _CIRCUIT.record_success(name, self.fingerprint)
-        return results, name
+        return results, name, stacked is not None
+
+    def _stacked_context(self, values_list):
+        """The ``(variant, bucket pool)`` serving one stacked pass, or
+        None when the micro-batch must run sequentially.
+
+        Sequential is chosen when analysis refuted stacking, when a
+        request overrides a non-input tensor (per-request parameters
+        cannot be shared across a stacked pass), or when building the
+        variant fails unexpectedly - in which case the program is
+        demoted for good: a wrong stacked result is never acceptable, a
+        sequential one always is.  The bucket pool is created and warmed
+        to the variant's slot plan on first use, so even the first
+        stacked pass of a bucket runs pool-steady.
+        """
+        from .batching import analyze, bucket, mark_unstackable, rebatch
+
+        program = self.program
+        if not analyze(program).stackable:
+            return None
+        inputs = set(program.input_names)
+        first = values_list[0]
+        for values in values_list[1:]:
+            for key, value in values.items():
+                if key not in inputs and first.get(key) is not value:
+                    return None
+        factor = bucket(len(values_list))
+        try:
+            variant = rebatch(program, factor)
+        except Exception as err:  # noqa: BLE001 - never risk wrong results
+            logger.exception(
+                "building batch-%d variant of %r failed; demoting to the "
+                "sequential path", factor, self.model or self.graph.name)
+            mark_unstackable(program, f"rebatch({factor}) failed: {err}")
+            return None
+        pool = self._bucket_pools.get(factor)
+        if pool is None:
+            pool = SizeClassPool()
+            sizes = variant.slot_plan.slot_sizes
+            for size in sizes:
+                pool.allocate(size)
+            for size in sizes:
+                pool.release(size)
+            self._bucket_pools[factor] = pool
+        return variant, pool
 
     def _degrade(self, backend_name: str, err: BaseException) -> None:
         """Record one fallback to the reference backend."""
@@ -395,7 +479,7 @@ class Session:
         elif seed != 0:
             raise ValueError("pass either inputs or seed, not both")
         values = self._admit(inputs)
-        results, backend_name = self.execute_values([values])
+        results, backend_name, _ = self.execute_values([values])
         outputs, report, _ = results[0]
         self._record(time.perf_counter() - start, report, backend_name)
         return outputs
@@ -403,13 +487,15 @@ class Session:
     def run_batch(self, batch: list[dict[str, np.ndarray]]
                   ) -> list[dict[str, np.ndarray]]:
         """Serve a list of requests through *one* backend invocation on
-        the shared pool, amortizing dispatch across the batch.
+        the shared pool - a single stacked kernel pass when the program
+        is batch-stackable, a sequential loop otherwise.
 
         Per-request ``RunStats.wall_s`` covers admission + execution,
-        comparable to :meth:`run`.  The batch is all-or-nothing for
-        *statistics*: a request failing mid-batch propagates before any
-        of the batch is recorded (the pool itself stays consistent
-        either way).
+        comparable to :meth:`run` (an even share of the stacked pass on
+        the batched path, flagged by ``RunStats.batched``).  The batch is
+        all-or-nothing for *statistics*: a request failing mid-batch
+        propagates before any of the batch is recorded (the pool itself
+        stays consistent either way).
         """
         if not batch:
             raise ValueError(
@@ -422,15 +508,17 @@ class Session:
             start = perf()
             values_list.append(admit(inputs))
             admit_walls.append(perf() - start)
-        results, backend_name = self.execute_values(values_list)
+        results, backend_name, batched = self.execute_values(values_list)
         outputs = []
         for admit_s, (out, report, wall_s) in zip(admit_walls, results):
-            self._record(admit_s + wall_s, report, backend_name)
+            self._record(admit_s + wall_s, report, backend_name,
+                         batched=batched)
             outputs.append(out)
         return outputs
 
     def _record(self, wall_s: float, report: PoolReport,
-                backend: str | None = None) -> RunStats:
+                backend: str | None = None,
+                batched: bool = False) -> RunStats:
         est = self._est_latency_ms
         if est is None:  # the cost report sums kernel costs; price once
             est = self._est_latency_ms = self.est_latency_ms
@@ -443,6 +531,7 @@ class Session:
             est_latency_ms=est,
             pool=report,
             backend=backend if backend is not None else self.backend,
+            batched=batched,
         )
         stats.runs.append(run)
         return run

@@ -1,0 +1,337 @@
+"""Tests for tensor-level dynamic batching: stacked micro-batches.
+
+The contract: a micro-batch of batch-compatible requests against a
+*stackable* program executes as ONE kernel pass per step (a cached
+power-of-two batch-N program variant), with per-request outputs
+byte-identical to solo runs and to the sequential ``run_many`` path -
+on both execution backends, padded buckets included.  Non-stackable
+programs must fall back to the sequential path explicitly, never
+produce wrong stacked results.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import FaultPlan, FaultRule
+from repro.api import (
+    CompileOptions, InferenceRequest, ServeOptions, Service, compile_private,
+)
+from repro.ir import GraphBuilder
+from repro.memory.pool import SizeClassPool
+from repro.models import SMOKE_CONFIGS, build
+from repro.runtime import get_backend, lower
+from repro.runtime.batching import (
+    NotStackable, analyze, bucket, mark_unstackable, rebatch,
+)
+from repro.runtime.session import _compile_session
+
+BACKENDS = ("numpy", "codegen")
+STACKED_MODELS = ("Pythia", "SD-TextEncoder")
+"""Dispatch-bound models the serving benchmark stacks (both stackable)."""
+
+
+def _smoke(name):
+    return build(name, **SMOKE_CONFIGS[name])
+
+
+def _assert_outputs_equal(got, want, context=""):
+    assert set(got) == set(want), context
+    for key in want:
+        assert np.array_equal(got[key], want[key]), f"{context}: {key}"
+
+
+def _mini_stackable():
+    """Elementwise/dense/norm chain: stackable by the documented rules."""
+    b = GraphBuilder("mini-stackable")
+    x = b.input("x", (1, 8, 16))
+    y = b.layernorm(x)
+    y = b.dense(y, 16)
+    y = b.relu(y)
+    b.output(b.add(y, x))
+    return b.finish()
+
+
+class TestBucket:
+    def test_power_of_two_buckets(self):
+        assert [bucket(n) for n in (1, 2, 3, 4, 5, 8, 9, 16, 17)] == \
+            [1, 2, 4, 4, 8, 8, 16, 16, 32]
+
+    def test_rejects_empty_batch(self):
+        with pytest.raises(ValueError):
+            bucket(0)
+
+
+# ---------------------------------------------------------------------------
+# Parity across the model zoo (satellite: all SMOKE_CONFIGS, both backends)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("name", sorted(SMOKE_CONFIGS))
+class TestZooParity:
+    def test_batched_matches_sequential_and_solo(self, name, backend):
+        model = compile_private(_smoke(name), CompileOptions(backend=backend))
+        session = model.session
+        program = session.program
+        stackable = analyze(program).stackable
+        inputs = [session.make_inputs(seed=s) for s in range(2)]
+        solo = [session.run(dict(i)) for i in inputs]
+        outs = session.run_batch([dict(i) for i in inputs])
+        stats = list(session.stats.runs)[-2:]
+        assert [s.batched for s in stats] == [stackable, stackable]
+        for got, want in zip(outs, solo):
+            _assert_outputs_equal(got, want, f"{name}/{backend}")
+        if not stackable:
+            with pytest.raises(NotStackable):
+                rebatch(program, 2)
+            return
+        # the stacked pass must also match the sequential run_many path
+    # on a private pool (the explicit fallback both paths share)
+        seq = get_backend(backend).run_many(
+            program, [session._admit(dict(i)) for i in inputs],
+            SizeClassPool())
+        for got, (want, _, _) in zip(outs, seq):
+            _assert_outputs_equal(got, want, f"{name}/{backend}/seq")
+        # shared attribution: one PoolReport for the pass, pre-warmed
+        # bucket pool means even the first stacked run is steady-state
+        assert stats[0].pool is stats[1].pool
+        assert stats[0].pool.allocations == 0
+
+
+# ---------------------------------------------------------------------------
+# Padded buckets and the variant cache
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("name", STACKED_MODELS)
+class TestPaddedBuckets:
+    def test_non_bucket_exact_batches(self, name, backend):
+        model = compile_private(_smoke(name), CompileOptions(backend=backend))
+        session = model.session
+        for n in (3, 5):  # buckets 4 and 8, both padded
+            inputs = [session.make_inputs(seed=100 + s) for s in range(n)]
+            solo = [session.run(dict(i)) for i in inputs]
+            outs = session.run_batch([dict(i) for i in inputs])
+            assert session.stats.runs[-1].batched
+            for got, want in zip(outs, solo):
+                _assert_outputs_equal(got, want, f"{name}/{backend}/n={n}")
+        variants = session.program.backend_cache["batching.variants"]
+        assert sorted(variants) == [4, 8]
+        assert variants[4].batch_factor == 4
+        assert rebatch(session.program, 8) is variants[8]  # cached
+
+
+class TestOneKernelPass:
+    def test_stacked_batch_is_one_backend_invocation(self, monkeypatch):
+        session = _compile_session(_mini_stackable(), "Ours")
+        calls = []
+        original = session._backend.run_many
+
+        def counting_run_many(program, values_list, pool):
+            calls.append((program.batch_factor, len(values_list)))
+            return original(program, values_list, pool)
+
+        monkeypatch.setattr(session._backend, "run_many", counting_run_many)
+        session.run_batch([session.make_inputs(seed=s) for s in range(3)])
+        # one invocation, one stacked values dict, the bucket-4 variant:
+        # each program step ran its kernel exactly once for the batch
+        assert calls == [(4, 1)]
+
+    def test_variant_scales_shapes_and_slots(self):
+        program = lower(_mini_stackable())
+        variant = rebatch(program, 4)
+        assert variant.batch_factor == 4
+        assert [shape for _, shape, _ in variant.input_signature] == \
+            [(4, 8, 16)]
+        assert variant.num_steps == program.num_steps
+        for base, scaled in zip(program.steps, variant.steps):
+            assert scaled.out_shapes == tuple(
+                (s[0] * 4,) + s[1:] for s in base.out_shapes)
+        plan = variant.slot_plan
+        assert plan.peak_bytes == 4 * program.slot_plan.peak_bytes
+        assert plan.allocs_per_run == program.slot_plan.allocs_per_run
+
+    def test_codegen_emits_batch_variant_source(self):
+        from repro.runtime.codegen_backend import program_source
+
+        variant = rebatch(lower(_mini_stackable()), 4)
+        source = program_source(variant)
+        assert "Batch-4 stacked variant" in source
+        assert "def run_plain(values):" in source
+
+
+# ---------------------------------------------------------------------------
+# Non-stackable programs fall back explicitly (satellite: batch_key rules)
+# ---------------------------------------------------------------------------
+
+
+def _non_stackable_graphs():
+    b = GraphBuilder("reduce-over-batch")
+    x = b.input("x", (1, 8))
+    b.output(b.reduce(b.dense(x, 8), "reduce_sum", axes=0))
+    yield "reduce over axis 0", b.finish()
+
+    b = GraphBuilder("batch-merging-reshape")
+    x = b.input("x", (1, 8))
+    b.output(b.relu(b.reshape(x, (8,))))
+    yield "reshape merges batch", b.finish()
+
+    b = GraphBuilder("transpose-moves-batch")
+    x = b.input("x", (1, 8))
+    b.output(b.relu(b.transpose(x, (1, 0))))
+    yield "transpose moves batch", b.finish()
+
+    b = GraphBuilder("softmax-over-batch")
+    x = b.input("x", (1, 8))
+    b.output(b.softmax(x, axis=0))
+    yield "softmax over batch", b.finish()
+
+
+class TestNonStackableFallback:
+    @pytest.mark.parametrize(
+        "label,graph", list(_non_stackable_graphs()),
+        ids=lambda v: v if isinstance(v, str) else "")
+    def test_refuted_programs_run_sequentially_and_correctly(
+            self, label, graph):
+        program = lower(graph)
+        verdict = analyze(program)
+        assert not verdict.stackable, label
+        assert verdict.reason, label
+        with pytest.raises(NotStackable):
+            rebatch(program, 2)
+        session = _compile_session(graph, "Ours")
+        inputs = [session.make_inputs(seed=s) for s in range(3)]
+        solo = [session.run(dict(i)) for i in inputs]
+        outs = session.run_batch([dict(i) for i in inputs])
+        assert not session.stats.runs[-1].batched
+        for got, want in zip(outs, solo):
+            _assert_outputs_equal(got, want, label)
+
+    def test_stackable_analysis_names_batched_values(self):
+        verdict = analyze(lower(_mini_stackable()))
+        assert verdict.stackable
+        assert verdict.batch_extent == 1
+        assert "x" in verdict.batched
+
+    def test_mark_unstackable_demotes_for_good(self):
+        session = _compile_session(_mini_stackable(), "Ours")
+        program = session.program
+        assert analyze(program).stackable
+        mark_unstackable(program, "test demotion")
+        assert not analyze(program).stackable
+        assert analyze(program).reason == "test demotion"
+        outs = session.run_batch(
+            [session.make_inputs(seed=s) for s in range(2)])
+        assert len(outs) == 2
+        assert not session.stats.runs[-1].batched
+
+    def test_per_request_parameter_override_goes_sequential(self):
+        session = _compile_session(_mini_stackable(), "Ours")
+        param = next(iter(session._params))
+        a = session.make_inputs(seed=0)
+        b_inputs = session.make_inputs(seed=1)
+        b_inputs[param] = session._params[param] + 1.0
+        solo_b = session.run(dict(b_inputs))
+        outs = session.run_batch([dict(a), dict(b_inputs)])
+        assert not session.stats.runs[-1].batched  # params differ per request
+        _assert_outputs_equal(outs[1], solo_b, "override")
+
+
+# ---------------------------------------------------------------------------
+# Stats attribution (satellite: batched=True, shared PoolReport)
+# ---------------------------------------------------------------------------
+
+
+class TestStackedStats:
+    def test_run_stats_flag_wall_share_and_shared_pool(self):
+        model = compile_private(_smoke("Pythia"), CompileOptions())
+        requests = [InferenceRequest(inputs=model.session.make_inputs(seed=s),
+                                     request_id=s) for s in range(3)]
+        responses = model.run_batch(requests)
+        reports = {id(r.stats.pool) for r in responses}
+        assert len(reports) == 1  # one PoolReport for the stacked pass
+        for response in responses:
+            assert response.batch_size == 3
+            assert response.stats.batched
+            assert response.stats.wall_s > 0
+            assert response.stats.backend == "numpy"
+
+    def test_solo_requests_stay_unbatched(self):
+        session = _compile_session(_mini_stackable(), "Ours")
+        session.run(session.make_inputs(seed=0))
+        assert not session.stats.runs[-1].batched
+
+    def test_bucket_pool_is_prewarmed_and_steady(self):
+        session = _compile_session(_mini_stackable(), "Ours")
+        batch = [session.make_inputs(seed=s) for s in range(3)]
+        session.run_batch([dict(i) for i in batch])
+        pool = session._bucket_pools[4]
+        warm_allocations = pool.allocations
+        assert session.stats.runs[-1].pool.allocations == 0
+        session.run_batch([dict(i) for i in batch])
+        assert pool.allocations == warm_allocations  # steady: reuse only
+        assert pool.live_bytes == 0
+
+
+# ---------------------------------------------------------------------------
+# Reliability semantics on the stacked path
+# ---------------------------------------------------------------------------
+
+
+class TestStackedReliability:
+    def test_faulting_batchmate_is_isolated_from_stacked_batch(self):
+        plan = FaultPlan(rules=(FaultRule(kind="kernel", request_id="bad"),))
+        compiled = compile_private(_smoke("Pythia"), CompileOptions())
+        reference = {}
+        service = Service(
+            compiled, ServeOptions(max_batch_size=4, max_wait_ms=0.0,
+                                   faults=plan),
+            _start=False)
+        futures = {}
+        for rid in ("ok-1", "bad", "ok-2"):
+            inputs = compiled.session.make_inputs(seed=hash(rid) % 100)
+            reference[rid] = compiled.session.run(dict(inputs))
+            futures[rid] = service.submit(
+                InferenceRequest(inputs=inputs, request_id=rid))
+        service._execute(service._next_batch())
+        for rid in ("ok-1", "ok-2"):
+            response = futures[rid].result()
+            _assert_outputs_equal(response.outputs, reference[rid], rid)
+            assert not response.stats.batched  # isolation re-runs are solo
+        assert futures["bad"].exception() is not None
+        report = service.report()
+        assert report.isolated == 3
+        assert report.failed == 1
+        service.close()
+
+    def test_service_counts_stacked_batches(self):
+        with repro.serve(_smoke("Pythia"), max_batch_size=8,
+                         max_wait_ms=20.0) as service:
+            model = service.compiled
+            futures = [service.submit(model.make_request(seed=s))
+                       for s in range(16)]
+            responses = [f.result(timeout=60) for f in futures]
+        report = service.report()
+        assert report.requests == 16
+        assert report.stacked_batches >= 1
+        assert any(r.stats.batched for r in responses)
+
+    def test_stacked_batch_degrades_as_a_unit(self):
+        plan = FaultPlan(rules=(FaultRule(kind="compile"),))
+        model = compile_private(
+            _smoke("Pythia"), CompileOptions(backend="codegen", faults=plan))
+        session = model.session
+        requests = [InferenceRequest(inputs=session.make_inputs(seed=s))
+                    for s in range(3)]
+        responses = model.run_batch(requests)
+        assert [r.stats.backend for r in responses] == ["numpy"] * 3
+        assert session.stats.fallbacks == 1
+        # degradation preserved the stacked routing on the fallback
+        assert all(r.stats.batched for r in responses)
+        reference = compile_private(_smoke("Pythia"), CompileOptions())
+        for seed, response in enumerate(responses):
+            want = reference.session.run(
+                reference.session.make_inputs(seed=seed))
+            _assert_outputs_equal(response.outputs, want, f"seed={seed}")

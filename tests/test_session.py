@@ -252,7 +252,11 @@ class TestProgramPlumbing:
 
         monkeypatch.setattr(session._backend, "run_many", counting_run_many)
         session.run_batch([session.make_inputs(seed=s) for s in range(3)])
-        assert calls == [3]
+        # One backend invocation for the whole batch: the sequential
+        # path passes all 3 value dicts at once, the stacked path passes
+        # 1 concatenated dict through the batch-N variant.
+        assert len(calls) == 1
+        assert calls[0] in (1, 3)
 
 
 class TestCompileOnce:
