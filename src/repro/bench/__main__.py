@@ -9,7 +9,9 @@
 every experiment, per-pass compile time, and steady-state serving walls
 (``serve`` section: lowered program vs. the PR-2 interpreter loop per
 model, plus a per-model ``backends`` comparison - numpy vs. codegen
-``Session.run`` - and the ``scheduler`` coalescing measurement), and
+``Session.run`` - the ``scheduler`` coalescing measurement, and the
+``roofline`` report: per smoke model, measured wall time vs static
+bytes-moved / FLOPs / arithmetic intensity per kernel family), and
 writes the perf trajectory to ``BENCH_pipeline.json`` (override the
 path with ``--timings-out``).
 """
@@ -161,6 +163,27 @@ def main(argv: list[str]) -> int:
                      for model, entry in backends["models"].items()],
                     title="== Execution backends (steady-state "
                           "Session.run wall time) =="))
+            roofline = serve.get("roofline")
+            if roofline:
+                rows = []
+                for model, entry in roofline["models"].items():
+                    hot_name, hot = max(
+                        entry["families"].items(),
+                        key=lambda item: item[1]["time_ms"])
+                    rows.append([
+                        model, str(entry["steps"]),
+                        f"{entry['fused_chains']}/{entry['fused_steps']}",
+                        f"{entry['scratch_kb']:.0f}",
+                        f"{entry['run_ms']:.3f}",
+                        hot_name, f"{hot['time_ms']:.3f}",
+                        f"{hot['mb_moved']:.2f}", f"{hot['intensity']:.2f}"])
+                print(format_table(
+                    ["Model", "steps", "fused c/s", "scratch (KB)",
+                     "run (ms)", "hot family", "hot (ms)", "hot (MB)",
+                     "intensity"],
+                    rows,
+                    title="== Roofline (per-step measured walls vs static "
+                          "traffic stamps; full detail in serve.roofline) =="))
             scheduler = serve.get("scheduler")
             if scheduler:
                 print(format_table(

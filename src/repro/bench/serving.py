@@ -21,9 +21,10 @@ from collections import deque
 from ..memory.pool import (
     PoolEvent, PoolReport, SizeClassPool, liveness_schedule,
 )
-from ..models import build_smoke
+from ..models import SMOKE_CONFIGS, build_smoke
 from ..runtime.executor import make_inputs, run_node
 from ..runtime.session import RunStats, _compile_session
+from ..runtime.traffic import FAMILIES, family
 
 #: Models measured by default: transformer-family smoke configs whose
 #: request times are small enough that dispatch overhead is visible, plus
@@ -170,7 +171,78 @@ def measure_serving(models: tuple[str, ...] = SERVE_MODELS,
         "best_speedup": round(best, 2),
         "scheduler": measure_scheduler(),
         "backends": measure_backends(),
+        "roofline": measure_roofline(),
     }
+
+
+def measure_roofline(models: tuple[str, ...] | None = None,
+                     repeats: int = 5) -> dict:
+    """Per-model roofline report: measured time vs static traffic per
+    kernel family, for *every* smoke model.
+
+    The measured side walks the lowered program's step closures (the
+    reference per-step path, so every family is individually timeable)
+    and keeps the best-of-``repeats`` wall per step; the static side is
+    the :meth:`~repro.runtime.program.ExecutionProgram.roofline`
+    aggregation of the per-step traffic stamps ``lower()`` computed from
+    tensor specs.  Together they say, per family, how much wall time
+    rides on how many bytes moved at what arithmetic intensity - the
+    nnfusion-Table-6-style evidence the next kernel PR is aimed with.
+    Fusion/scratch counters ride along so the report also shows what the
+    codegen backend collapses (``fused_steps``) and what the GEMM conv
+    borrows from the slot plan (``scratch_kb``).
+    """
+    perf = time.perf_counter
+    if models is None:
+        models = tuple(sorted(SMOKE_CONFIGS))
+    per_model = {}
+    for name in models:
+        graph = build_smoke(name)
+        session = _compile_session(graph, "Ours")
+        program = session.program
+        base = dict(session._params)
+        base.update(session.make_inputs())
+        op_list = program.op_list
+        best = [float("inf")] * len(op_list)
+        for _ in range(repeats + 1):  # first pass warms caches/scratch
+            values = dict(base)
+            for i, (execute, drops) in enumerate(op_list):
+                start = perf()
+                execute(values)
+                wall = perf() - start
+                if wall < best[i]:
+                    best[i] = wall
+                for t in drops:
+                    values.pop(t, None)
+        fam_time: dict[str, float] = {}
+        for step, wall in zip(program.steps, best):
+            key = family(step.op_type)
+            fam_time[key] = fam_time.get(key, 0.0) + wall
+        static = program.roofline()
+        families = {}
+        for key in FAMILIES:
+            entry = static.get(key)
+            if entry is None:
+                continue
+            moved = entry["bytes_read"] + entry["bytes_written"]
+            families[key] = {
+                "steps": entry["steps"],
+                "time_ms": round(fam_time.get(key, 0.0) * 1e3, 4),
+                "mb_moved": round(moved / 1e6, 3),
+                "mflops": round(entry["flops"] / 1e6, 3),
+                "intensity": entry["intensity"],
+            }
+        plan = program.slot_plan
+        per_model[name] = {
+            "steps": program.num_steps,
+            "slots": plan.num_slots,
+            "fused_chains": len(program.fused_chains),
+            "fused_steps": program.fused_step_count,
+            "scratch_kb": round(plan.scratch_bytes / 1024, 1),
+            "run_ms": round(sum(best) * 1e3, 4),
+            "families": families,
+        }
+    return {"repeats": repeats, "models": per_model}
 
 
 #: Execution backends compared head-to-head on steady-state Session.run.

@@ -64,9 +64,10 @@ of producing wrong stacked results.  The reason is recorded on the
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from ..ir.view import ViewChain, ViewStep
+from .kernels import bind_conv2d
 from .program import ExecutionProgram, SlotPlan, Step, _compile_view
 
 _ANALYSIS_KEY = "batching.analysis"
@@ -209,6 +210,7 @@ def rebatch(program: ExecutionProgram, factor: int) -> ExecutionProgram:
             (shape[0] * factor,) + tuple(shape[1:]) if out_batched
             else tuple(shape)
             for shape in step.out_shapes)
+        scale = factor if out_batched else 1
         steps.append(Step(
             node_id=step.node_id,
             op_type=step.op_type,
@@ -223,13 +225,23 @@ def rebatch(program: ExecutionProgram, factor: int) -> ExecutionProgram:
             alloc_slots=tuple(alloc_at[index]),
             release_slots=tuple(release_at[index]),
             drops=step.drops,
+            bytes_read=step.bytes_read * scale,
+            bytes_written=step.bytes_written * scale,
+            flops=step.flops * scale,
+            scratch_bytes=step.scratch_bytes * scale,
         ))
+    plan = replace(plan, scratch_sizes=tuple(
+        s.scratch_bytes for s in steps if s.scratch_bytes))
     input_signature = tuple(
         (name, (shape[0] * factor,) + tuple(shape[1:]), dtype)
         for name, shape, dtype in program.input_signature)
+    # Chains are runs of step indices, stable across rebatching: the
+    # variant inherits them verbatim and the codegen backend re-derives
+    # its in-place decisions from the variant's scaled shapes.
     variant = ExecutionProgram(
         program.graph, tuple(steps), plan,
-        input_signature=input_signature, batch_factor=factor)
+        input_signature=input_signature, batch_factor=factor,
+        fused_chains=program.fused_chains)
     variants[factor] = variant
     return variant
 
@@ -448,6 +460,12 @@ def _transform_step(step: Step, B: int, factor: int, batched,
                 f"{op}: weights/scale/bias must be non-batched")
         if rank < 2:
             raise NotStackable(f"{op}: activation has no batch axis")
+        if op == "conv2d":
+            # The base kernel is bound to im2col scratch planned for the
+            # solo batch extent; the variant needs its own binding sized
+            # for the stacked leading axis.
+            kernel, _ = bind_conv2d(
+                (B * factor,) + arg_shape(0)[1:], arg_shape(1), attrs)
     elif op in ("reduce_mean", "reduce_sum", "reduce_max"):
         if 0 in _axes(attrs, rank, tuple(range(rank))):
             raise NotStackable(f"{op} reduces across the batch axis")

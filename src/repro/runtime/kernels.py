@@ -14,6 +14,8 @@ these kernels.
 from __future__ import annotations
 
 import math
+import os
+import threading
 from typing import Callable
 
 import numpy as np
@@ -44,8 +46,129 @@ def _pair(value):
 # ---------------------------------------------------------------------------
 
 
-@kernel("conv2d")
-def conv2d(inputs, attrs):
+def _conv_geometry(x_shape, w_shape, attrs):
+    """Static conv2d geometry from shapes + attrs (shared by the kernel,
+    the scratch planner, and the roofline traffic model)."""
+    groups = int(attrs.get("groups", 1))
+    sh, sw = _pair(attrs.get("stride", 1))
+    ph, pw = _pair(attrs.get("padding", 0))
+    dh, dw = _pair(attrs.get("dilation", 1))
+    n, c, h, wd = x_shape
+    oc, cpg, kh, kw = w_shape
+    oh = (h + 2 * ph - (dh * (kh - 1) + 1)) // sh + 1
+    ow = (wd + 2 * pw - (dw * (kw - 1) + 1)) // sw + 1
+    return (groups, (sh, sw), (ph, pw), (dh, dw),
+            (n, c, h, wd), (oc, cpg, kh, kw), (oh, ow))
+
+
+class ConvScratch:
+    """Reusable im2col scratch for one lowered conv2d step.
+
+    Sized statically at lowering time from the step's input specs and
+    reused across every run of the program (the slot plan reports the
+    bytes as a reusable-scratch class).  Buffers are per-thread: lowered
+    programs are memoized per graph and shared across sessions, so a
+    process-wide buffer would be corrupted by concurrent workers.
+
+    The padded buffer is zero-filled once per thread; runs only rewrite
+    the interior, so the halo stays zero - the pad cost drops from a
+    full ``np.pad`` copy per call to an interior copy.
+    """
+
+    __slots__ = ("pad_shape", "cols_shape", "_local")
+
+    def __init__(self, pad_shape, cols_shape) -> None:
+        self.pad_shape = pad_shape  # None when the conv is unpadded
+        self.cols_shape = cols_shape
+        self._local = threading.local()
+
+    @classmethod
+    def plan(cls, x_shape, w_shape, attrs) -> "ConvScratch":
+        (_, _, (ph, pw), _, (n, c, h, wd),
+         (_, cpg, kh, kw), (oh, ow)) = _conv_geometry(x_shape, w_shape, attrs)
+        pad_shape = (n, c, h + 2 * ph, wd + 2 * pw) if ph or pw else None
+        cols_shape = (n, cpg * kh * kw, oh * ow)
+        return cls(pad_shape, cols_shape)
+
+    def nbytes(self, itemsize: int) -> int:
+        """Static scratch footprint for the slot plan."""
+        total = math.prod(self.cols_shape) * itemsize
+        if self.pad_shape is not None:
+            total += math.prod(self.pad_shape) * itemsize
+        return total
+
+    def buffers(self, dtype):
+        state = self._local
+        cached = getattr(state, "buffers", None)
+        if cached is None or cached[0] != dtype:
+            padded = (np.zeros(self.pad_shape, dtype=dtype)
+                      if self.pad_shape is not None else None)
+            cols = np.empty(self.cols_shape, dtype=dtype)
+            cached = state.buffers = (dtype, padded, cols)
+        return cached[1], cached[2]
+
+
+def _im2col(xg, cols6, kh, kw, sh, sw, dh, dw, oh, ow):
+    """Gather conv windows into the column buffer in one vectorized copy.
+
+    The window gather is a pure striding trick: ``as_strided`` views the
+    (already padded) input as a 6-D ``(n, cpg, kh, kw, oh, ow)`` patch
+    tensor without touching data, and a single ``copyto`` materializes it
+    into the preallocated column buffer - no per-(channel, tap) Python
+    loop, no intermediate reshape copies, no astype.
+    """
+    n, cpg = xg.shape[:2]
+    s0, s1, s2, s3 = xg.strides
+    patches = np.lib.stride_tricks.as_strided(
+        xg, (n, cpg, kh, kw, oh, ow),
+        (s0, s1, s2 * dh, s3 * dw, s2 * sh, s3 * sw))
+    np.copyto(cols6, patches)
+
+
+def conv2d_gemm(inputs, attrs, scratch: ConvScratch | None = None):
+    """GEMM-shaped conv2d: strided-view im2col + one BLAS matmul per group.
+
+    ``scratch`` is the step's preallocated :class:`ConvScratch` when the
+    kernel was bound by :func:`bind_conv2d` at lowering; unbound calls
+    (graph interpreter, direct kernel use) plan a throwaway one.
+    """
+    x, w = inputs[0], inputs[1]
+    bias = inputs[2] if len(inputs) > 2 else None
+    (groups, (sh, sw), (ph, pw), (dh, dw),
+     (n, _, h, wd), (oc, cpg, kh, kw), (oh, ow)) = _conv_geometry(
+        x.shape, w.shape, attrs)
+    if scratch is None:
+        scratch = ConvScratch.plan(x.shape, w.shape, attrs)
+    padded, cols = scratch.buffers(x.dtype)
+    if padded is not None:
+        padded[:, :, ph:ph + h, pw:pw + wd] = x
+        xp = padded
+    else:
+        xp = x
+    cols6 = cols.reshape(n, cpg, kh, kw, oh, ow)
+    ocpg = oc // groups
+    out = np.empty((n, oc, oh, ow), dtype=x.dtype)
+    out3 = out.reshape(n, oc, oh * ow)
+    for g in range(groups):
+        _im2col(xp[:, g * cpg:(g + 1) * cpg], cols6,
+                kh, kw, sh, sw, dh, dw, oh, ow)
+        wg = w[g * ocpg:(g + 1) * ocpg].reshape(ocpg, cpg * kh * kw)
+        np.matmul(wg, cols, out=out3[:, g * ocpg:(g + 1) * ocpg])
+    if bias is not None:
+        out += bias.reshape(1, -1, 1, 1)
+    return out
+
+
+def conv2d_reference(inputs, attrs):
+    """Pre-GEMM reference conv2d (per-tap Python im2col + einsum).
+
+    Kept behind ``REPRO_CONV_REFERENCE`` / :func:`use_reference_conv` as
+    the parity oracle for the GEMM path: the im2col columns it gathers
+    are byte-identical to :func:`_im2col`'s, while the contraction
+    (einsum vs. BLAS matmul) agrees to float tolerance only - which is
+    why zoo-wide byte-identity is asserted across backends/batching (all
+    sharing one kernel), and GEMM-vs-reference is asserted via allclose.
+    """
     x, w = inputs[0], inputs[1]
     bias = inputs[2] if len(inputs) > 2 else None
     groups = int(attrs.get("groups", 1))
@@ -78,6 +201,41 @@ def conv2d(inputs, attrs):
     if bias is not None:
         out = out + bias.reshape(1, -1, 1, 1)
     return out
+
+
+_CONV_IMPL = (conv2d_reference if os.environ.get("REPRO_CONV_REFERENCE")
+              else conv2d_gemm)
+
+
+def use_reference_conv(flag: bool) -> None:
+    """Route conv2d through the einsum reference (parity checks only)."""
+    global _CONV_IMPL
+    _CONV_IMPL = conv2d_reference if flag else conv2d_gemm
+
+
+@kernel("conv2d")
+def conv2d(inputs, attrs):
+    return _CONV_IMPL(inputs, attrs)
+
+
+def bind_conv2d(x_shape, w_shape, attrs):
+    """Bind a conv2d step to a statically planned :class:`ConvScratch`.
+
+    Returns ``(kernel, scratch)``; the kernel keeps honouring
+    :func:`use_reference_conv` so flag flips reach already-lowered
+    programs.  Called by ``lower()`` (and by ``rebatch`` with the scaled
+    batch shape) so every run reuses the step's im2col buffers instead
+    of reallocating them.
+    """
+    scratch = ConvScratch.plan(x_shape, w_shape, attrs)
+
+    def bound(inputs, attrs, _scratch=scratch):
+        impl = _CONV_IMPL
+        if impl is conv2d_gemm:
+            return conv2d_gemm(inputs, attrs, _scratch)
+        return impl(inputs, attrs)
+
+    return bound, scratch
 
 
 @kernel("matmul")
@@ -118,7 +276,7 @@ _UNARY_IMPL = {
     "rsqrt": lambda x: 1 / np.sqrt(np.abs(x) + 1e-12),
     "neg": np.negative,
     "abs": np.abs,
-    "erf": lambda x: np.vectorize(math.erf)(x).astype(x.dtype),
+    "erf": lambda x: np.vectorize(math.erf)(x).astype(x.dtype, copy=False),
     # copies: a kernel output must never alias the caller's input array
     # (unary's astype(copy=False) would otherwise pass x through)
     "identity": lambda x: x.copy(),
@@ -286,6 +444,16 @@ def layout_convert(inputs, attrs):
     return inputs[0].copy()
 
 
+def layout_convert_elided(inputs, attrs):
+    """Copy-elided layout_convert, bound at lowering when the input is a
+    pool interior that dies at this step: the array can be passed through
+    when it is already contiguous (nothing else will ever read it), and
+    otherwise needs only the compaction copy.  Never registered - graph
+    interpretation keeps the alias-free reference kernel."""
+    x = inputs[0]
+    return x if x.flags.c_contiguous else np.ascontiguousarray(x)
+
+
 @kernel("slice")
 def slice_(inputs, attrs):
     x = inputs[0]
@@ -387,4 +555,4 @@ def upsample2d(inputs, attrs):
 @kernel("embedding")
 def embedding(inputs, attrs):
     table, ids = inputs
-    return table[ids.astype(np.int64)]
+    return table[ids.astype(np.int64, copy=False)]

@@ -43,7 +43,7 @@ same program path.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable
 
 import numpy as np
@@ -54,7 +54,8 @@ from ..ir.view import ViewChain
 from ..memory.pool import (
     MemoryPool, PoolEvent, PoolReport, liveness_schedule,
 )
-from .kernels import get_kernel
+from .kernels import bind_conv2d, get_kernel, layout_convert_elided
+from .traffic import roofline_summary, step_traffic
 
 _PROGRAM_CACHE_KEY = "execution_program"
 
@@ -117,6 +118,15 @@ class Step:
     drops: tuple[str, ...]
     """Value names whose backing ndarrays die at this step (fusion-group
     internals included), bounding process memory by the live set."""
+    bytes_read: int = 0
+    """Static algorithmic input traffic (argument tensor bytes)."""
+    bytes_written: int = 0
+    """Static algorithmic output traffic (output tensor bytes)."""
+    flops: int = 0
+    """Static floating-point work dispatched by this step."""
+    scratch_bytes: int = 0
+    """Reusable scratch owned by this step's bound kernel (im2col
+    buffers), sized statically at lowering; 0 for scratchless steps."""
 
 
 @dataclass(frozen=True)
@@ -143,10 +153,19 @@ class SlotPlan:
     allocs_per_run: int
     """Pool allocation events per run (a slot freed mid-run can serve a
     later same-size tensor, so this can exceed the slot count)."""
+    scratch_sizes: tuple[int, ...] = ()
+    """Reusable-scratch classes (one per scratch-owning step, in step
+    order): bytes held across runs by bound kernels (im2col buffers).
+    Unlike slots these are never allocated or released per request -
+    they are part of the program's resident footprint."""
 
     @property
     def num_slots(self) -> int:
         return len(self.slot_sizes)
+
+    @property
+    def scratch_bytes(self) -> int:
+        return sum(self.scratch_sizes)
 
 
 def _compile_step(step: Step) -> Callable[[dict], None]:
@@ -204,15 +223,27 @@ class ExecutionProgram:
 
     __slots__ = ("graph", "steps", "slot_plan", "input_names",
                  "output_names", "input_signature", "batch_factor",
-                 "timeline", "op_list", "backend_cache")
+                 "timeline", "op_list", "backend_cache", "fused_chains",
+                 "fused_interiors", "fused_step_count")
 
     def __init__(self, graph: Graph, steps: tuple[Step, ...],
                  slot_plan: SlotPlan,
                  input_signature: tuple | None = None,
-                 batch_factor: int = 1) -> None:
+                 batch_factor: int = 1,
+                 fused_chains: tuple[tuple[int, ...], ...] = ()) -> None:
         self.graph = graph
         self.steps = steps
         self.slot_plan = slot_plan
+        # Elementwise chains (runs of step indices) the codegen backend
+        # collapses into one register expression; interiors hold no slot
+        # in either backend's plan.  Batch-N variants inherit the chains
+        # verbatim - step indices are stable across rebatching.
+        self.fused_chains = fused_chains
+        self.fused_interiors = frozenset(
+            steps[j].out_names[0] for chain in fused_chains
+            for j in chain[:-1])
+        self.fused_step_count = sum(
+            len(chain) - 1 for chain in fused_chains)
         self.input_names = tuple(graph.inputs)
         self.output_names = tuple(graph.outputs)
         # Batch-compatibility metadata: the exact request shape this
@@ -253,6 +284,14 @@ class ExecutionProgram:
     def num_steps(self) -> int:
         return len(self.steps)
 
+    def roofline(self) -> dict[str, dict]:
+        """Per-kernel-family static traffic summary (memoized)."""
+        found = self.backend_cache.get("roofline")
+        if found is None:
+            found = self.backend_cache["roofline"] = \
+                roofline_summary(self.steps)
+        return found
+
     @property
     def batch_key(self):
         """Coalescing contract token.
@@ -285,7 +324,79 @@ class ExecutionProgram:
                 f"slots={self.slot_plan.num_slots})")
 
 
-def _assign_slots(graph: Graph, order, schedule) -> tuple[
+# ---------------------------------------------------------------------------
+# elementwise-chain fusion analysis
+# ---------------------------------------------------------------------------
+
+#: Ops whose chained execution the codegen backend collapses into one
+#: expression over a single register (in-place ufuncs where bitwise-safe).
+_CHAIN_ELEMENTWISE = frozenset(
+    {"unary", "binary", "layout_convert", "batchnorm"})
+#: Zero-copy layout ops that ride along inside a chain (the register is
+#: re-viewed, never copied, except reshape-of-transpose compaction -
+#: exactly what the unfused kernels do).
+_CHAIN_VIEWS = frozenset({"reshape", "transpose"})
+_CHAIN_OPS = _CHAIN_ELEMENTWISE | _CHAIN_VIEWS
+
+
+def find_fused_chains(graph: Graph, order, schedule) -> tuple[tuple[int, ...], ...]:
+    """Maximal fusible chains as runs of consecutive step indices.
+
+    A chain is a run of *adjacent* steps in execution order where every
+    member is a single-output chain op, every interior output feeds ONLY
+    the immediately following step (so it dies there and its buffer
+    never outlives the chain), no interior is a graph output, and every
+    value touched by the chain shares one dtype (so the emitted in-place
+    ufuncs are bitwise-identical to the reference kernels' astype path).
+    At least one member must be genuinely elementwise - a pure
+    reshape/transpose run is already zero-copy and gains nothing.
+
+    Interiors are dropped from the slot plan by :func:`_assign_slots`:
+    with the codegen backend they are never materialized, and the
+    sequential reference backend still executes step-by-step against the
+    same plan (its interiors are transient Python locals, not pool
+    buffers - the accounting stays additive across backends).
+    """
+    consumers: dict[str, int] = {}
+    for node in order:
+        for t in node.inputs:
+            consumers[t] = consumers.get(t, 0) + 1
+    outputs = set(graph.outputs)
+    tensors = graph.tensors
+
+    def dtype_of(name):
+        return np.dtype(tensors[name].dtype.numpy_dtype)
+
+    def chainable(node) -> bool:
+        if node.op_type not in _CHAIN_OPS or len(node.outputs) != 1:
+            return False
+        dtype = dtype_of(node.outputs[0])
+        return all(dtype_of(t) == dtype for t in node.inputs)
+
+    chains: list[tuple[int, ...]] = []
+    i, n = 0, len(order)
+    while i < n:
+        if not chainable(order[i]):
+            i += 1
+            continue
+        run = [i]
+        while run[-1] + 1 < n:
+            cur, nxt = order[run[-1]], order[run[-1] + 1]
+            out = cur.outputs[0]
+            if (out in outputs or consumers.get(out, 0) != 1
+                    or not chainable(nxt) or out not in nxt.inputs
+                    or dtype_of(out) != dtype_of(nxt.outputs[0])):
+                break
+            run.append(run[-1] + 1)
+        if len(run) >= 2 and any(
+                order[j].op_type in _CHAIN_ELEMENTWISE for j in run):
+            chains.append(tuple(run))
+        i = run[-1] + 1
+    return tuple(chains)
+
+
+def _assign_slots(graph: Graph, order, schedule,
+                  fused_interiors: frozenset[str] = frozenset()) -> tuple[
         SlotPlan, list[list[int]], list[list[int]]]:
     """Register-allocate pool buffers over exact size classes.
 
@@ -323,7 +434,7 @@ def _assign_slots(graph: Graph, order, schedule) -> tuple[
     timeline_live: list[int] = []
     for step, node in enumerate(order):
         for t in node.outputs:
-            if t in materialized:
+            if t in materialized and t not in fused_interiors:
                 size = tensors[t].size_bytes
                 slot = take(size)
                 tensor_slot[t] = slot
@@ -370,8 +481,15 @@ def lower(graph: Graph) -> ExecutionProgram:
         return found
     order = graph.topo_order()
     schedule = liveness_schedule(graph)
+    chains = find_fused_chains(graph, order, schedule)
+    fused_interiors = frozenset(
+        order[j].outputs[0] for chain in chains for j in chain[:-1])
     plan, alloc_slots_at, release_slots_at = _assign_slots(
-        graph, order, schedule)
+        graph, order, schedule, fused_interiors)
+    tensors = graph.tensors
+    materialized = schedule.materialized
+    graph_inputs = set(graph.inputs)
+
     def make_step(i: int, node) -> Step:
         # One view capture; the appliers are *derived* from it, so the
         # two fields cannot drift apart (the codegen backend re-emits
@@ -381,24 +499,66 @@ def lower(graph: Graph) -> ExecutionProgram:
             (idx, view)
             for idx, view in sorted(node.input_views.items())
             if not view.is_identity)
+        view_shapes = {idx: tuple(view.out_shape) for idx, view in views}
+        arg_shapes = tuple(
+            view_shapes.get(idx, tuple(graph.shape(t)))
+            for idx, t in enumerate(node.inputs))
+        arg_itemsizes = tuple(
+            np.dtype(tensors[t].dtype.numpy_dtype).itemsize
+            for t in node.inputs)
+        out_shapes = tuple(graph.shape(t) for t in node.outputs)
+        out_itemsizes = tuple(
+            np.dtype(tensors[t].dtype.numpy_dtype).itemsize
+            for t in node.outputs)
+        reads, writes, flops = step_traffic(
+            node.op_type, node.attrs, arg_shapes, arg_itemsizes,
+            out_shapes, out_itemsizes)
+
+        run_kernel = get_kernel(node.op_type)
+        scratch_bytes = 0
+        if node.op_type == "conv2d":
+            # Bind the step to a statically planned im2col scratch: the
+            # padded-input and column buffers are owned by the program
+            # (reported as a reusable-scratch class on the slot plan)
+            # and reused across every run instead of reallocated.
+            run_kernel, scratch = bind_conv2d(
+                arg_shapes[0], arg_shapes[1], node.attrs)
+            scratch_bytes = scratch.nbytes(arg_itemsizes[0])
+        elif node.op_type == "layout_convert":
+            # Copy elision: when the converted value is a pool interior
+            # dying at this very step, nothing else will ever read it -
+            # pass it through if already contiguous, else compact it.
+            # Graph inputs/params keep the alias-free reference kernel
+            # (the caller's arrays must never be returned).
+            src = node.inputs[0]
+            if (src in materialized and src not in graph_inputs
+                    and src in schedule.value_drops_at[i]):
+                run_kernel = layout_convert_elided
+
         return Step(
             node_id=node.id,
             op_type=node.op_type,
-            kernel=get_kernel(node.op_type),
+            kernel=run_kernel,
             arg_names=tuple(node.inputs),
             appliers=tuple(
                 (idx, _compile_view(view)) for idx, view in views),
             views=views,
             attrs=node.attrs,
             out_names=tuple(node.outputs),
-            out_shapes=tuple(graph.shape(t) for t in node.outputs),
+            out_shapes=out_shapes,
             alloc_slots=tuple(alloc_slots_at[i]),
             release_slots=tuple(release_slots_at[i]),
             drops=tuple(schedule.value_drops_at[i]),
+            bytes_read=reads,
+            bytes_written=writes,
+            flops=flops,
+            scratch_bytes=scratch_bytes,
         )
 
     steps = tuple(make_step(i, node) for i, node in enumerate(order))
-    program = ExecutionProgram(graph, steps, plan)
+    plan = replace(plan, scratch_sizes=tuple(
+        step.scratch_bytes for step in steps if step.scratch_bytes))
+    program = ExecutionProgram(graph, steps, plan, fused_chains=chains)
     cache[_PROGRAM_CACHE_KEY] = program
     return program
 
@@ -415,6 +575,14 @@ class ExecutionBackend:
     serving execution)."""
 
     name = "backend"
+
+    def fused_steps(self, program: ExecutionProgram) -> int:
+        """Steps this backend collapses into fused-chain expressions when
+        serving ``program``.  The reference backend (and any backend that
+        dispatches one kernel per step) reports 0; backends that execute
+        the program's fused chains as single expressions report
+        :attr:`ExecutionProgram.fused_step_count`."""
+        return 0
 
     def run(self, program: ExecutionProgram,
             values: dict[str, np.ndarray]) -> dict[str, np.ndarray]:

@@ -94,6 +94,12 @@ class RunStats:
     (identical PoolReport object) and :attr:`wall_s` carries this
     request's even share of the stacked execution time plus its own
     admission time."""
+    fused_steps: int = 0
+    """Program steps the serving backend collapsed into fused-chain
+    expressions for this request: ``program.fused_step_count`` when the
+    codegen backend served it, 0 on the reference backend (including
+    degraded requests).  Per-request attribution stays additive - each
+    request reports the fusion of the pass that served *it*."""
 
 
 @dataclass
@@ -525,13 +531,15 @@ class Session:
         stats = self.stats
         stats.requests += 1
         stats.total_wall_s += wall_s
+        served_by = backend if backend is not None else self.backend
         run = RunStats(
             request=stats.requests,
             wall_s=wall_s,
             est_latency_ms=est,
             pool=report,
-            backend=backend if backend is not None else self.backend,
+            backend=served_by,
             batched=batched,
+            fused_steps=get_backend(served_by).fused_steps(self.program),
         )
         stats.runs.append(run)
         return run

@@ -1,0 +1,129 @@
+"""Static per-step memory-traffic and FLOP stamps for the roofline report.
+
+``lower()`` stamps every :class:`~repro.runtime.program.Step` with the
+bytes it reads, the bytes it writes, and the floating-point work it
+dispatches - all derived from tensor specs at compile time, so the
+stamps are identical for every request.  Aggregated per *kernel family*
+they make the serving cost legible the way the nnfusion Table-6
+methodology does: once dispatch overhead is compiled away, the remaining
+wall time tracks bytes moved per kernel, and arithmetic intensity
+(FLOPs / byte) says which families are memory-bound and which are
+compute-bound - i.e. where the next kernel PR should aim.
+
+Traffic is *algorithmic*: the tensor bytes a minimal implementation must
+move (inputs read once, outputs written once).  Scratch traffic the
+im2col lowering adds is reported separately through the slot plan's
+scratch classes, not folded in here - the point of the stamp is a
+stable, implementation-independent denominator for intensity.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: op_type -> kernel family used by the roofline aggregation.
+_FAMILY = {
+    "conv2d": "conv",
+    "matmul": "gemm",
+    "dense": "gemm",
+    "unary": "elementwise",
+    "binary": "elementwise",
+    "softmax": "norm",
+    "layernorm": "norm",
+    "rmsnorm": "norm",
+    "instancenorm": "norm",
+    "groupnorm": "norm",
+    "batchnorm": "elementwise",
+    "reduce_mean": "reduce",
+    "reduce_sum": "reduce",
+    "reduce_max": "reduce",
+    "maxpool2d": "pool",
+    "avgpool2d": "pool",
+    "global_avgpool": "pool",
+    "upsample2d": "pool",
+    "embedding": "layout",
+}
+
+#: Families in report order.
+FAMILIES = ("conv", "gemm", "norm", "elementwise", "reduce", "pool", "layout")
+
+
+def family(op_type: str) -> str:
+    """Kernel family an op_type is accounted under (default: layout)."""
+    return _FAMILY.get(op_type, "layout")
+
+
+def _elems(shape) -> int:
+    return math.prod(shape) if shape else 1
+
+
+#: Approximate FLOPs per output element for multi-pass families.  These
+#: are static estimates (mean/var/normalize passes for norms; shift, exp,
+#: sum, divide for softmax), fixed constants so the stamps stay
+#: comparable across PRs.
+_NORM_FLOPS = {"layernorm": 7, "rmsnorm": 5, "instancenorm": 7,
+               "groupnorm": 7, "softmax": 5}
+
+
+def step_flops(op_type: str, attrs: dict, arg_shapes, out_shapes) -> int:
+    """Static floating-point work dispatched by one step."""
+    out = _elems(out_shapes[0]) if out_shapes else 0
+    if op_type == "conv2d":
+        _, cpg, kh, kw = arg_shapes[1]
+        flops = 2 * out * cpg * kh * kw
+        if len(arg_shapes) > 2:
+            flops += out
+        return flops
+    if op_type == "matmul":
+        a = arg_shapes[0]
+        k = a[-2] if attrs.get("transpose_a") else a[-1]
+        return 2 * out * k
+    if op_type == "dense":
+        k = arg_shapes[0][-1]
+        flops = 2 * out * k
+        if len(arg_shapes) > 2:
+            flops += out
+        return flops
+    if op_type in _NORM_FLOPS:
+        return _NORM_FLOPS[op_type] * _elems(arg_shapes[0])
+    if op_type == "batchnorm":
+        return _elems(arg_shapes[0]) * max(1, len(arg_shapes) - 1)
+    if op_type in ("unary", "binary"):
+        return _elems(arg_shapes[0])
+    if op_type in ("reduce_mean", "reduce_sum", "reduce_max",
+                   "global_avgpool"):
+        return _elems(arg_shapes[0])
+    if op_type in ("maxpool2d", "avgpool2d"):
+        kh, kw = attrs["kernel"] if not isinstance(attrs["kernel"], int) \
+            else (attrs["kernel"], attrs["kernel"])
+        return out * kh * kw
+    return 0  # layout / lookup families move bytes, no arithmetic
+
+
+def step_traffic(op_type: str, attrs: dict, arg_shapes, arg_itemsizes,
+                 out_shapes, out_itemsizes) -> tuple[int, int, int]:
+    """``(bytes_read, bytes_written, flops)`` for one lowered step."""
+    reads = sum(_elems(s) * i for s, i in zip(arg_shapes, arg_itemsizes))
+    writes = sum(_elems(s) * i for s, i in zip(out_shapes, out_itemsizes))
+    return reads, writes, step_flops(op_type, attrs, arg_shapes, out_shapes)
+
+
+def roofline_summary(steps) -> dict[str, dict]:
+    """Aggregate step stamps per kernel family.
+
+    Returns ``{family: {steps, bytes_read, bytes_written, flops,
+    intensity}}`` where ``intensity`` is FLOPs per byte moved - the
+    x-axis of a roofline plot.
+    """
+    summary: dict[str, dict] = {}
+    for step in steps:
+        entry = summary.setdefault(family(step.op_type), {
+            "steps": 0, "bytes_read": 0, "bytes_written": 0, "flops": 0})
+        entry["steps"] += 1
+        entry["bytes_read"] += step.bytes_read
+        entry["bytes_written"] += step.bytes_written
+        entry["flops"] += step.flops
+    for entry in summary.values():
+        moved = entry["bytes_read"] + entry["bytes_written"]
+        entry["intensity"] = round(entry["flops"] / moved, 3) if moved else 0.0
+    return summary

@@ -76,7 +76,10 @@ class TestSlotPlan:
         order = graph.topo_order()
         for step, node in enumerate(order):
             for t in node.outputs:
-                if t in schedule.materialized:
+                # fused-chain interiors are never materialized: they hold
+                # no slot by construction
+                if t in schedule.materialized \
+                        and t not in program.fused_interiors:
                     acquire(t)
             for t in schedule.releases_at[step]:
                 slot = plan.tensor_slot.get(t)
