@@ -35,8 +35,9 @@ pipeline on a graph and ``estimate_cost()`` prices it on a device model::
 from .api import (
     AdmissionError, BackendCompilationError, CompiledModel, CompileOptions,
     DeadlineExceeded, ExecutionError, InferenceFuture, InferenceRequest,
-    InferenceResponse, QueueFull, ReproError, RetryPolicy, ServeOptions,
-    Service, ServiceClosed, ServiceReport, compile, serve,
+    InferenceResponse, InvalidOptions, QueueFull, ReproError,
+    RequestCancelled, RetryPolicy, ServeOptions, Service, ServiceClosed,
+    ServiceReport, WorkerCrashed, compile, serve,
 )
 from .core.pipeline import OptimizeResult, PipelineStages, smartmem_optimize
 from .ir.builder import GraphBuilder
@@ -66,9 +67,12 @@ __all__ = [
     "CompiledModel", "CostModelConfig", "CostReport", "DEVICES",
     "DIMENSITY700", "DeadlineExceeded", "DeviceSpec", "ExecutionError",
     "FaultPlan", "FaultRule", "Graph", "GraphBuilder", "InferenceFuture",
-    "InferenceRequest", "InferenceResponse", "OptimizeResult",
-    "PipelineStages", "QueueFull", "ReproError", "RetryPolicy", "SD835",
+    "InferenceRequest", "InferenceResponse", "InvalidOptions",
+    "OptimizeResult",
+    "PipelineStages", "QueueFull", "ReproError", "RequestCancelled",
+    "RetryPolicy", "SD835",
     "SD8GEN2", "ServeOptions", "Service", "ServiceClosed", "ServiceReport",
-    "V100", "build_model", "compile", "estimate", "estimate_cost", "optimize",
+    "V100", "WorkerCrashed", "build_model", "compile", "estimate",
+    "estimate_cost", "optimize",
     "serve", "smartmem_optimize", "__version__",
 ]

@@ -26,7 +26,8 @@ raw ndarray dicts.
 from .compiled import CompiledModel, compile, compile_private, session_cache
 from .errors import (
     AdmissionError, BackendCompilationError, DeadlineExceeded, ExecutionError,
-    QueueFull, ReproError, ServiceClosed,
+    InvalidOptions, QueueFull, ReproError, RequestCancelled, ServiceClosed,
+    WorkerCrashed,
 )
 from .messages import InferenceRequest, InferenceResponse, as_request
 from .options import CompileOptions, RetryPolicy, ServeOptions, merge_options
@@ -35,8 +36,9 @@ from .service import InferenceFuture, Service, ServiceReport, serve
 __all__ = [
     "AdmissionError", "BackendCompilationError", "CompileOptions",
     "CompiledModel", "DeadlineExceeded", "ExecutionError", "InferenceFuture",
-    "InferenceRequest", "InferenceResponse", "QueueFull", "ReproError",
-    "RetryPolicy", "Service", "ServeOptions", "ServiceClosed",
-    "ServiceReport", "as_request", "compile", "compile_private",
-    "merge_options", "serve", "session_cache",
+    "InferenceRequest", "InferenceResponse", "InvalidOptions", "QueueFull",
+    "ReproError", "RequestCancelled", "RetryPolicy", "Service",
+    "ServeOptions", "ServiceClosed", "ServiceReport", "WorkerCrashed",
+    "as_request", "compile", "compile_private", "merge_options", "serve",
+    "session_cache",
 ]

@@ -188,6 +188,12 @@ class CompiledModel:
                 batch_size=n))
         return responses
 
+    def close(self) -> None:
+        """Release process-external resources (the parallel backends'
+        worker processes and shared-memory segments).  A no-op for the
+        in-process backends; idempotent."""
+        self._session.close()
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         s = self._session
         return (f"CompiledModel({s.model or s.graph.name!r}, "
@@ -240,6 +246,7 @@ def compile(model: str | Graph, options: CompileOptions | None = None,
     session = _REGISTRY.compile(
         model, options.framework, options.device, options.batch,
         backend=options.backend, faults=options.faults,
+        workers=options.workers,
         check_memory=options.check_memory,
         **options.framework_kwargs())
     return CompiledModel(session)
@@ -255,6 +262,6 @@ def compile_private(model: str | Graph,
     session = _compile_session(
         model, options.framework, options.device, options.batch,
         check_memory=options.check_memory, backend=options.backend,
-        faults=options.faults,
+        faults=options.faults, workers=options.workers,
         **options.framework_kwargs())
     return CompiledModel(session)

@@ -18,6 +18,9 @@ error                             legacy base                     retryable
 :class:`DeadlineExceeded`         ``TimeoutError``                never
 :class:`ServiceClosed`            ``RuntimeError``                never
 :class:`QueueFull`                ``RuntimeError``                yes
+:class:`InvalidOptions`           ``ValueError``                  never
+:class:`RequestCancelled`         ``RuntimeError``                never
+:class:`WorkerCrashed`            ``RuntimeError``                yes
 ================================  ==============================  =========
 
 ``retryable`` describes whether *resubmitting the same request* could
@@ -117,7 +120,32 @@ class QueueFull(ReproError, RuntimeError):
         super().__init__(message, retryable=retryable, **context)
 
 
+class InvalidOptions(ReproError, ValueError):
+    """An options dataclass field is out of range or malformed -
+    ``workers=0``, ``max_batch_size=-1``, negative ``max_wait_ms``.
+    Raised at construction, naming the field, so misconfiguration
+    fails at the front door instead of deep inside the scheduler.
+    Never retryable - the same options only fail the same way."""
+
+
+class RequestCancelled(ReproError, RuntimeError):
+    """A queued request was cancelled (``InferenceFuture.cancel()`` or a
+    cancelled ``submit_async`` awaitable) before the scheduler executed
+    it.  Never retryable - the caller explicitly withdrew the work."""
+
+
+class WorkerCrashed(ReproError, RuntimeError):
+    """A parallel worker process died mid-batch and the pool exhausted
+    its respawn/rescue budget for the shard.  Retryable - a fresh
+    worker (or the in-process fallback) can serve the same request."""
+
+    def __init__(self, message: str = "", *, retryable: bool = True,
+                 **context) -> None:
+        super().__init__(message, retryable=retryable, **context)
+
+
 __all__ = [
     "AdmissionError", "BackendCompilationError", "DeadlineExceeded",
-    "ExecutionError", "QueueFull", "ReproError", "ServiceClosed",
+    "ExecutionError", "InvalidOptions", "QueueFull", "ReproError",
+    "RequestCancelled", "ServiceClosed", "WorkerCrashed",
 ]

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field, fields
 from ..core.passes import PipelineStages
 from ..runtime.device import DeviceSpec, SD8GEN2
 from ..runtime.faults import FaultPlan
+from .errors import InvalidOptions
 
 
 @dataclass(frozen=True)
@@ -66,8 +67,12 @@ class CompileOptions:
     * ``backend`` - execution-backend registry name
       (:func:`repro.runtime.available_backends`): ``"numpy"`` is the
       reference interpreter over pre-compiled step closures,
-      ``"codegen"`` compiles the whole step loop to Python source.
+      ``"codegen"`` compiles the whole step loop to Python source,
+      ``"parallel"``/``"parallel-codegen"`` shard work across a pool of
+      worker processes (see :mod:`repro.runtime.parallel_backend`).
       Outputs are identical; only the execution strategy differs.
+    * ``workers`` - worker-process count for the parallel backends
+      (ignored by the in-process backends).
     * ``check_memory`` - reject models whose peak footprint exceeds the
       device budget instead of just costing them.
     * ``stages`` - :class:`~repro.core.passes.PipelineStages` feeding
@@ -83,9 +88,19 @@ class CompileOptions:
     device: DeviceSpec = SD8GEN2
     batch: int = 1
     backend: str = "numpy"
+    workers: int = 1
     check_memory: bool = False
     stages: PipelineStages | None = None
     faults: FaultPlan | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.batch, int) or self.batch < 1:
+            raise InvalidOptions(
+                f"CompileOptions.batch must be an int >= 1, got {self.batch!r}")
+        if not isinstance(self.workers, int) or self.workers < 1:
+            raise InvalidOptions(
+                f"CompileOptions.workers must be an int >= 1, "
+                f"got {self.workers!r}")
 
     def framework_kwargs(self) -> dict:
         """Keyword arguments forwarded to the framework constructor."""
@@ -103,7 +118,10 @@ class ServeOptions:
     request queue (``submit`` raises once it is full) so a slow consumer
     exerts backpressure instead of growing memory without bound.
     ``compile`` nests the :class:`CompileOptions` the service's private
-    session is compiled with (framework, device, execution backend).
+    session is compiled with (framework, device, execution backend);
+    ``backend`` and ``workers`` are shorthands that override the nested
+    compile options, so ``serve(model, backend="parallel", workers=4)``
+    works without spelling out a ``CompileOptions``.
 
     Reliability knobs: ``retry`` is the :class:`RetryPolicy` the
     scheduler applies to retryable request failures (``None``: fail on
@@ -112,23 +130,49 @@ class ServeOptions:
     (those naming a ``request_id``) the scheduler injects per request
     and attempt - kernel faults, worker crashes, latency.
 
-    Out-of-range values raise :class:`ValueError` at construction.
+    Out-of-range values raise
+    :class:`~repro.api.errors.InvalidOptions` (a :class:`ValueError`)
+    at construction, naming the offending field.
     """
 
     max_batch_size: int = 8
     max_wait_ms: float = 2.0
     max_queue: int | None = None
+    backend: str | None = None
+    workers: int | None = None
     compile: CompileOptions = field(default_factory=CompileOptions)
     retry: RetryPolicy | None = None
     faults: FaultPlan | None = None
 
     def __post_init__(self) -> None:
-        if self.max_batch_size < 1:
-            raise ValueError("max_batch_size must be at least 1")
+        if not isinstance(self.max_batch_size, int) or self.max_batch_size < 1:
+            raise InvalidOptions(
+                f"ServeOptions.max_batch_size must be an int >= 1, "
+                f"got {self.max_batch_size!r}")
         if self.max_wait_ms < 0:
-            raise ValueError("max_wait_ms cannot be negative")
+            raise InvalidOptions(
+                f"ServeOptions.max_wait_ms cannot be negative, "
+                f"got {self.max_wait_ms!r}")
         if self.max_queue is not None and self.max_queue < 1:
-            raise ValueError("max_queue must be at least 1")
+            raise InvalidOptions(
+                f"ServeOptions.max_queue must be at least 1, "
+                f"got {self.max_queue!r}")
+        if self.workers is not None and (
+                not isinstance(self.workers, int) or self.workers < 1):
+            raise InvalidOptions(
+                f"ServeOptions.workers must be an int >= 1, "
+                f"got {self.workers!r}")
+
+    def resolved_compile(self) -> CompileOptions:
+        """The nested compile options with the ``backend``/``workers``
+        shorthands folded in (shorthand wins when set)."""
+        from dataclasses import replace
+        overrides = {}
+        if self.backend is not None:
+            overrides["backend"] = self.backend
+        if self.workers is not None:
+            overrides["workers"] = self.workers
+        return replace(self.compile, **overrides) if overrides else self.compile
 
 
 def merge_options(cls, options, overrides: dict):

@@ -41,6 +41,7 @@ Failure semantics (see ``docs/architecture.md`` for the full contract):
 
 from __future__ import annotations
 
+import asyncio
 import heapq
 import logging
 import random
@@ -56,7 +57,8 @@ from ..ir.graph import Graph
 from ..runtime.faults import InjectedCrash
 from .compiled import CompiledModel, compile_private
 from .errors import (
-    DeadlineExceeded, ExecutionError, QueueFull, ReproError, ServiceClosed,
+    DeadlineExceeded, ExecutionError, QueueFull, ReproError,
+    RequestCancelled, ServiceClosed,
 )
 from .messages import InferenceRequest, InferenceResponse, as_request
 from .options import ServeOptions, merge_options
@@ -78,18 +80,55 @@ class InferenceFuture:
     :class:`~repro.api.errors.DeadlineExceeded`, a ``TimeoutError``).
     Futures share their service's condition variable, so resolving a
     coalesced batch wakes every waiter with one notification.
+    ``add_done_callback`` registers resolution hooks (how
+    :meth:`Service.submit_async` bridges to asyncio), and ``cancel``
+    withdraws a still-queued request with
+    :class:`~repro.api.errors.RequestCancelled`.
     """
 
-    __slots__ = ("_service", "_response", "_error", "_resolved")
+    __slots__ = ("_service", "_response", "_error", "_resolved",
+                 "_callbacks", "_request_id")
 
     def __init__(self, service: "Service") -> None:
         self._service = service
         self._response: InferenceResponse | None = None
         self._error: BaseException | None = None
         self._resolved = False
+        self._callbacks: tuple = ()
+        self._request_id: str | int | None = None
 
     def done(self) -> bool:
         return self._resolved
+
+    def add_done_callback(self, fn) -> None:
+        """Call ``fn(self)`` once the future resolves (immediately when
+        it already has).  Callbacks run under the service lock in the
+        resolving thread - keep them tiny and non-blocking (e.g.
+        ``loop.call_soon_threadsafe``)."""
+        with self._service._lock:
+            if not self._resolved:
+                self._callbacks += (fn,)
+                return
+        fn(self)
+
+    def cancel(self) -> bool:
+        """Withdraw the request if the scheduler has not resolved it
+        yet; True when this call cancelled it.  A cancelled future's
+        ``result()`` raises :class:`~repro.api.errors.RequestCancelled`;
+        the scheduler drops the entry at dequeue time."""
+        service = self._service
+        with service._lock:
+            if self._resolved:
+                return False
+            service._cancelled += 1
+            _finish(self, error=RequestCancelled(
+                f"request {self._request_id!r} cancelled before execution",
+                request_id=self._request_id))
+            service._completed.notify_all()
+        return True
+
+    def cancelled(self) -> bool:
+        return self._resolved and isinstance(self._error, RequestCancelled)
 
     def result(self, timeout: float | None = None) -> InferenceResponse:
         if not self._resolved:
@@ -114,6 +153,24 @@ class InferenceFuture:
                 return err
             raise  # still pending after `timeout`
         return None
+
+
+def _finish(future: InferenceFuture, response=None, error=None) -> None:
+    """Resolve a future and fire its done-callbacks.
+
+    Must be called with the owning service's lock held (every resolution
+    site already holds it); callers still notify ``_completed``
+    themselves, usually once per batch.
+    """
+    future._response = response
+    future._error = error
+    future._resolved = True
+    callbacks, future._callbacks = future._callbacks, ()
+    for fn in callbacks:
+        try:
+            fn(future)
+        except Exception:  # noqa: BLE001 - a hook must not kill the worker
+            logger.exception("InferenceFuture done-callback raised")
 
 
 class _Pending:
@@ -157,12 +214,17 @@ class ServiceReport:
     queue_depth_peak: int
     expired: int
     failed: int
+    cancelled: int
+    """Requests withdrawn (``InferenceFuture.cancel()`` / cancelled
+    ``submit_async`` awaitables) before the scheduler executed them."""
     retries: int
     """Retryable failures re-enqueued under the :class:`RetryPolicy`."""
     isolated: int
     """Requests re-run solo after their coalesced batch failed."""
     worker_restarts: int
-    """Worker-thread crashes survived by spawning a replacement."""
+    """Workers lost and replaced: scheduler-thread crashes survived by
+    spawning a replacement thread, plus worker-*process* respawns
+    performed by the parallel backends' pool."""
     fallbacks: int
     """Backend invocations the session degraded to the reference
     backend (:attr:`~repro.runtime.session.SessionStats.fallbacks`)."""
@@ -235,6 +297,7 @@ class Service:
         self._stacked = 0
         self._expired = 0
         self._failed = 0
+        self._cancelled = 0
         self._retries = 0
         self._isolated = 0
         self._worker_restarts = 0
@@ -242,6 +305,15 @@ class Service:
         self._largest_batch = 0
         self._queue_peak = 0
         self._total_exec_s = 0.0
+
+        # A sharding backend (the parallel family) gets its worker
+        # pool *now*, before the scheduler thread exists: forking from
+        # an effectively single-threaded parent is the safe point, and
+        # the pool's segment capacity must cover a full micro-batch.
+        if getattr(self._backend, "shards_requests", False):
+            session.parallel_capacity = max(session.parallel_capacity,
+                                            self._max_batch)
+            session.ensure_parallel_pool()
 
         self._worker: threading.Thread | None = None
         if _start:
@@ -304,9 +376,11 @@ class Service:
                 queue_depth_peak=self._queue_peak,
                 expired=self._expired,
                 failed=self._failed,
+                cancelled=self._cancelled,
                 retries=self._retries,
                 isolated=self._isolated,
-                worker_restarts=self._worker_restarts,
+                worker_restarts=self._worker_restarts
+                + self._session.parallel_restarts,
                 fallbacks=self._session.stats.fallbacks,
                 total_exec_s=total_exec_s,
                 throughput_rps=requests / total_exec_s
@@ -363,6 +437,7 @@ class Service:
             self._submitted += 1
             request_id = request.request_id \
                 if request.request_id is not None else order
+            future._request_id = request_id
             entry = _Pending(order, priority, request_id, values, future,
                              now, deadline_s)
             if priority == 0:
@@ -379,6 +454,52 @@ class Service:
         """Synchronous convenience: ``submit(request).result()``."""
         return self.submit(request).result(timeout)
 
+    def submit_async(self, request: InferenceRequest |
+                     Mapping[str, np.ndarray]) -> "asyncio.Future":
+        """Queue one request and return an awaitable for its response.
+
+        The asyncio-native front door: must be called from a running
+        event loop, admits and enqueues exactly like :meth:`submit`
+        (admission/backpressure errors raise here, synchronously), and
+        resolves the returned :class:`asyncio.Future` on the caller's
+        loop when the scheduler settles the request - so one event loop
+        can hold thousands of in-flight awaitables over a single
+        worker-thread (or worker-process pool) executor::
+
+            response = await service.submit_async(request)
+
+        Failures arrive as the same typed errors the sync path raises
+        (``await`` re-raises :class:`~repro.api.errors.DeadlineExceeded`
+        etc.).  Cancelling the awaitable cancels the underlying request:
+        if it is still queued it settles with
+        :class:`~repro.api.errors.RequestCancelled` and never executes.
+        """
+        loop = asyncio.get_running_loop()
+        aio_future = loop.create_future()
+        future = self.submit(request)
+
+        def bridge(resolved: InferenceFuture) -> None:
+            def settle() -> None:
+                if aio_future.cancelled():
+                    return
+                if resolved._error is not None:
+                    aio_future.set_exception(resolved._error)
+                else:
+                    aio_future.set_result(resolved._response)
+            try:
+                loop.call_soon_threadsafe(settle)
+            except RuntimeError:  # loop already closed: nobody awaits
+                pass
+
+        future.add_done_callback(bridge)
+
+        def propagate_cancel(done: "asyncio.Future") -> None:
+            if done.cancelled():
+                future.cancel()
+
+        aio_future.add_done_callback(propagate_cancel)
+        return aio_future
+
     # -- lifecycle ---------------------------------------------------------
 
     def close(self, timeout: float | None = None) -> None:
@@ -388,6 +509,9 @@ class Service:
         retry backoffs included; later ``submit()`` calls raise
         :class:`~repro.api.errors.ServiceClosed`.  Idempotent (closing a
         closed service is a no-op beyond re-joining a dead worker).
+        Once the worker has drained, the session's process-external
+        resources - the parallel backends' worker processes and every
+        shared-memory segment - are released too.
         """
         with self._lock:
             self._closed = True
@@ -397,12 +521,13 @@ class Service:
         while True:
             worker = self._worker
             if worker is None:
-                return
+                break
             worker.join(timeout)
             if worker.is_alive():  # timeout expired with work left
                 return
             if self._worker is worker:
-                return
+                break
+        self._session.close()
 
     def __enter__(self) -> "Service":
         return self
@@ -470,11 +595,10 @@ class Service:
             for entry in reversed(unresolved):
                 entry.rescues += 1
                 if entry.rescues > _MAX_RESCUES:
-                    entry.future._error = ExecutionError(
+                    _finish(entry.future, error=ExecutionError(
                         f"request {entry.request_id!r} crashed the worker "
                         f"{entry.rescues} times; giving up ({err})",
-                        request_id=entry.request_id)
-                    entry.future._resolved = True
+                        request_id=entry.request_id))
                     self._failed += 1
                     poisoned += 1
                 else:
@@ -524,22 +648,24 @@ class Service:
 
     def _execute(self, batch: list[_Pending]) -> None:
         """Run one coalesced batch; isolate failures per request."""
+        # Entries whose future already resolved were cancelled while
+        # queued: drop them here, at dequeue time.
+        batch = [entry for entry in batch if not entry.future._resolved]
         dequeued = time.monotonic()
         expired: list[_Pending] = []
         live: list[_Pending] = []
         for entry in batch:
             if entry.deadline_s is not None and dequeued > entry.deadline_s:
-                entry.future._error = DeadlineExceeded(
-                    f"request {entry.request_id!r} missed its deadline "
-                    f"({(dequeued - entry.enqueued_s) * 1e3:.1f} ms queued)",
-                    request_id=entry.request_id)
                 expired.append(entry)
             else:
                 live.append(entry)
         if expired:
             with self._lock:
                 for entry in expired:
-                    entry.future._resolved = True
+                    _finish(entry.future, error=DeadlineExceeded(
+                        f"request {entry.request_id!r} missed its deadline "
+                        f"({(dequeued - entry.enqueued_s) * 1e3:.1f} ms "
+                        f"queued)", request_id=entry.request_id))
                 self._expired += len(expired)
                 self._completed.notify_all()
         if not live:
@@ -579,8 +705,7 @@ class Service:
                 attempts=entry.attempt + 1)))
         with self._lock:
             for future, response in resolved:
-                future._response = response
-                future._resolved = True
+                _finish(future, response=response)
             self._requests += n
             self._batches += 1
             if batched:
@@ -611,18 +736,16 @@ class Service:
                 return
             # Retryable, but the backoff would overshoot the deadline.
             with self._lock:
-                entry.future._error = DeadlineExceeded(
+                _finish(entry.future, error=DeadlineExceeded(
                     f"request {entry.request_id!r} missed its deadline: "
                     f"retry backoff would overshoot it after "
                     f"{entry.attempt + 1} attempt(s) ({err})",
-                    request_id=entry.request_id)
-                entry.future._resolved = True
+                    request_id=entry.request_id))
                 self._expired += 1
                 self._completed.notify_all()
             return
         with self._lock:
-            entry.future._error = self._attribute(entry, err)
-            entry.future._resolved = True
+            _finish(entry.future, error=self._attribute(entry, err))
             self._failed += 1
             self._completed.notify_all()
 
@@ -694,4 +817,5 @@ def serve(model: str | Graph, options: ServeOptions | None = None,
         service.report().throughput_rps
     """
     options = merge_options(ServeOptions, options, overrides)
-    return Service(compile_private(model, options.compile), options)
+    return Service(compile_private(model, options.resolved_compile()),
+                   options)

@@ -171,6 +171,7 @@ def measure_serving(models: tuple[str, ...] = SERVE_MODELS,
         "best_speedup": round(best, 2),
         "scheduler": measure_scheduler(),
         "backends": measure_backends(),
+        "parallel": measure_parallel(),
         "roofline": measure_roofline(),
     }
 
@@ -291,6 +292,111 @@ def measure_backends(models: tuple[str, ...] = SERVE_MODELS,
     return {
         "requests": requests,
         "backends": list(backends),
+        "models": per_model,
+        "best_speedup": round(best, 2),
+    }
+
+
+#: Kernel-bound smoke models the multi-process backend is benchmarked
+#: on - the pair the parallel-scaling CI gate watches.
+PARALLEL_MODELS = ("ViT", "Conformer")
+
+
+def measure_parallel(models: tuple[str, ...] = PARALLEL_MODELS,
+                     workers: tuple[int, ...] = (1, 2, 4),
+                     requests: int = 64, max_batch_size: int = 32,
+                     repeats: int = 5) -> dict:
+    """Aggregate serving throughput of the multi-process backend.
+
+    The baseline loops ``Session.run`` over ``requests`` prebuilt inputs
+    in-process - one dispatch per request, no batching.  Each measured
+    point puts the same burst through ``serve(backend="parallel",
+    workers=W)``: the scheduler coalesces micro-batches, the dispatcher
+    shards them across the worker pool, and each worker serves its shard
+    as one stacked pass read from / written to shared memory.  Bursts
+    are repeated and best-of-``repeats`` aggregate RPS is reported, with
+    per-request outputs checked **byte-identical** against a
+    single-process reference session (``parity``); ``codegen_parity``
+    runs one burst through ``"parallel-codegen"`` and checks the same.
+    """
+    from ..api import InferenceRequest, ServeOptions, serve
+
+    perf = time.perf_counter
+    per_model = {}
+    best = 0.0
+    for name in models:
+        graph = build_smoke(name)
+        reference = _compile_session(graph, "Ours")
+        inputs = [reference.make_inputs(seed=seed) for seed in range(requests)]
+        expected = [reference.run(dict(values)) for values in inputs]
+        for _ in range(8):
+            reference.run(dict(inputs[0]))
+        sequential_walls = []
+        for _ in range(repeats):
+            start = perf()
+            for values in inputs:
+                reference.run(dict(values))
+            sequential_walls.append(perf() - start)
+        sequential_s = min(sequential_walls)
+        sequential_rps = requests / sequential_s if sequential_s else 0.0
+
+        burst = [InferenceRequest(inputs=values) for values in inputs]
+        parallel_rps: dict[str, float] = {}
+        parity = True
+        stacked = restarts = 0
+        for count in workers:
+            service = serve(graph, ServeOptions(
+                backend="parallel", workers=count,
+                max_batch_size=max_batch_size, max_wait_ms=5.0))
+            try:
+                walls = []
+                responses = None
+                for _ in range(repeats):
+                    start = perf()
+                    futures = [service.submit(r) for r in burst]
+                    responses = [f.result() for f in futures]
+                    walls.append(perf() - start)
+                report = service.report()
+                for response, outputs in zip(responses, expected):
+                    for key, value in outputs.items():
+                        if response.outputs[key].tobytes() != value.tobytes():
+                            parity = False
+            finally:
+                service.close()
+            wall_s = min(walls)
+            parallel_rps[str(count)] = \
+                round(requests / wall_s, 1) if wall_s else 0.0
+            stacked, restarts = report.stacked_batches, report.worker_restarts
+
+        service = serve(graph, ServeOptions(
+            backend="parallel-codegen", workers=2,
+            max_batch_size=max_batch_size, max_wait_ms=5.0))
+        try:
+            responses = [f.result()
+                         for f in [service.submit(r) for r in burst]]
+            codegen_parity = all(
+                response.outputs[key].tobytes() == value.tobytes()
+                for response, outputs in zip(responses, expected)
+                for key, value in outputs.items())
+        finally:
+            service.close()
+
+        top = max(parallel_rps.values())
+        speedup = top / sequential_rps if sequential_rps else 0.0
+        best = max(best, speedup)
+        per_model[name] = {
+            "sequential_rps": round(sequential_rps, 1),
+            "parallel_rps": parallel_rps,
+            "speedup": round(speedup, 2),
+            "stacked_batches": stacked,
+            "worker_restarts": restarts,
+            "parity": parity,
+            "codegen_parity": codegen_parity,
+        }
+    return {
+        "requests": requests,
+        "max_batch_size": max_batch_size,
+        "workers": list(workers),
         "models": per_model,
         "best_speedup": round(best, 2),
     }

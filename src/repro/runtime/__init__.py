@@ -14,10 +14,14 @@ from .device import DEVICES, DIMENSITY700, DeviceSpec, SD835, SD8GEN2, V100, sca
 from .executor import execute, make_inputs, outputs_equal, run_node
 from .faults import FaultInjector, FaultPlan, FaultRule, InjectedCrash
 from .kernels import get_kernel
+from .parallel_backend import (
+    ParallelBackend, ParallelCodegenBackend, WorkerPool, parallel_supported,
+)
 from .program import (
     ExecutionBackend, ExecutionProgram, NumPyBackend, SlotPlan, Step,
     available_backends, get_backend, lower, register_backend,
 )
+from .shm import SegmentRing, ShardLayout, SharedSegment, active_segments
 from .session import (
     CircuitBreaker, Engine, RunStats, Session, SessionRegistry, SessionStats,
     circuit_breaker, compile_session, stable_model_key,
@@ -27,9 +31,12 @@ __all__ = [
     "Artifact", "CircuitBreaker", "CodegenBackend", "CompiledProgramModule",
     "Engine", "ExecutionBackend", "ExecutionProgram", "FaultInjector",
     "FaultPlan", "FaultRule", "GeneratedKernel", "InjectedCrash",
-    "NumPyBackend", "RunStats", "Session",
-    "SessionRegistry", "SessionStats", "SlotPlan", "Step",
-    "VerificationReport", "circuit_breaker", "stable_model_key",
+    "NumPyBackend", "ParallelBackend", "ParallelCodegenBackend", "RunStats",
+    "SegmentRing", "Session",
+    "SessionRegistry", "SessionStats", "ShardLayout", "SharedSegment",
+    "SlotPlan", "Step",
+    "VerificationReport", "WorkerPool", "active_segments",
+    "circuit_breaker", "parallel_supported", "stable_model_key",
     "available_backends", "compile_program", "compile_session",
     "emit_program_source", "generate_group",
     "generate_kernel", "get_backend", "lower", "plan_from_json",

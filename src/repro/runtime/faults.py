@@ -54,7 +54,7 @@ from dataclasses import dataclass, field
 
 from ..api.errors import BackendCompilationError, ExecutionError
 
-KINDS = ("kernel", "latency", "alloc", "compile", "crash")
+KINDS = ("kernel", "latency", "alloc", "compile", "crash", "worker_crash")
 
 REFERENCE_BACKEND = "numpy"
 """Compile faults never target the reference backend - it has no
@@ -78,7 +78,10 @@ class FaultRule:
     Fields (all defaulted; unused fields are ignored per ``kind``):
 
     * ``kind`` - ``"kernel"``, ``"latency"``, ``"alloc"``,
-      ``"compile"``, or ``"crash"``.
+      ``"compile"``, ``"crash"`` (worker *thread*), or
+      ``"worker_crash"`` (parallel worker *process*; session-level
+      only, consulted by the pool dispatcher via
+      :meth:`FaultInjector.on_parallel_dispatch`).
     * ``request_id`` - when set, the rule is *service-level*: it matches
       the request with this id (see ``attempts``).  When ``None`` the
       rule is *session-level* and matches backend invocations.
@@ -169,6 +172,13 @@ class FaultPlan:
                       latency_ms=rng.uniform(0.05, 0.3), times=None),
             FaultRule(kind="compile", probability=rng.uniform(0.1, 0.3),
                       times=rng.randint(1, 3)),
+            # Parallel-pool chaos: kill a worker process mid-shard.  Only
+            # consulted by the pool dispatcher (on_parallel_dispatch), so
+            # in-process sessions never see it; the pool must absorb it
+            # by respawn + re-dispatch with byte-identical outputs.
+            FaultRule(kind="worker_crash",
+                      probability=rng.uniform(0.1, 0.3),
+                      times=rng.randint(1, 2)),
         ]
         return FaultPlan(rules=tuple(rules), seed=seed)
 
@@ -261,6 +271,25 @@ class FaultInjector:
                     raise ExecutionError(
                         "injected allocation failure (pool exhausted)",
                         backend=backend, retryable=rule.retryable, **context)
+
+    def on_parallel_dispatch(self) -> bool:
+        """Consulted by the parallel pool once per sharded dispatch
+        (parent side, before any shard is sent).
+
+        True when a session-level ``worker_crash`` rule fires: the pool
+        then flags one shard so its worker process exits mid-batch,
+        exercising process supervision (respawn + re-dispatch from the
+        still-intact shared-memory segment).  The rule's ``times``
+        budget is consumed here - in the parent - so the decision
+        survives worker respawns deterministically.
+        """
+        fired = False
+        for index, rule in enumerate(self.plan.rules):
+            if rule.kind != "worker_crash" or rule.service_level:
+                continue
+            if self._gate(index, rule):
+                fired = True
+        return fired
 
     # -- service-level ------------------------------------------------------
 

@@ -1,0 +1,527 @@
+"""Multi-process parallel execution backend.
+
+The in-process backends (``numpy``, ``codegen``) execute a whole
+invocation under one GIL, so aggregate throughput on kernel-bound models
+is capped no matter how fast each kernel gets.  :class:`ParallelBackend`
+escapes the cap by owning a supervised pool of **worker processes**,
+each holding its own copy of the compiled program, materialized
+parameters, and warmed :class:`~repro.memory.pool.SizeClassPool` - all
+inherited for free over ``fork``, never pickled.
+
+Dispatch composes with the existing layers instead of bypassing them:
+
+* the dispatcher shards a scheduler micro-batch into contiguous chunks -
+  one *whole stacked batch-N pass* per worker for batch-stackable
+  programs (:func:`repro.runtime.batching.analyze`), per-request chunks
+  otherwise;
+* request/response tensors cross the process boundary through a ring of
+  preallocated shared-memory segments (:mod:`repro.runtime.shm`) with a
+  static layout computed from the program - the control pipe carries
+  only ``(segment index, request count)`` tuples and per-request wall
+  times;
+* inside each worker, execution funnels through the normal
+  :meth:`~repro.runtime.session.Session.execute_values` path with the
+  configured *inner* backend (``numpy`` for ``"parallel"``, ``codegen``
+  for ``"parallel-codegen"``), so stacked batching, fault injection,
+  graceful degradation and the (per-process) circuit breaker all apply
+  unchanged, and outputs stay byte-identical to single-process serving.
+
+Supervision extends PR-6's worker-thread story to processes: a worker
+that dies mid-shard is detected on its process sentinel, respawned by a
+fresh fork, and the shard re-dispatched verbatim from its still-intact
+segment; after :data:`_MAX_SHARD_RETRIES` deaths the shard executes
+in-process as a last resort (still byte-identical).  Restarts are
+counted on the pool and surface in ``ServiceReport.worker_restarts``.
+Injected ``worker_crash`` faults (:mod:`repro.runtime.faults`) drive
+exactly this path deterministically.
+
+On platforms without the ``fork`` start method the backend degrades to
+in-process execution on its inner backend (logged once) - same outputs,
+no scale-out.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import os
+import pickle
+import threading
+import time
+from collections import deque
+from multiprocessing import connection
+
+from ..api.errors import WorkerCrashed
+from ..memory.pool import PoolReport
+from .program import ExecutionBackend, get_backend, register_backend
+from .shm import SegmentRing, ShardLayout
+
+logger = logging.getLogger("repro.runtime.parallel")
+
+_MIN_STACKED_SHARD = 16
+"""Smallest per-worker chunk of a stackable micro-batch: below this the
+per-dispatch overhead (pipe roundtrip plus a context switch, ~1-2 ms)
+outweighs what stacking inside the worker saves, so small batches run
+as fewer, larger shards."""
+
+_MAX_SHARD_RETRIES = 2
+"""Worker deaths tolerated per shard before it executes in-process."""
+
+_SPAWN_TIMEOUT_S = 60.0
+_DISPATCH_TIMEOUT_S = 120.0
+
+
+def parallel_supported() -> bool:
+    """True when fork-based worker pools can run on this platform."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _available_cpus() -> int:
+    """CPUs this process may run on (affinity-aware where exposed)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return max(1, os.cpu_count() or 1)
+
+
+def _portable(err: BaseException) -> BaseException:
+    """An exception safe to ship over a pipe (pickle round-trip)."""
+    try:
+        pickle.loads(pickle.dumps(err))
+        return err
+    except Exception:  # noqa: BLE001 - unpicklable payload
+        return RuntimeError(f"{type(err).__name__}: {err}")
+
+
+def _worker_main(conn_, session, inner_name: str, ring: SegmentRing) -> None:
+    """Worker-process entry point (child side of a ``fork``).
+
+    The child inherits the session (program, params, warmed pools) and
+    the segment ring by reference; it owns nothing - it never creates,
+    unlinks, or recycles segments.  It exits via ``os._exit`` so the
+    parent's inherited atexit hooks (segment unlink, bench writers)
+    never run twice.
+    """
+    exit_code = 0
+    try:
+        # Forked locks may be held by threads that do not exist in the
+        # child; give it private reliability state.
+        from . import session as session_module
+        session_module._CIRCUIT = session_module.CircuitBreaker()
+        inner = get_backend(inner_name)
+        layout = ring.layout
+        params = session._params
+        conn_.send(("ready", os.getpid()))
+        while True:
+            message = conn_.recv()
+            kind = message[0]
+            if kind == "stop":
+                break
+            _, seg_index, count, crash = message
+            if crash:  # injected worker_crash: die mid-shard, uncleanly
+                os._exit(17)
+            buf = ring.buf(seg_index)
+            values_list = []
+            for i in range(count):
+                values = dict(params)
+                values.update(layout.read_inputs(buf, i))
+                values_list.append(values)
+            try:
+                results, backend_name, batched = session.execute_values(
+                    values_list, backend=inner)
+                walls = []
+                for i, (outputs, _report, wall) in enumerate(results):
+                    layout.write_outputs(buf, i, outputs)
+                    walls.append(float(wall))
+                conn_.send(("ok", seg_index, walls, backend_name, batched))
+            except BaseException as err:  # noqa: BLE001 - ship to parent
+                conn_.send(("err", seg_index, _portable(err)))
+    except (EOFError, OSError, KeyboardInterrupt):
+        exit_code = 1  # parent went away / interrupted: just leave
+    except BaseException:  # pragma: no cover - setup failure
+        exit_code = 1
+    finally:
+        os._exit(exit_code)
+
+
+class _Worker:
+    __slots__ = ("index", "proc", "conn")
+
+    def __init__(self, index: int, proc, conn_) -> None:
+        self.index = index
+        self.proc = proc
+        self.conn = conn_
+
+
+class _Shard:
+    __slots__ = ("start", "count", "seg", "crash", "tries", "error",
+                 "batched")
+
+    def __init__(self, start: int, count: int) -> None:
+        self.start = start
+        self.count = count
+        self.seg = None
+        self.crash = False
+        self.tries = 0
+        self.error = None
+        self.batched = False
+
+
+class WorkerPool:
+    """A supervised pool of forked worker processes for one session.
+
+    Owned by the session (``session.ensure_parallel_pool()``), created
+    eagerly by the :class:`~repro.api.Service` front door before its
+    scheduler thread starts (forking from a single-threaded parent is
+    the safe point), lazily on first sharded invocation otherwise.
+    """
+
+    def __init__(self, session, inner: str = "numpy", workers: int = 1,
+                 capacity: int = 16) -> None:
+        from .batching import analyze
+
+        self.session = session
+        self.inner_name = inner
+        self.workers = max(1, int(workers))
+        self.capacity = max(1, int(capacity))
+        self.restarts = 0
+        self.closed = False
+        self._lock = threading.Lock()
+        self._ctx = multiprocessing.get_context("fork")
+        program = session.program
+        self.layout = ShardLayout(program, self.capacity)
+        self.stackable = analyze(program).stackable
+        self._input_names = frozenset(program.input_names)
+        self._warm_parent()
+        # Segments outlive individual workers: a respawned worker
+        # inherits the *same* ring, so a crashed shard's inputs are
+        # still in place for verbatim re-dispatch.
+        self.ring = SegmentRing(self.layout, count=self.workers + 2)
+        try:
+            self._workers = [self._spawn(i) for i in range(self.workers)]
+        except BaseException:
+            self.close()
+            raise
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _warm_parent(self) -> None:
+        """Build every per-program artifact the workers will need
+        *before* forking, so each child inherits compiled runners,
+        batch-N variants, warmed bucket pools, and materialized
+        parameters instead of rebuilding them ``workers`` times."""
+        session = self.session
+        inner = get_backend(self.inner_name)
+        values = session._admit(session.make_inputs(seed=0))
+        session.execute_values([dict(values)], backend=inner)
+        if self.stackable:
+            for size in {self._shard_size(self.capacity),
+                         self.capacity}:
+                if size > 1:
+                    session.execute_values(
+                        [dict(values) for _ in range(size)], backend=inner)
+
+    def _spawn(self, index: int) -> _Worker:
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, self.session, self.inner_name, self.ring),
+            daemon=True, name=f"repro-parallel-{index}")
+        proc.start()
+        child_conn.close()
+        if not parent_conn.poll(_SPAWN_TIMEOUT_S):
+            proc.terminate()
+            raise WorkerCrashed(
+                f"parallel worker {index} failed to come up within "
+                f"{_SPAWN_TIMEOUT_S:.0f}s", backend=self.name_for_errors())
+        message = parent_conn.recv()
+        if message[0] != "ready":  # pragma: no cover - protocol bug
+            proc.terminate()
+            raise WorkerCrashed(
+                f"parallel worker {index} sent {message[0]!r} instead of "
+                "the ready handshake", backend=self.name_for_errors())
+        return _Worker(index, proc, parent_conn)
+
+    def name_for_errors(self) -> str:
+        return "parallel" if self.inner_name == "numpy" \
+            else f"parallel-{self.inner_name}"
+
+    @property
+    def alive(self) -> bool:
+        return not self.closed
+
+    def close(self) -> None:
+        """Stop every worker and unlink every segment; idempotent."""
+        with self._lock:
+            if self.closed:
+                return
+            self.closed = True
+            workers = getattr(self, "_workers", [])
+            for worker in workers:
+                try:
+                    worker.conn.send(("stop",))
+                except (BrokenPipeError, OSError):
+                    pass
+            for worker in workers:
+                worker.proc.join(timeout=5)
+                if worker.proc.is_alive():  # pragma: no cover - stuck
+                    worker.proc.kill()
+                    worker.proc.join(timeout=5)
+                worker.conn.close()
+            if getattr(self, "ring", None) is not None:
+                self.ring.close()
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _shard_size(self, n: int) -> int:
+        return -(-n // self._num_shards(n))  # ceil
+
+    def _num_shards(self, n: int) -> int:
+        """How many worker chunks an ``n``-request invocation splits
+        into.  Stackable programs prefer fewer, larger shards (each runs
+        as one stacked pass inside its worker - below
+        :data:`_MIN_STACKED_SHARD` requests per shard the dispatch
+        overhead beats the spread); non-stackable programs spread
+        per-request.  Per-wave fan-out is capped at the CPUs actually
+        available to this process: extra shards beyond that only buy
+        context switches, while the surplus workers stay warm as spares
+        for crash absorption.  Segment capacity bounds a shard from
+        above."""
+        fanout = min(self.workers, _available_cpus())
+        if self.stackable:
+            num = max(1, min(fanout, n // _MIN_STACKED_SHARD))
+        else:
+            num = min(fanout, n)
+        return max(num, -(-n // self.capacity))
+
+    def run(self, values_list):
+        """Serve one invocation across the pool.
+
+        Returns ``(rows, batched)`` shaped like
+        ``ExecutionBackend.run_many`` output, or ``None`` when the
+        invocation cannot shard (per-request parameter overrides) and
+        must run in-process.
+        """
+        params = self.session._params
+        for values in values_list:
+            for key, value in values.items():
+                if key not in self._input_names \
+                        and params.get(key) is not value:
+                    return None  # per-request params: in-process path
+        with self._lock:
+            if self.closed:
+                return None
+            return self._run_locked(values_list)
+
+    def _run_locked(self, values_list):
+        n = len(values_list)
+        num = self._num_shards(n)
+        base, extra = divmod(n, num)
+        shards, start = [], 0
+        for i in range(num):
+            count = base + (1 if i < extra else 0)
+            shards.append(_Shard(start, count))
+            start += count
+        injector = self.session._injector
+        if injector is not None and injector.on_parallel_dispatch():
+            shards[0].crash = True
+        rows = [None] * n
+        pending = deque(range(num))
+        idle = deque(range(len(self._workers)))
+        active: dict[int, int] = {}
+        deadline = time.monotonic() + _DISPATCH_TIMEOUT_S
+        layout = self.layout
+        while pending or active:
+            while pending and idle:
+                shard = shards[pending[0]]
+                if shard.seg is None:
+                    shard.seg = self.ring.acquire()
+                    buf = self.ring.buf(shard.seg)
+                    for i in range(shard.count):
+                        layout.write_inputs(buf, i,
+                                            values_list[shard.start + i])
+                worker_index = idle.popleft()
+                shard_index = pending.popleft()
+                self._workers[worker_index].conn.send(
+                    ("run", shard.seg, shard.count, shard.crash))
+                shard.crash = False  # an injected crash fires once
+                active[worker_index] = shard_index
+            conns = {self._workers[w].conn: w for w in active}
+            sentinels = {self._workers[w].proc.sentinel: w for w in active}
+            timeout = deadline - time.monotonic()
+            if timeout <= 0:
+                raise WorkerCrashed(
+                    f"parallel dispatch stalled past "
+                    f"{_DISPATCH_TIMEOUT_S:.0f}s with shards in flight",
+                    backend=self.name_for_errors())
+            ready = connection.wait(
+                list(conns) + list(sentinels), timeout=timeout)
+            handled = set()
+            for obj in ready:
+                worker_index = conns.get(obj)
+                if worker_index is None:
+                    worker_index = sentinels.get(obj)
+                if worker_index is None or worker_index in handled \
+                        or worker_index not in active:
+                    continue
+                handled.add(worker_index)
+                self._settle(worker_index, shards, values_list, rows,
+                             active, idle, pending)
+        for shard in shards:
+            if shard.error is not None:
+                raise shard.error
+        self._fill_reports(rows)
+        return rows, any(shard.batched for shard in shards)
+
+    def _settle(self, worker_index: int, shards, values_list, rows,
+                active, idle, pending) -> None:
+        """Consume one worker's completion - a reply or a death."""
+        worker = self._workers[worker_index]
+        shard_index = active[worker_index]
+        shard = shards[shard_index]
+        message = None
+        try:
+            if worker.conn.poll():
+                message = worker.conn.recv()
+        except (EOFError, OSError):
+            message = None
+        if message is None:
+            # No reply and the sentinel fired: the process died
+            # mid-shard.  Respawn (the ring - with this shard's inputs
+            # still in place - is re-inherited by the fresh fork) and
+            # re-dispatch; after the retry budget, run in-process.
+            del active[worker_index]
+            worker.conn.close()
+            worker.proc.join(timeout=5)
+            self.restarts += 1
+            shard.tries += 1
+            logger.warning(
+                "parallel worker %d died mid-shard (exit %s); respawning "
+                "(restart %d, shard try %d/%d)", worker_index,
+                worker.proc.exitcode, self.restarts, shard.tries,
+                _MAX_SHARD_RETRIES + 1)
+            self._workers[worker_index] = self._spawn(worker_index)
+            idle.append(worker_index)
+            if shard.tries <= _MAX_SHARD_RETRIES:
+                pending.append(shard_index)
+            else:
+                self._rescue_in_process(shard, values_list, rows)
+                self.ring.release(shard.seg)
+                shard.seg = None
+            return
+        kind = message[0]
+        del active[worker_index]
+        idle.append(worker_index)
+        if kind == "ok":
+            _, seg_index, walls, _backend_name, was_batched = message
+            shard.batched = bool(was_batched)
+            buf = self.ring.buf(seg_index)
+            for i in range(shard.count):
+                rows[shard.start + i] = (
+                    self.layout.read_outputs(buf, i), None, walls[i])
+        else:
+            shard.error = message[2]
+        self.ring.release(shard.seg)
+        shard.seg = None
+
+    def _rescue_in_process(self, shard, values_list, rows) -> None:
+        """Last-resort execution of a repeatedly-crashing shard in the
+        parent, through the same ``execute_values`` funnel on the inner
+        backend - byte-identical outputs, no scale-out for this shard."""
+        logger.warning(
+            "shard of %d requests exceeded its respawn budget; executing "
+            "in-process on %r", shard.count, self.inner_name)
+        copies = [dict(values_list[shard.start + i])
+                  for i in range(shard.count)]
+        results, _backend_name, _batched = self.session.execute_values(
+            copies, backend=get_backend(self.inner_name))
+        for i, row in enumerate(results):
+            rows[shard.start + i] = row
+
+    def _fill_reports(self, rows) -> None:
+        """Stamp the shared steady-state PoolReport on worker-served
+        rows (the worker's pool did the real accounting in its own
+        process; the parent-side report mirrors the steady-state shape
+        ``run_many`` fabricates once a pool is warm)."""
+        plan = self.session.program.slot_plan
+        report = PoolReport(
+            peak_bytes=plan.peak_bytes,
+            peak_copy_bytes=0,
+            final_bytes=self.session.pool.live_bytes,
+            timeline=self.session.program.timeline,
+            allocations=0,
+            reuses=plan.allocs_per_run,
+            total_allocated_bytes=plan.total_allocated_bytes,
+        )
+        for i, row in enumerate(rows):
+            if row is not None and row[1] is None:
+                rows[i] = (row[0], report, row[2])
+
+
+# ---------------------------------------------------------------------------
+# the backends
+# ---------------------------------------------------------------------------
+
+
+@register_backend
+class ParallelBackend(ExecutionBackend):
+    """Multi-process backend: shards invocations across a worker pool.
+
+    ``shards_requests`` marks it for
+    :meth:`~repro.runtime.session.Session.execute_values`, which routes
+    multi-request invocations through :meth:`try_sharded` instead of the
+    in-process stacked/sequential paths.  Everything else - ``run``,
+    ``run_serving``, ``run_many``, fusion attribution - delegates to the
+    *inner* backend, so a parallel session that cannot shard (platform
+    without ``fork``, per-request parameter overrides, pool startup
+    failure) behaves exactly like its inner backend in-process.
+    """
+
+    name = "parallel"
+    inner = "numpy"
+    shards_requests = True
+
+    def _inner(self) -> ExecutionBackend:
+        return get_backend(self.inner)
+
+    def fused_steps(self, program) -> int:
+        return self._inner().fused_steps(program)
+
+    def run(self, program, values):
+        return self._inner().run(program, values)
+
+    def run_serving(self, program, values, pool):
+        return self._inner().run_serving(program, values, pool)
+
+    def run_many(self, program, values_list, pool):
+        return self._inner().run_many(program, values_list, pool)
+
+    def run_stacked(self, program, variant, values_list, pool):
+        return self._inner().run_stacked(program, variant, values_list, pool)
+
+    def try_sharded(self, session, values_list):
+        """Serve the invocation across the session's worker pool.
+
+        Returns ``(rows, batched)`` or ``None`` when the pool is
+        unavailable (unsupported platform, startup failure, closed) or
+        the invocation carries per-request parameter overrides - the
+        caller then takes the normal in-process path on :attr:`inner`.
+        """
+        pool = session.ensure_parallel_pool()
+        if pool is None:
+            return None
+        return pool.run(values_list)
+
+
+@register_backend
+class ParallelCodegenBackend(ParallelBackend):
+    """Worker processes executing the fused codegen path."""
+
+    name = "parallel-codegen"
+    inner = "codegen"
+
+
+__all__ = [
+    "ParallelBackend", "ParallelCodegenBackend", "WorkerPool",
+    "parallel_supported",
+]

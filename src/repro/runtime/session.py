@@ -185,7 +185,8 @@ class Session:
                  framework: str = "Ours", model: str = "",
                  cell=None, program: ExecutionProgram | None = None,
                  backend: str = "numpy",
-                 faults: FaultPlan | None = None) -> None:
+                 faults: FaultPlan | None = None,
+                 workers: int = 1) -> None:
         self.graph = graph
         self.plan = plan
         self.config = config
@@ -215,6 +216,13 @@ class Session:
         self.faults = faults
         self._injector = faults.injector() if faults is not None else None
         self._fingerprint: str | None = None
+        # Parallel-backend state: the worker-process pool is created
+        # lazily (or eagerly by the Service front door, which owns the
+        # fork-before-threads timing) and only for sharding backends.
+        self.workers = max(1, int(workers))
+        self.parallel_capacity = 16
+        self._parallel_pool = None
+        self._parallel_failed = False
 
     @property
     def program(self) -> ExecutionProgram:
@@ -370,17 +378,45 @@ class Session:
                 name = REFERENCE_BACKEND
             else:
                 fallback = get_backend(REFERENCE_BACKEND)
-        stacked = self._stacked_context(values_list) \
-            if len(values_list) > 1 else None
-        if stacked is None:
-            def invoke(bk, vlist):
-                return bk.run_many(self.program, vlist, self.pool)
-        else:
-            variant, bucket_pool = stacked
+        # Sharding backends (the parallel family) route whole
+        # invocations across their worker pool; stacking then happens
+        # *inside* each worker's shard, so the in-process stacked
+        # context is only built when the pool declines the invocation.
+        sharding = getattr(primary, "shards_requests", False)
+        batched_flag = [False]
+        if sharding:
+            inner = get_backend(getattr(primary, "inner",
+                                        REFERENCE_BACKEND))
 
             def invoke(bk, vlist):
-                return bk.run_stacked(self.program, variant, vlist,
-                                      bucket_pool)
+                if getattr(bk, "shards_requests", False):
+                    sharded = bk.try_sharded(self, vlist)
+                    if sharded is not None:
+                        rows, was_batched = sharded
+                        batched_flag[0] = was_batched
+                        return rows
+                    bk = inner  # pool unavailable: in-process inner path
+                ctx = self._stacked_context(vlist) \
+                    if len(vlist) > 1 else None
+                if ctx is not None:
+                    batched_flag[0] = True
+                    return bk.run_stacked(self.program, ctx[0], vlist,
+                                          ctx[1])
+                batched_flag[0] = False
+                return bk.run_many(self.program, vlist, self.pool)
+        else:
+            stacked = self._stacked_context(values_list) \
+                if len(values_list) > 1 else None
+            batched_flag[0] = stacked is not None
+            if stacked is None:
+                def invoke(bk, vlist):
+                    return bk.run_many(self.program, vlist, self.pool)
+            else:
+                variant, bucket_pool = stacked
+
+                def invoke(bk, vlist):
+                    return bk.run_stacked(self.program, variant, vlist,
+                                          bucket_pool)
         # The runners mutate the value dicts in place (drops, outputs),
         # so the fallback replays pristine shallow copies.  Only armed
         # off the reference path: the default backend pays nothing.
@@ -396,7 +432,7 @@ class Session:
                 raise
             self._degrade(name, err)
             results = invoke(fallback, snapshots)
-            return results, REFERENCE_BACKEND, stacked is not None
+            return results, REFERENCE_BACKEND, batched_flag[0]
         except ReproError:
             raise  # injected kernel/alloc faults are backend-independent
         except Exception as err:  # noqa: BLE001 - runner failure
@@ -408,10 +444,10 @@ class Session:
             # was a backend bug, the request is rescued.
             self._degrade(name, err)
             results = invoke(fallback, snapshots)
-            return results, REFERENCE_BACKEND, stacked is not None
+            return results, REFERENCE_BACKEND, batched_flag[0]
         if fallback is not None:
             _CIRCUIT.record_success(name, self.fingerprint)
-        return results, name, stacked is not None
+        return results, name, batched_flag[0]
 
     def _stacked_context(self, values_list):
         """The ``(variant, bucket pool)`` serving one stacked pass, or
@@ -456,6 +492,62 @@ class Session:
                 pool.release(size)
             self._bucket_pools[factor] = pool
         return variant, pool
+
+    # -- parallel worker pool ----------------------------------------------
+
+    def ensure_parallel_pool(self):
+        """The session's worker-process pool, created on first need.
+
+        Only meaningful for sharding backends (``"parallel"``,
+        ``"parallel-codegen"``).  Returns ``None`` - permanently, after
+        logging once - when the platform cannot fork or pool startup
+        fails; the caller then serves in-process on the inner backend.
+        The :class:`~repro.api.Service` front door calls this eagerly
+        before starting its scheduler thread, so the fork happens while
+        the parent is still effectively single-threaded.
+        """
+        pool = self._parallel_pool
+        if pool is not None and pool.alive:
+            return pool
+        if self._parallel_failed:
+            return None
+        from .parallel_backend import WorkerPool, parallel_supported
+
+        backend = self._backend
+        inner = getattr(backend, "inner", REFERENCE_BACKEND)
+        if not parallel_supported():
+            self._parallel_failed = True
+            logger.warning(
+                "platform lacks the fork start method; %r serves "
+                "in-process on %r", self.backend, inner)
+            return None
+        try:
+            self._parallel_pool = WorkerPool(
+                self, inner=inner, workers=self.workers,
+                capacity=self.parallel_capacity)
+        except Exception:
+            self._parallel_failed = True
+            logger.exception(
+                "parallel worker pool failed to start for %r; serving "
+                "in-process on %r", self.model or self.graph.name, inner)
+            return None
+        return self._parallel_pool
+
+    @property
+    def parallel_restarts(self) -> int:
+        """Worker-process respawns performed by this session's pool."""
+        pool = self._parallel_pool
+        return pool.restarts if pool is not None else 0
+
+    def close(self) -> None:
+        """Release process-external resources (worker processes and
+        shared-memory segments).  Idempotent; the session remains usable
+        afterwards - a later sharded invocation simply recreates the
+        pool."""
+        pool = self._parallel_pool
+        if pool is not None:
+            self._parallel_pool = None
+            pool.close()
 
     def _degrade(self, backend_name: str, err: BaseException) -> None:
         """Record one fallback to the reference backend."""
@@ -548,7 +640,7 @@ class Session:
 def _compile_session(model: str | Graph, framework: str = "Ours",
                      device: DeviceSpec = SD8GEN2, batch: int = 1,
                      check_memory: bool = False, backend: str = "numpy",
-                     faults: FaultPlan | None = None,
+                     faults: FaultPlan | None = None, workers: int = 1,
                      **fw_kwargs) -> Session:
     """Compile a (model, framework, device) triple into a fresh Session.
 
@@ -581,7 +673,7 @@ def _compile_session(model: str | Graph, framework: str = "Ours",
         device=device, framework=framework,
         model=model if isinstance(model, str) else model.name,
         cell=cell, program=result.program, backend=backend,
-        faults=faults,
+        faults=faults, workers=workers,
     )
 
 
@@ -638,10 +730,11 @@ class SessionRegistry:
         self._sessions: OrderedDict = OrderedDict()
 
     def _key(self, model, framework, device, batch, backend, fw_kwargs,
-             faults=None):
+             faults=None, workers=1):
         """Hashable triple identity, or None when uncacheable."""
         key = (stable_model_key(model), framework, device or self.device,
-               batch, backend, faults, tuple(sorted(fw_kwargs.items())))
+               batch, backend, faults, workers,
+               tuple(sorted(fw_kwargs.items())))
         try:
             hash(key)
         except TypeError:  # unhashable config: compile uncached
@@ -651,20 +744,20 @@ class SessionRegistry:
     def compile(self, model: str | Graph, framework: str = "Ours",
                 device: DeviceSpec | None = None, batch: int = 1,
                 backend: str = "numpy", faults: FaultPlan | None = None,
-                **fw_kwargs) -> Session:
+                workers: int = 1, **fw_kwargs) -> Session:
         key = self._key(model, framework, device, batch, backend, fw_kwargs,
-                        faults)
+                        faults, workers)
         if key is None:
             return _compile_session(model, framework, device or self.device,
                                     batch, backend=backend, faults=faults,
-                                    **fw_kwargs)
+                                    workers=workers, **fw_kwargs)
         found = self._sessions.get(key)
         if found is not None:
             self._sessions.move_to_end(key)  # LRU: refresh recency
             return found
         session = _compile_session(model, framework, device or self.device,
                                    batch, backend=backend, faults=faults,
-                                   **fw_kwargs)
+                                   workers=workers, **fw_kwargs)
         self._sessions[key] = session
         if self.max_sessions is not None \
                 and len(self._sessions) > self.max_sessions:
@@ -674,10 +767,10 @@ class SessionRegistry:
     def evict(self, model: str | Graph, framework: str = "Ours",
               device: DeviceSpec | None = None, batch: int = 1,
               backend: str = "numpy", faults: FaultPlan | None = None,
-              **fw_kwargs) -> bool:
+              workers: int = 1, **fw_kwargs) -> bool:
         """Drop the live session for a triple; True when one was evicted."""
         key = self._key(model, framework, device, batch, backend, fw_kwargs,
-                        faults)
+                        faults, workers)
         return key is not None and self._sessions.pop(key, None) is not None
 
     def clear(self) -> None:

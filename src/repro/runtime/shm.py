@@ -1,0 +1,261 @@
+"""Shared-memory ndarray transport for the parallel execution backend.
+
+Request and response tensors cross the process boundary through a ring
+of preallocated ``multiprocessing.shared_memory`` segments instead of
+being pickled over a pipe.  The layout is *static*: every program's
+request shape is fixed (:attr:`ExecutionProgram.input_signature`) and so
+are its output specs, so one :class:`ShardLayout` computed at pool
+construction gives every request slot a fixed byte offset - writers and
+readers never exchange metadata, only a segment index and a request
+count.
+
+Segment lifecycle is the hazard here: a leaked segment outlives the
+process in ``/dev/shm``.  Every segment registers in a module-level
+registry on creation and unregisters on unlink; :func:`unlink_all` runs
+at interpreter exit as a backstop, and :func:`active_segments` lets
+tests assert nothing leaked.  Worker processes *inherit* segments over
+``fork`` and never create or unlink any - ownership stays with the
+parent.
+"""
+
+from __future__ import annotations
+
+import atexit
+import threading
+from collections import deque
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+# ---------------------------------------------------------------------------
+# segment registry - leak guarantee
+# ---------------------------------------------------------------------------
+
+_REGISTRY: dict[str, shared_memory.SharedMemory] = {}
+_REGISTRY_LOCK = threading.Lock()
+
+
+def active_segments() -> tuple[str, ...]:
+    """Names of every live segment this process created (tests assert
+    this is empty after ``Service.close()`` / ``Session.close()``)."""
+    with _REGISTRY_LOCK:
+        return tuple(sorted(_REGISTRY))
+
+
+def unlink_all() -> int:
+    """Unlink every registered segment; returns how many were closed.
+
+    Registered with :mod:`atexit` so an interpreter that dies without
+    closing its services still leaves ``/dev/shm`` clean.
+    """
+    with _REGISTRY_LOCK:
+        segments = list(_REGISTRY.values())
+        _REGISTRY.clear()
+    for segment in segments:
+        try:
+            segment.close()
+            segment.unlink()
+        except (FileNotFoundError, OSError):  # already gone - fine
+            pass
+    return len(segments)
+
+
+atexit.register(unlink_all)
+
+
+class SharedSegment:
+    """One owned shared-memory segment, registered for cleanup."""
+
+    __slots__ = ("shm", "_unlinked")
+
+    def __init__(self, nbytes: int) -> None:
+        self.shm = shared_memory.SharedMemory(create=True,
+                                              size=max(1, nbytes))
+        self._unlinked = False
+        with _REGISTRY_LOCK:
+            _REGISTRY[self.shm.name] = self.shm
+
+    @property
+    def name(self) -> str:
+        return self.shm.name
+
+    @property
+    def buf(self) -> memoryview:
+        return self.shm.buf
+
+    def unlink(self) -> None:
+        """Close and unlink; idempotent."""
+        if self._unlinked:
+            return
+        self._unlinked = True
+        with _REGISTRY_LOCK:
+            _REGISTRY.pop(self.shm.name, None)
+        try:
+            self.shm.close()
+            self.shm.unlink()
+        except (FileNotFoundError, OSError):  # pragma: no cover - raced
+            pass
+
+
+# ---------------------------------------------------------------------------
+# static per-request layout
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TensorSlot:
+    """One tensor's place inside a request's input or output block."""
+
+    name: str
+    shape: tuple
+    dtype: str
+    offset: int
+    nbytes: int
+
+
+def _align(offset: int, alignment: int = 64) -> int:
+    return (offset + alignment - 1) // alignment * alignment
+
+
+def _pack(specs) -> tuple[tuple[TensorSlot, ...], int]:
+    """Lay tensors head-to-tail (64-byte aligned) in one block."""
+    slots, offset = [], 0
+    for name, shape, dtype in specs:
+        nbytes = int(np.dtype(dtype).itemsize * int(np.prod(shape, dtype=np.int64)))
+        slots.append(TensorSlot(name, tuple(int(d) for d in shape),
+                                str(dtype), offset, nbytes))
+        offset = _align(offset + nbytes)
+    return tuple(slots), _align(max(offset, 1))
+
+
+class ShardLayout:
+    """Fixed byte layout of one segment: ``capacity`` request slots.
+
+    A segment is split into an input region and an output region, each
+    an array of per-request blocks::
+
+        [in_0 | in_1 | ... | in_{cap-1} | out_0 | ... | out_{cap-1}]
+
+    The dispatcher writes request ``i``'s input tensors into ``in_i``
+    and the worker writes its outputs into ``out_i`` - both sides
+    compute the same offsets from the program alone.
+    """
+
+    __slots__ = ("capacity", "inputs", "outputs", "request_in_bytes",
+                 "request_out_bytes", "segment_bytes")
+
+    def __init__(self, program, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("ShardLayout capacity must be at least 1")
+        self.capacity = int(capacity)
+        self.inputs, self.request_in_bytes = _pack(program.input_signature)
+        graph = program.graph
+        self.outputs, self.request_out_bytes = _pack(
+            (name, tuple(graph.shape(name)),
+             str(np.dtype(graph.tensors[name].dtype.numpy_dtype)))
+            for name in program.output_names)
+        self.segment_bytes = self.capacity * (
+            self.request_in_bytes + self.request_out_bytes)
+
+    # -- offsets ----------------------------------------------------------
+
+    def _in_base(self, index: int) -> int:
+        if not 0 <= index < self.capacity:
+            raise IndexError(f"request index {index} outside segment "
+                             f"capacity {self.capacity}")
+        return index * self.request_in_bytes
+
+    def _out_base(self, index: int) -> int:
+        if not 0 <= index < self.capacity:
+            raise IndexError(f"request index {index} outside segment "
+                             f"capacity {self.capacity}")
+        return (self.capacity * self.request_in_bytes
+                + index * self.request_out_bytes)
+
+    @staticmethod
+    def _view(buf, base: int, slot: TensorSlot) -> np.ndarray:
+        start = base + slot.offset
+        return np.ndarray(slot.shape, dtype=slot.dtype,
+                          buffer=buf, offset=start)
+
+    # -- transport --------------------------------------------------------
+
+    def write_inputs(self, buf, index: int, values: dict) -> None:
+        base = self._in_base(index)
+        for slot in self.inputs:
+            self._view(buf, base, slot)[...] = values[slot.name]
+
+    def read_inputs(self, buf, index: int) -> dict:
+        """Copies - the returned arrays do not alias the segment."""
+        base = self._in_base(index)
+        return {slot.name: self._view(buf, base, slot).copy()
+                for slot in self.inputs}
+
+    def write_outputs(self, buf, index: int, outputs: dict) -> None:
+        base = self._out_base(index)
+        for slot in self.outputs:
+            self._view(buf, base, slot)[...] = outputs[slot.name]
+
+    def read_outputs(self, buf, index: int) -> dict:
+        """Copies - safe to hand to callers after the segment recycles."""
+        base = self._out_base(index)
+        return {slot.name: self._view(buf, base, slot).copy()
+                for slot in self.outputs}
+
+
+# ---------------------------------------------------------------------------
+# segment ring
+# ---------------------------------------------------------------------------
+
+class SegmentRing:
+    """A fixed pool of segments handed out one per in-flight shard.
+
+    ``acquire`` blocks when every segment is in flight (the dispatcher
+    never has more shards outstanding than workers, so with
+    ``>= workers`` segments this only waits during respawn races).
+    """
+
+    __slots__ = ("layout", "segments", "_free", "_cond", "_closed")
+
+    def __init__(self, layout: ShardLayout, count: int) -> None:
+        self.layout = layout
+        self.segments = tuple(SharedSegment(layout.segment_bytes)
+                              for _ in range(max(1, count)))
+        self._free = deque(range(len(self.segments)))
+        self._cond = threading.Condition()
+        self._closed = False
+
+    def acquire(self, timeout: float = 30.0) -> int:
+        with self._cond:
+            if not self._cond.wait_for(
+                    lambda: self._free or self._closed, timeout):
+                raise TimeoutError("no free shared-memory segment "
+                                   f"after {timeout:.0f}s")
+            if self._closed:
+                raise RuntimeError("segment ring is closed")
+            return self._free.popleft()
+
+    def release(self, index: int) -> None:
+        with self._cond:
+            if not self._closed:
+                self._free.append(index)
+                self._cond.notify()
+
+    def buf(self, index: int) -> memoryview:
+        return self.segments[index].buf
+
+    def close(self) -> None:
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._free.clear()
+            self._cond.notify_all()
+        for segment in self.segments:
+            segment.unlink()
+
+
+__all__ = [
+    "SegmentRing", "ShardLayout", "SharedSegment", "TensorSlot",
+    "active_segments", "unlink_all",
+]

@@ -1,0 +1,239 @@
+"""Multi-process parallel backend: parity, sharding, supervision, shm.
+
+Everything here runs on smoke-scale models; bursts go through the real
+``repro.serve`` scheduler or straight through ``Session.execute_values``
+so the whole dispatch path (sharding, shared-memory transport, stacked
+passes inside workers, respawn supervision) is exercised end-to-end.
+Outputs are always compared **byte-identical** against a single-process
+reference session - the backend's core contract.
+"""
+
+import pytest
+
+import repro
+from repro.api import (
+    CompileOptions, InferenceRequest, InvalidOptions, ServeOptions, serve,
+)
+from repro.models import build_smoke
+from repro.runtime import FaultPlan, FaultRule, active_segments
+from repro.runtime import parallel_backend as pb
+from repro.runtime.parallel_backend import parallel_supported
+from repro.runtime.session import _compile_session
+
+pytestmark = pytest.mark.skipif(
+    not parallel_supported(), reason="fork start method unavailable")
+
+NO_FAULTS = FaultPlan()  # explicit empty plan: overrides ambient chaos
+
+
+def reference_outputs(graph, count):
+    session = _compile_session(graph, "Ours", faults=NO_FAULTS)
+    inputs = [session.make_inputs(seed=seed) for seed in range(count)]
+    return inputs, [session.run(dict(values)) for values in inputs]
+
+
+def assert_byte_identical(responses, expected):
+    for response, outputs in zip(responses, expected):
+        for key, value in outputs.items():
+            assert response.outputs[key].tobytes() == value.tobytes(), key
+
+
+class TestOptionsValidation:
+    def test_compile_workers_must_be_positive_int(self):
+        with pytest.raises(InvalidOptions, match="workers"):
+            CompileOptions(workers=0)
+        with pytest.raises(InvalidOptions, match="workers"):
+            CompileOptions(workers=-2)
+
+    def test_compile_batch_must_be_positive_int(self):
+        with pytest.raises(InvalidOptions, match="batch"):
+            CompileOptions(batch=0)
+
+    def test_serve_numeric_fields_validated(self):
+        with pytest.raises(InvalidOptions, match="max_batch_size"):
+            ServeOptions(max_batch_size=0)
+        with pytest.raises(InvalidOptions, match="max_wait_ms"):
+            ServeOptions(max_wait_ms=-1.0)
+        with pytest.raises(InvalidOptions, match="workers"):
+            ServeOptions(workers=0)
+
+    def test_invalid_options_is_a_value_error(self):
+        with pytest.raises(ValueError):
+            ServeOptions(max_batch_size=0)
+
+    def test_serve_shorthand_overrides_nested_compile(self):
+        options = ServeOptions(backend="parallel", workers=3)
+        compile_options = options.resolved_compile()
+        assert compile_options.backend == "parallel"
+        assert compile_options.workers == 3
+
+    def test_serve_shorthand_defaults_to_nested_compile(self):
+        nested = CompileOptions(backend="codegen", workers=2)
+        assert ServeOptions(compile=nested).resolved_compile() is nested
+
+
+class TestParallelParity:
+    def test_served_burst_is_byte_identical_and_stacked(self):
+        graph = build_smoke("ViT")
+        inputs, expected = reference_outputs(graph, 32)
+        service = serve(graph, ServeOptions(
+            backend="parallel", workers=2, max_batch_size=16,
+            max_wait_ms=5.0, compile=CompileOptions(faults=NO_FAULTS)))
+        try:
+            futures = [service.submit(InferenceRequest(inputs=values))
+                       for values in inputs]
+            responses = [f.result(timeout=120) for f in futures]
+            report = service.report()
+        finally:
+            service.close()
+        assert_byte_identical(responses, expected)
+        assert report.stacked_batches > 0
+        assert report.worker_restarts == 0
+
+    def test_parallel_codegen_burst_is_byte_identical(self):
+        graph = build_smoke("Conformer")
+        inputs, expected = reference_outputs(graph, 16)
+        service = serve(graph, ServeOptions(
+            backend="parallel-codegen", workers=2, max_batch_size=16,
+            max_wait_ms=5.0, compile=CompileOptions(faults=NO_FAULTS)))
+        try:
+            futures = [service.submit(InferenceRequest(inputs=values))
+                       for values in inputs]
+            responses = [f.result(timeout=120) for f in futures]
+        finally:
+            service.close()
+        assert_byte_identical(responses, expected)
+
+    def test_solo_request_through_parallel_session(self):
+        graph = build_smoke("Pythia")
+        inputs, expected = reference_outputs(graph, 1)
+        session = _compile_session(
+            graph, "Ours", backend="parallel", workers=2, faults=NO_FAULTS)
+        try:
+            outputs = session.run(dict(inputs[0]))
+            for key, value in expected[0].items():
+                assert outputs[key].tobytes() == value.tobytes()
+        finally:
+            session.close()
+
+    def test_unsupported_platform_degrades_in_process(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.runtime.parallel_backend.parallel_supported",
+            lambda: False)
+        graph = build_smoke("Pythia")
+        inputs, expected = reference_outputs(graph, 4)
+        session = _compile_session(
+            graph, "Ours", backend="parallel", workers=2, faults=NO_FAULTS)
+        try:
+            assert session.ensure_parallel_pool() is None
+            results, backend_name, _ = session.execute_values(
+                [session._admit(dict(values)) for values in inputs])
+            for (outputs, _report, _wall), want in zip(results, expected):
+                for key, value in want.items():
+                    assert outputs[key].tobytes() == value.tobytes()
+        finally:
+            session.close()
+
+
+class TestCrashSupervision:
+    CRASH_ONCE = FaultPlan(rules=(
+        FaultRule(kind="worker_crash", probability=1.0, times=1),))
+
+    def burst(self, graph, inputs, plan, workers=2):
+        service = serve(graph, ServeOptions(
+            backend="parallel", workers=workers, max_batch_size=32,
+            max_wait_ms=5.0, compile=CompileOptions(faults=plan)))
+        try:
+            futures = [service.submit(InferenceRequest(inputs=values))
+                       for values in inputs]
+            responses = [f.result(timeout=120) for f in futures]
+            report = service.report()
+        finally:
+            service.close()
+        return responses, report
+
+    def test_crash_mid_shard_respawns_with_identical_outputs(self):
+        graph = build_smoke("ViT")
+        inputs, expected = reference_outputs(graph, 32)
+        responses, report = self.burst(graph, inputs, self.CRASH_ONCE)
+        assert_byte_identical(responses, expected)
+        assert report.worker_restarts == 1
+        assert not active_segments()
+
+    def test_exhausted_respawn_budget_rescues_in_process(self, monkeypatch):
+        monkeypatch.setattr(pb, "_MAX_SHARD_RETRIES", 0)
+        graph = build_smoke("ViT")
+        inputs, expected = reference_outputs(graph, 32)
+        responses, report = self.burst(graph, inputs, self.CRASH_ONCE)
+        assert_byte_identical(responses, expected)
+        assert report.worker_restarts == 1
+        assert not active_segments()
+
+    def test_chaos_plan_worker_crashes_are_absorbed(self):
+        graph = build_smoke("ViT")
+        inputs, expected = reference_outputs(graph, 32)
+        for seed in (7, 20_240_428):
+            responses, _report = self.burst(
+                graph, inputs, FaultPlan.chaos(seed))
+            assert_byte_identical(responses, expected)
+        assert not active_segments()
+
+
+class TestShmCleanup:
+    def test_close_unlinks_every_segment(self):
+        graph = build_smoke("Pythia")
+        service = serve(graph, ServeOptions(
+            backend="parallel", workers=2,
+            compile=CompileOptions(faults=NO_FAULTS)))
+        future = service.submit(InferenceRequest(
+            inputs=_compile_session(
+                graph, "Ours", faults=NO_FAULTS).make_inputs(seed=0)))
+        future.result(timeout=120)
+        assert active_segments()  # the ring is live while serving
+        service.close()
+        assert not active_segments()
+
+    def test_close_is_idempotent_and_session_survives(self):
+        graph = build_smoke("Pythia")
+        session = _compile_session(
+            graph, "Ours", backend="parallel", workers=1, faults=NO_FAULTS)
+        inputs = session.make_inputs(seed=0)
+        first = session.run(dict(inputs))
+        session.close()
+        session.close()
+        assert not active_segments()
+        # The session stays usable: the pool is recreated on demand.
+        again = session.run(dict(inputs))
+        for key, value in first.items():
+            assert again[key].tobytes() == value.tobytes()
+        session.close()
+        assert not active_segments()
+
+
+class TestSharding:
+    def test_stackable_shards_stay_large(self):
+        graph = build_smoke("ViT")
+        session = _compile_session(
+            graph, "Ours", backend="parallel", workers=4, faults=NO_FAULTS)
+        session.parallel_capacity = 32
+        try:
+            pool = session.ensure_parallel_pool()
+            assert pool is not None
+            assert pool._num_shards(1) == 1
+            assert pool._num_shards(pb._MIN_STACKED_SHARD - 1) == 1
+            # capacity bounds a shard from above regardless of fan-out
+            assert pool._num_shards(4 * pool.capacity) >= 4
+        finally:
+            session.close()
+
+    def test_worker_restarts_visible_on_session(self):
+        graph = build_smoke("Pythia")
+        session = _compile_session(
+            graph, "Ours", backend="parallel", workers=1,
+            faults=FaultPlan(rules=(
+                FaultRule(kind="worker_crash", probability=1.0, times=1),)))
+        try:
+            session.run(dict(session.make_inputs(seed=0)))
+            assert session.parallel_restarts == 1
+        finally:
+            session.close()
