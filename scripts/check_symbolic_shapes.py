@@ -1,0 +1,136 @@
+"""CI gate for symbolic-shape serving.
+
+Asserts, against a freshly generated ``BENCH_pipeline.json``:
+
+* the ``serve.symbolic`` section is present and covers Pythia and ViT;
+* first-request latency at a new in-bucket shape is >= 10x lower than
+  a cold concrete compile plus first request, on both models.
+
+Then runs live checks:
+
+* shape-sweep parity - one symbolic compile (both in-process backends)
+  serves every extent in ``1..MAX_EXTENT`` byte-identical to a fresh
+  concrete compile at that extent;
+* compile-count ceiling - the sweep builds exactly one variant per
+  power-of-two bucket and the codegen backend emits once per bucket
+  (plus the base program), never per shape;
+* cleanliness - no shared-memory segments leak after a symbolic
+  parallel session closes.
+
+Usage: PYTHONPATH=src python scripts/check_symbolic_shapes.py [BENCH.json]
+"""
+
+import json
+import sys
+
+from repro.models import build_smoke
+from repro.runtime import active_segments
+from repro.runtime.batching import bucket
+from repro.runtime.codegen_backend import emission_count
+from repro.runtime.parallel_backend import parallel_supported
+from repro.runtime.session import _compile_session
+
+GATED_MODELS = ("Pythia", "ViT")
+MIN_SPEEDUP = 10.0
+MAX_EXTENT = 8
+
+
+def check_bench(path: str) -> None:
+    symbolic = json.load(open(path))["serve"]["symbolic"]
+    models = symbolic["models"]
+    missing = sorted(set(GATED_MODELS) - set(models))
+    assert not missing, f"serve.symbolic missing models: {missing}"
+    for name in GATED_MODELS:
+        entry = models[name]
+        new_ms = entry["new_shape_request_ms"]
+        cold_ms = entry["cold_compile_request_ms"]
+        speedup = entry["speedup"]
+        print(f"{name}: new in-bucket shape {new_ms} ms vs cold compile "
+              f"{cold_ms} ms = {speedup:.1f}x")
+        assert speedup >= MIN_SPEEDUP, (
+            f"{name}: first request at a new in-bucket shape is only "
+            f"{speedup:.1f}x faster than a cold concrete compile "
+            f"(< {MIN_SPEEDUP:.0f}x)")
+
+
+def symbolic_signature(graph):
+    return {name: (None,) + tuple(graph.tensors[name].shape)[1:]
+            for name in graph.inputs}
+
+
+def check_shape_sweep_parity() -> None:
+    for name in GATED_MODELS:
+        references = {}
+        for extent in range(1, MAX_EXTENT + 1):
+            concrete = _compile_session(build_smoke(name, batch=extent),
+                                        "Ours")
+            values = concrete._admit(concrete.make_inputs(seed=extent))
+            references[extent] = (
+                values, concrete.execute_values([dict(values)])[0][0][0])
+        for backend in ("numpy", "codegen"):
+            graph = build_smoke(name, batch=1)
+            session = _compile_session(
+                build_smoke(name, batch=1), "Ours", backend=backend,
+                signature=symbolic_signature(graph), max_extent=MAX_EXTENT)
+            before = emission_count()
+            for _sweep in range(2):
+                for extent, (values, want) in references.items():
+                    got = session.execute_values(
+                        [session._admit(values)])[0][0][0]
+                    for key in want:
+                        assert got[key].shape == want[key].shape, (
+                            f"{name}/{backend} S={extent}: shape mismatch "
+                            f"on {key!r}")
+                        assert got[key].tobytes() == want[key].tobytes(), (
+                            f"{name}/{backend} S={extent}: outputs not "
+                            f"byte-identical on {key!r}")
+            variants = session.program.backend_cache.get(
+                "batching.symbolic", {})
+            expected = {bucket(extent)
+                        for extent in range(2, MAX_EXTENT + 1)}
+            assert set(variants) == expected, (
+                f"{name}/{backend}: buckets {sorted(variants)} != "
+                f"expected {sorted(expected)}")
+            emitted = emission_count() - before
+            ceiling = len(expected) + 1  # one per bucket + base program
+            assert emitted <= ceiling, (
+                f"{name}/{backend}: {emitted} codegen emissions for a "
+                f"{MAX_EXTENT}-shape sweep (ceiling {ceiling}: one per "
+                f"bucket plus the base program)")
+            print(f"{name}/{backend}: {MAX_EXTENT}-extent sweep "
+                  f"byte-identical, {len(variants)} bucket variants, "
+                  f"{emitted} emissions (ceiling {ceiling})")
+
+
+def check_no_leaked_segments() -> None:
+    if not parallel_supported():
+        print("fork unavailable: skipping parallel segment check")
+        return
+    graph = build_smoke("Pythia", batch=1)
+    session = _compile_session(
+        build_smoke("Pythia", batch=1), "Ours", backend="parallel",
+        workers=2, signature=symbolic_signature(graph),
+        max_extent=MAX_EXTENT)
+    try:
+        import numpy as np
+        base = session.make_inputs(seed=0)
+        grown = {key: np.resize(value, (5,) + value.shape[1:])
+                 for key, value in base.items()}
+        session.execute_values(
+            [session._admit(grown) for _ in range(4)])
+    finally:
+        session.close()
+    leaked = active_segments()
+    assert not leaked, f"shared-memory segments leaked: {leaked}"
+    print("symbolic parallel session: served extent 5, no leaked segments")
+
+
+def main(path: str = "BENCH_pipeline.json") -> int:
+    check_bench(path)
+    check_shape_sweep_parity()
+    check_no_leaked_segments()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(*sys.argv[1:]))

@@ -42,6 +42,7 @@ from .api import (
 from .core.pipeline import OptimizeResult, PipelineStages, smartmem_optimize
 from .ir.builder import GraphBuilder
 from .ir.graph import Graph
+from .ir.symbolic import SYM, SymDim
 from .models import build as build_model
 from .runtime.cost_model import CostModelConfig, CostReport, estimate
 from .runtime.device import DEVICES, DIMENSITY700, DeviceSpec, SD835, SD8GEN2, V100
@@ -71,7 +72,8 @@ __all__ = [
     "OptimizeResult",
     "PipelineStages", "QueueFull", "ReproError", "RequestCancelled",
     "RetryPolicy", "SD835",
-    "SD8GEN2", "ServeOptions", "Service", "ServiceClosed", "ServiceReport",
+    "SD8GEN2", "SYM", "ServeOptions", "Service", "ServiceClosed",
+    "ServiceReport", "SymDim",
     "V100", "WorkerCrashed", "build_model", "compile", "estimate",
     "estimate_cost", "optimize",
     "serve", "smartmem_optimize", "__version__",

@@ -57,10 +57,9 @@ class CompiledModel:
 
     def __init__(self, session: Session) -> None:
         self._session = session
-        program = session.program
-        self._signature = {
-            name: (shape, np.dtype(dtype))
-            for name, shape, dtype in program.input_signature}
+        # Admission spec: symbolic sessions spell the leading dim SYM
+        # (rendered "?"); concrete sessions get exact graph shapes.
+        self._signature = session.serving_signature
 
     # -- introspection -----------------------------------------------------
 
@@ -102,12 +101,16 @@ class CompiledModel:
         Raises :class:`~repro.api.errors.AdmissionError` (a
         :class:`ValueError`) naming the offending tensor for empty
         requests, unknown input names, missing inputs, wrong shapes, and
-        wrong dtypes - before anything reaches the backend.
+        wrong dtypes - before anything reaches the backend.  Under a
+        symbolic compile the leading dim admits any extent in the served
+        bucket range ``1..max_extent`` (shared across the request's
+        inputs); everything past the leading dim stays exact.
         """
         inputs = request.inputs
         rid = request.request_id
         who = "request" if rid is None else f"request {rid!r}"
         session = self._session
+        sym = session.symbolic
 
         def reject(message: str) -> AdmissionError:
             return AdmissionError(
@@ -119,6 +122,7 @@ class CompiledModel:
             raise reject(
                 f"{who} has no input tensors; expected {sorted(signature)}")
         values = dict(session._params)
+        extent = extent_name = None
         for name, value in inputs.items():
             spec = signature.get(name)
             if spec is None:
@@ -128,7 +132,27 @@ class CompiledModel:
             shape, dtype = spec
             if not isinstance(value, np.ndarray):
                 value = np.asarray(value)
-            if value.shape != shape:
+            if sym is not None and name in sym.inputs:
+                got = tuple(value.shape)
+                if len(got) != len(shape) or got[1:] != shape[1:]:
+                    raise reject(
+                        f"{who}: input {name!r}: got shape {got}, "
+                        f"expected {shape} (symbolic leading extent, "
+                        f"served bucket range 1..{sym.max_extent})")
+                if not 1 <= got[0] <= sym.max_extent:
+                    raise reject(
+                        f"{who}: input {name!r}: leading extent {got[0]} "
+                        f"is outside the served bucket range "
+                        f"1..{sym.max_extent}")
+                if extent is None:
+                    extent, extent_name = got[0], name
+                elif got[0] != extent:
+                    raise reject(
+                        f"{who}: input {name!r}: leading extent {got[0]} "
+                        f"disagrees with input {extent_name!r} (extent "
+                        f"{extent}); a request's inputs share one "
+                        f"symbolic extent")
+            elif value.shape != shape:
                 raise reject(
                     f"{who}: input {name!r}: got shape "
                     f"{tuple(value.shape)}, expected {shape}")
@@ -248,6 +272,7 @@ def compile(model: str | Graph, options: CompileOptions | None = None,
         backend=options.backend, faults=options.faults,
         workers=options.workers,
         check_memory=options.check_memory,
+        signature=options.signature, max_extent=options.max_extent,
         **options.framework_kwargs())
     return CompiledModel(session)
 
@@ -263,5 +288,6 @@ def compile_private(model: str | Graph,
         model, options.framework, options.device, options.batch,
         check_memory=options.check_memory, backend=options.backend,
         faults=options.faults, workers=options.workers,
+        signature=options.signature, max_extent=options.max_extent,
         **options.framework_kwargs())
     return CompiledModel(session)

@@ -82,6 +82,18 @@ class CompileOptions:
       latency/kernel/alloc/compile faults at the backend-invocation
       level (reliability testing; ``None`` = the ambient
       ``REPRO_FAULT_SEED`` chaos plan, if set).
+    * ``signature`` - optional symbolic input signature: a mapping from
+      graph-input name to its shape with the *leading* dim replaced by a
+      placeholder (``None`` or :data:`repro.ir.symbolic.SYM`), e.g.
+      ``{"tokens": (None, 128)}``.  The compiled model then admits any
+      leading extent up to ``max_extent`` through one compile - requests
+      execute at their exact extent via per-bucket symbolic variants,
+      byte-identical to a fresh concrete compile at that extent.
+      Unnamed graph inputs default to the same symbolic leading dim (the
+      leading extent is shared across inputs by construction).
+    * ``max_extent`` - largest leading extent a symbolic compile admits;
+      sizes the per-bucket slot plans, conv scratch, and shm layouts.
+      Required alongside ``signature``.
     """
 
     framework: str = "Ours"
@@ -92,6 +104,8 @@ class CompileOptions:
     check_memory: bool = False
     stages: PipelineStages | None = None
     faults: FaultPlan | None = None
+    signature: tuple | dict | None = None
+    max_extent: int = 0
 
     def __post_init__(self) -> None:
         if not isinstance(self.batch, int) or self.batch < 1:
@@ -101,6 +115,39 @@ class CompileOptions:
             raise InvalidOptions(
                 f"CompileOptions.workers must be an int >= 1, "
                 f"got {self.workers!r}")
+        if self.signature is not None:
+            from ..ir.symbolic import SymDim
+            if isinstance(self.signature, dict):
+                items = self.signature.items()
+            else:
+                items = self.signature
+            normalized = []
+            for name, shape in items:
+                dims = []
+                for dim in shape:
+                    if dim is None or isinstance(dim, SymDim):
+                        dims.append(None)  # hashable placeholder spelling
+                    else:
+                        dims.append(int(dim))
+                if not dims or dims[0] is not None:
+                    raise InvalidOptions(
+                        f"CompileOptions.signature: input {name!r} must "
+                        f"lead with a symbolic placeholder (None/SYM), "
+                        f"got {tuple(shape)!r}")
+                if any(d is None for d in dims[1:]):
+                    raise InvalidOptions(
+                        f"CompileOptions.signature: input {name!r}: only "
+                        f"the leading dim may be symbolic, got "
+                        f"{tuple(shape)!r}")
+                normalized.append((str(name), tuple(dims)))
+            object.__setattr__(self, "signature", tuple(normalized))
+            if not isinstance(self.max_extent, int) or self.max_extent < 1:
+                raise InvalidOptions(
+                    "CompileOptions.max_extent must be an int >= 1 when a "
+                    f"symbolic signature is given, got {self.max_extent!r}")
+        elif self.max_extent:
+            raise InvalidOptions(
+                "CompileOptions.max_extent requires a symbolic signature")
 
     def framework_kwargs(self) -> dict:
         """Keyword arguments forwarded to the framework constructor."""

@@ -184,6 +184,18 @@ def main(argv: list[str]) -> int:
                     rows,
                     title="== Roofline (per-step measured walls vs static "
                           "traffic stamps; full detail in serve.roofline) =="))
+            symbolic = serve.get("symbolic")
+            if symbolic:
+                print(format_table(
+                    ["Model", "new shape (ms)", "cold compile (ms)",
+                     "speedup", "buckets"],
+                    [[name, f"{entry['new_shape_request_ms']:.3f}",
+                      f"{entry['cold_compile_request_ms']:.3f}",
+                      f"{entry['speedup']:.1f}x",
+                      str(entry["buckets_compiled"])]
+                     for name, entry in symbolic["models"].items()],
+                    title="== Symbolic shapes (first request at a new "
+                          "in-bucket extent vs cold concrete compile) =="))
             scheduler = serve.get("scheduler")
             if scheduler:
                 print(format_table(

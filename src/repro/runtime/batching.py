@@ -66,12 +66,14 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, replace
 
+from ..ir.symbolic import OPEN_STOP, SYM, SymViewChain
 from ..ir.view import ViewChain, ViewStep
 from .kernels import bind_conv2d
 from .program import ExecutionProgram, SlotPlan, Step, _compile_view
 
 _ANALYSIS_KEY = "batching.analysis"
 _VARIANTS_KEY = "batching.variants"
+_SYMBOLIC_KEY = "batching.symbolic"
 
 
 class NotStackable(Exception):
@@ -189,8 +191,47 @@ def rebatch(program: ExecutionProgram, factor: int) -> ExecutionProgram:
     if variants is None:
         variants = program.backend_cache[_VARIANTS_KEY] = {}
     found = variants.get(factor)
-    if found is not None:
-        return found
+    if found is None:
+        found = variants[factor] = _build_variant(program, factor,
+                                                  symbolic=False)
+    return found
+
+
+def symbolize(program: ExecutionProgram, factor: int) -> ExecutionProgram:
+    """The extent-polymorphic bucket-``factor`` variant (cached).
+
+    Where :func:`rebatch` pins the variant to one stacked extent,
+    ``symbolize`` builds a variant that executes *any* leading extent
+    up to the bound ``B * factor`` at that exact extent: output shapes
+    carry the :data:`~repro.ir.symbolic.SYM` placeholder, reshape
+    targets and batch-axis slices use the runtime-clamped spellings
+    (``-1`` / :data:`~repro.ir.symbolic.OPEN_STOP`), and only the slot
+    plan, conv scratch, and traffic accounting are sized at the bound.
+    Unlike a stacked pass, no per-request GEMM splitting is applied -
+    an exact-extent run issues the identical kernel calls a fresh
+    concrete compile at that extent would, so outputs are
+    byte-identical to it.  One variant per power-of-two bucket serves
+    the whole shape family; ``factor == 1`` still builds a real variant
+    (it serves extents below the base batch).  Raises
+    :class:`NotStackable` when :func:`analyze` refuted scaling.
+    """
+    if factor < 1:
+        raise ValueError("batch factor must be at least 1")
+    variants = program.backend_cache.get(_SYMBOLIC_KEY)
+    if variants is None:
+        variants = program.backend_cache[_SYMBOLIC_KEY] = {}
+    found = variants.get(factor)
+    if found is None:
+        found = variants[factor] = _build_variant(program, factor,
+                                                  symbolic=True)
+    return found
+
+
+def _build_variant(program: ExecutionProgram, factor: int,
+                   symbolic: bool) -> ExecutionProgram:
+    """Shared variant builder behind :func:`rebatch` and
+    :func:`symbolize` - one machinery, two output spellings (concrete
+    scaled shapes vs extent-polymorphic placeholders)."""
     analysis = analyze(program)
     if not analysis.stackable:
         raise NotStackable(
@@ -203,13 +244,18 @@ def rebatch(program: ExecutionProgram, factor: int) -> ExecutionProgram:
     steps = []
     for index, step in enumerate(program.steps):
         out_batched, attrs, views, kernel = _transform_step(
-            step, B, factor, batched, shape_of)
+            step, B, factor, batched, shape_of, symbolic)
         for out, out_shape in zip(step.out_names, step.out_shapes):
             shapes[out] = tuple(out_shape)
-        out_shapes = tuple(
-            (shape[0] * factor,) + tuple(shape[1:]) if out_batched
-            else tuple(shape)
-            for shape in step.out_shapes)
+        if out_batched and symbolic:
+            out_shapes = tuple(
+                (SYM,) + tuple(shape[1:]) for shape in step.out_shapes)
+        elif out_batched:
+            out_shapes = tuple(
+                (shape[0] * factor,) + tuple(shape[1:])
+                for shape in step.out_shapes)
+        else:
+            out_shapes = tuple(tuple(shape) for shape in step.out_shapes)
         scale = factor if out_batched else 1
         steps.append(Step(
             node_id=step.node_id,
@@ -232,17 +278,32 @@ def rebatch(program: ExecutionProgram, factor: int) -> ExecutionProgram:
         ))
     plan = replace(plan, scratch_sizes=tuple(
         s.scratch_bytes for s in steps if s.scratch_bytes))
-    input_signature = tuple(
-        (name, (shape[0] * factor,) + tuple(shape[1:]), dtype)
-        for name, shape, dtype in program.input_signature)
+    if symbolic:
+        input_signature = tuple(
+            (name, (SYM,) + tuple(shape[1:]), dtype)
+            for name, shape, dtype in program.input_signature)
+    else:
+        input_signature = tuple(
+            (name, (shape[0] * factor,) + tuple(shape[1:]), dtype)
+            for name, shape, dtype in program.input_signature)
     # Chains are runs of step indices, stable across rebatching: the
     # variant inherits them verbatim and the codegen backend re-derives
     # its in-place decisions from the variant's scaled shapes.
     variant = ExecutionProgram(
         program.graph, tuple(steps), plan,
         input_signature=input_signature, batch_factor=factor,
-        fused_chains=program.fused_chains)
-    variants[factor] = variant
+        fused_chains=program.fused_chains,
+        symbolic_extent=B * factor if symbolic else None)
+    if symbolic:
+        # A symbolic variant is never itself stacked or re-scaled:
+        # requests route to it per bucket and run at their exact
+        # extent.  Pre-seeding the analysis keeps anything that probes
+        # the variant (which carries SYM shapes analyze cannot read)
+        # on the sequential path.
+        variant.backend_cache[_ANALYSIS_KEY] = BatchAnalysis(
+            False, "symbolic bucket variant: requests execute at their "
+            "exact runtime extent; bucketing replaces stacking",
+            frozenset(), B * factor)
     return variant
 
 
@@ -270,7 +331,8 @@ def _shape_resolver(program: ExecutionProgram):
     return shapes, shape_of
 
 
-def _scale_chain(chain: ViewChain, B: int, factor: int) -> ViewChain:
+def _scale_chain(chain: ViewChain, B: int, factor: int,
+                 symbolic: bool = False):
     """Scale one view chain's batch axis from ``B`` to ``B * factor``.
 
     Tracks the batch axis *position* through the chain - transposes move
@@ -278,6 +340,14 @@ def _scale_chain(chain: ViewChain, B: int, factor: int) -> ViewChain:
     both sides, slices must take its full range - and requires the chain
     to end with the batch back on axis 0 (the kernel-argument
     invariant).  Raises :class:`NotStackable` otherwise.
+
+    ``symbolic`` additionally emits the extent-polymorphic twin: the
+    batch position of a reshape target becomes ``-1`` and the batch-axis
+    slice triple becomes ``(0, OPEN_STOP, 1)`` (both clamp to the actual
+    runtime extent), packaged as a
+    :class:`~repro.ir.symbolic.SymViewChain`.  The concrete scaled chain
+    is still built and validated first, so the symbolic twin inherits
+    every rule check.
     """
     shape = chain.in_shape
     if not shape or shape[0] != B:
@@ -285,9 +355,11 @@ def _scale_chain(chain: ViewChain, B: int, factor: int) -> ViewChain:
             f"view chain input {shape} does not lead with the batch axis")
     pos = 0
     steps: list[ViewStep] = []
+    sym_steps: list[ViewStep] = []
     for step in chain.steps:
         if step.kind == "transpose":
             steps.append(step)
+            sym_steps.append(step)
             pos = step.arg.index(pos)
         elif step.kind == "slice":
             lo, hi, stride = step.arg[pos]
@@ -296,6 +368,8 @@ def _scale_chain(chain: ViewChain, B: int, factor: int) -> ViewChain:
                     f"view slice {step.arg[pos]} cuts the batch axis")
             steps.append(ViewStep("slice", (
                 step.arg[:pos] + ((0, B * factor, 1),) + step.arg[pos + 1:])))
+            sym_steps.append(ViewStep("slice", (
+                step.arg[:pos] + ((0, OPEN_STOP, 1),) + step.arg[pos + 1:])))
         else:  # reshape
             if any(d != 1 for d in shape[:pos]):
                 raise NotStackable(
@@ -313,6 +387,8 @@ def _scale_chain(chain: ViewChain, B: int, factor: int) -> ViewChain:
                     f"view reshape to {target} merges the batch axis")
             steps.append(ViewStep(
                 "reshape", target[:q] + (B * factor,) + target[q + 1:]))
+            sym_steps.append(ViewStep(
+                "reshape", target[:q] + (-1,) + target[q + 1:]))
             pos = q
         shape = step.output_shape(shape)
     if pos != 0:
@@ -327,6 +403,9 @@ def _scale_chain(chain: ViewChain, B: int, factor: int) -> ViewChain:
         raise NotStackable(
             f"scaled view chain produces {scaled.out_shape}, "
             f"expected {expected}")
+    if symbolic:
+        return SymViewChain((SYM,) + chain.in_shape[1:], sym_steps,
+                            (SYM,) + chain.out_shape[1:])
     return scaled
 
 
@@ -359,7 +438,8 @@ def _per_request_rows(kernel, B: int):
 
 
 def _transform_step(step: Step, B: int, factor: int, batched,
-                    shape_of) -> tuple[bool, dict, tuple, object]:
+                    shape_of, symbolic: bool = False,
+                    ) -> tuple[bool, dict, tuple, object]:
     """Check one step's stacking rule and scale its batch-dependent
     capture.
 
@@ -368,12 +448,22 @@ def _transform_step(step: Step, B: int, factor: int, batched,
     the (possibly re-scaled) ``(position, ViewChain)`` capture, and the
     kernel (wrapped by :func:`_per_request_rows` for rank-2 GEMMs).
     Raises :class:`NotStackable` when stacking would change results.
+
+    ``symbolic`` keeps every rule check on the concrete base shapes but
+    emits extent-polymorphic artifacts instead of scaled ones: reshape
+    targets lead with ``-1``, slice stops with
+    :data:`~repro.ir.symbolic.OPEN_STOP` (the ``slice`` kernel clamps),
+    view chains become :class:`~repro.ir.symbolic.SymViewChain`, and
+    rank-2 GEMMs are *not* wrapped by :func:`_per_request_rows` - an
+    exact-extent pass must issue the same single GEMM call a concrete
+    compile at that extent issues, which is what makes symbolic outputs
+    byte-identical to fresh concrete compiles.
     """
     op = step.op_type
     arg_batched = tuple(name in batched for name in step.arg_names)
     views = []
     for idx, chain in step.views:
-        views.append((idx, _scale_chain(chain, B, factor)
+        views.append((idx, _scale_chain(chain, B, factor, symbolic)
                       if arg_batched[idx] else chain))
     views = tuple(views)
     if not any(arg_batched):
@@ -431,7 +521,8 @@ def _transform_step(step: Step, B: int, factor: int, batched,
                 if attrs.get("transpose_a"):
                     raise NotStackable(
                         "matmul: transpose_a folds the batch axis")
-                kernel = _per_request_rows(kernel, B)
+                if not symbolic:
+                    kernel = _per_request_rows(kernel, B)
         else:
             if rb < 3 or ra > 2:
                 raise NotStackable(
@@ -442,7 +533,7 @@ def _transform_step(step: Step, B: int, factor: int, batched,
         if rank < 2:
             raise NotStackable("dense: rank-1 activation contracts the "
                                "batch axis")
-        if rank == 2:
+        if rank == 2 and not symbolic:
             kernel = _per_request_rows(kernel, B)
     elif op == "softmax":
         if int(attrs.get("axis", -1)) % rank == 0:
@@ -474,7 +565,8 @@ def _transform_step(step: Step, B: int, factor: int, batched,
         if not target or target[0] != B:
             raise NotStackable(
                 f"reshape to {target} merges the batch axis")
-        attrs = {**attrs, "shape": (B * factor,) + target[1:]}
+        attrs = {**attrs, "shape": ((-1,) if symbolic else (B * factor,))
+                 + target[1:]}
     elif op == "transpose":
         if tuple(attrs["perm"])[0] != 0:
             raise NotStackable("transpose moves the batch axis")
@@ -485,7 +577,8 @@ def _transform_step(step: Step, B: int, factor: int, batched,
         if starts[0] != 0 or stops[0] < B \
                 or (steps_ is not None and int(steps_[0]) != 1):
             raise NotStackable("slice cuts the batch axis")
-        attrs = {**attrs, "stops": (B * factor,) + stops[1:]}
+        attrs = {**attrs, "stops":
+                 ((OPEN_STOP,) if symbolic else (B * factor,)) + stops[1:]}
     elif op == "gather":
         if int(attrs.get("axis", 0)) % rank == 0:
             raise NotStackable("gather indexes the batch axis")
@@ -599,5 +692,5 @@ def _variant_plan(program: ExecutionProgram, factor: int, batched,
 
 __all__ = [
     "BatchAnalysis", "NotStackable", "analyze", "bucket",
-    "mark_unstackable", "rebatch",
+    "mark_unstackable", "rebatch", "symbolize",
 ]

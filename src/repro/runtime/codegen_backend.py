@@ -63,10 +63,21 @@ from typing import Callable
 import numpy as np
 
 from ..api.errors import BackendCompilationError, ExecutionError
+from ..ir.symbolic import OPEN_STOP, SymDim, SymViewChain
 from .kernels import _BINARY_IMPL, layout_convert_elided
 from .program import ExecutionProgram, NumPyBackend, register_backend
 
 _MODULE_CACHE_KEY = "codegen.module"
+
+#: Module sources actually emitted+compiled (cache misses) since process
+#: start - the regression-test observable for "one emission per bucket".
+_EMISSIONS = 0
+
+
+def emission_count() -> int:
+    """How many program modules this process has emitted and compiled
+    (cache hits excluded)."""
+    return _EMISSIONS
 
 #: Unary funcs with a bitwise-identical in-place recipe (plain ufuncs, or
 #: ufunc compositions whose reference impl is the same op sequence).
@@ -192,23 +203,49 @@ class _SourceEmitter:
 
     @staticmethod
     def _render_view(expr: str, chain) -> str:
-        """Inline a pre-resolved view chain as direct ndarray calls."""
+        """Inline a pre-resolved view chain as direct ndarray calls.
+
+        Symbolic chains render their batch-axis placeholders against
+        ``_n``, the per-request extent local emitted at the top of the
+        function body - the runtime spelling of what a concrete variant
+        embeds as a shape literal.
+        """
+        symbolic = isinstance(chain, SymViewChain)
         for step in chain.steps:
             if step.kind == "reshape":
-                expr = f"{expr}.reshape({step.arg!r})"
+                if symbolic and -1 in step.arg:
+                    dims = ", ".join(
+                        "_n" if d == -1 else str(d) for d in step.arg)
+                    if len(step.arg) == 1:
+                        dims += ","
+                    expr = f"{expr}.reshape(({dims}))"
+                else:
+                    expr = f"{expr}.reshape({step.arg!r})"
             elif step.kind == "transpose":
                 expr = f"{expr}.transpose({step.arg!r})"
             else:  # slice: constant subscript, no per-run slice building
                 index = ", ".join(
-                    f"{lo}:{hi}:{st}" for lo, hi, st in step.arg)
+                    f"{lo}:{'_n' if hi == OPEN_STOP else hi}:{st}"
+                    for lo, hi, st in step.arg)
                 expr = f"{expr}[{index}]"
         return expr
 
     def _emit_check(self, lines, out: str, step, shape) -> None:
-        """The reference backend's shape check, verbatim semantics."""
+        """The reference backend's shape check, verbatim semantics.
+
+        Symbolic output specs pin rank and trailing extents only (the
+        leading extent is per-request); the condition and the error text
+        match the reference backend's symbolic branch exactly -
+        ``repr(SYM)`` is ``"?"``, so both spell the spec ``(?, ...)``.
+        """
         message = (f"kernel {step.op_type} ({step.node_id}) produced "
                    f"shape %r, spec says {shape!r}")
-        lines.append(f"    if {out}.shape != {shape!r}:")
+        if shape and isinstance(shape[0], SymDim):
+            tail = tuple(shape[1:])
+            lines.append(f"    if len({out}.shape) != {len(shape)} or "
+                         f"{out}.shape[1:] != {tail!r}:")
+        else:
+            lines.append(f"    if {out}.shape != {shape!r}:")
         lines.append(f"        raise ExecutionError({message!r}"
                      f" % ({out}.shape,))")
 
@@ -441,6 +478,14 @@ class _SourceEmitter:
         program = self.program
         slot_sizes = program.slot_plan.slot_sizes
         lines: list[str] = []
+        if program.symbolic_extent is not None:
+            # The symbolic extent is a *runtime local*, read off the
+            # request once; everything shape-like downstream (batch-axis
+            # slices, reshape targets) refers to it instead of a literal.
+            lines.append(f"    # symbolic leading extent (bound "
+                         f"{program.symbolic_extent}), decided per request")
+            lines.append(
+                f"    _n = values[{program.input_names[0]!r}].shape[0]")
         if accounted:
             for slot in program.slot_plan.input_slots:
                 lines.append(f"    allocate({slot_sizes[slot]}); "
@@ -474,7 +519,13 @@ class _SourceEmitter:
                 f"collapsed into register expressions "
                 f"({program.fused_step_count} interior steps never "
                 "materialized).")
-        if program.batch_factor > 1:
+        if program.symbolic_extent is not None:
+            header.append(
+                f"# Symbolic bucket variant (extent bound "
+                f"{program.symbolic_extent}): one compiled module serves "
+                "every leading extent up to the bound, at that exact "
+                "extent.")
+        elif program.batch_factor > 1:
             header.append(
                 f"# Batch-{program.batch_factor} stacked variant: one "
                 "kernel call per step serves the whole micro-batch.")
@@ -506,6 +557,8 @@ def compile_program(program: ExecutionProgram) -> CompiledProgramModule:
     """
     found = program.backend_cache.get(_MODULE_CACHE_KEY)
     if found is None:
+        global _EMISSIONS
+        _EMISSIONS += 1
         try:
             source, namespace = emit_program_source(program)
             code = compile(source, f"<repro-codegen:{program.graph.name}>",

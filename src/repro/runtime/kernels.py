@@ -140,6 +140,15 @@ def conv2d_gemm(inputs, attrs, scratch: ConvScratch | None = None):
     if scratch is None:
         scratch = ConvScratch.plan(x.shape, w.shape, attrs)
     padded, cols = scratch.buffers(x.dtype)
+    if cols.shape[0] != n:
+        # Symbolic bucket variants bind scratch at the bucket's max
+        # extent; smaller runtime extents use the leading-axis prefix.
+        # A C-contiguous leading slice is itself contiguous, so the
+        # strided im2col gather and the per-group GEMM below see the
+        # exact buffers an extent-``n`` binding would have planned.
+        cols = cols[:n]
+        if padded is not None:
+            padded = padded[:n]
     if padded is not None:
         padded[:, :, ph:ph + h, pw:pw + wd] = x
         xp = padded

@@ -51,6 +51,8 @@ import time
 from collections import deque
 from multiprocessing import connection
 
+import numpy as np
+
 from ..api.errors import WorkerCrashed
 from ..memory.pool import PoolReport
 from .program import ExecutionBackend, get_backend, register_backend
@@ -109,7 +111,12 @@ def _worker_main(conn_, session, inner_name: str, ring: SegmentRing) -> None:
         from . import session as session_module
         session_module._CIRCUIT = session_module.CircuitBreaker()
         inner = get_backend(inner_name)
-        layout = ring.layout
+        # Per-extent layouts, built lazily and deterministically from
+        # (program, capacity, extent) - the parent derives the same
+        # offsets from the same triple, so only the extent crosses the
+        # pipe.  ``None`` is the base (concrete) layout.
+        capacity = ring.layout.capacity
+        layouts: dict = {None: ShardLayout(session.program, capacity)}
         params = session._params
         conn_.send(("ready", os.getpid()))
         while True:
@@ -117,9 +124,13 @@ def _worker_main(conn_, session, inner_name: str, ring: SegmentRing) -> None:
             kind = message[0]
             if kind == "stop":
                 break
-            _, seg_index, count, crash = message
+            _, seg_index, count, crash, extent = message
             if crash:  # injected worker_crash: die mid-shard, uncleanly
                 os._exit(17)
+            layout = layouts.get(extent)
+            if layout is None:
+                layout = layouts[extent] = ShardLayout(
+                    session.program, capacity, extent=extent)
             buf = ring.buf(seg_index)
             values_list = []
             for i in range(count):
@@ -192,11 +203,23 @@ class WorkerPool:
         self.layout = ShardLayout(program, self.capacity)
         self.stackable = analyze(program).stackable
         self._input_names = frozenset(program.input_names)
+        self._first_input = program.input_names[0]
+        # Symbolic sessions add per-extent layouts (lazily, mirrored in
+        # each worker) and size segments for whichever layout is the
+        # largest - the base stacked layout or the max admitted extent.
+        self._layouts: dict[int, ShardLayout] = {}
+        ring_layout = self.layout
+        sym = session.symbolic
+        if sym is not None and sym.max_extent != sym.base_extent:
+            widest = ShardLayout(program, self.capacity,
+                                 extent=sym.max_extent)
+            if widest.segment_bytes > ring_layout.segment_bytes:
+                ring_layout = widest
         self._warm_parent()
         # Segments outlive individual workers: a respawned worker
         # inherits the *same* ring, so a crashed shard's inputs are
         # still in place for verbatim re-dispatch.
-        self.ring = SegmentRing(self.layout, count=self.workers + 2)
+        self.ring = SegmentRing(ring_layout, count=self.workers + 2)
         try:
             self._workers = [self._spawn(i) for i in range(self.workers)]
         except BaseException:
@@ -220,6 +243,26 @@ class WorkerPool:
                 if size > 1:
                     session.execute_values(
                         [dict(values) for _ in range(size)], backend=inner)
+        sym = session.symbolic
+        if sym is not None:
+            # One representative run per symbolic bucket: the children
+            # inherit each bucket's compiled variant (and codegen
+            # runner) plus its warmed pool instead of rebuilding them
+            # ``workers`` times on first off-base request.
+            from .batching import bucket
+
+            reps: dict[int, int] = {}
+            for extent in range(1, sym.max_extent + 1):
+                factor = bucket(max(1, -(-extent // sym.base_extent)))
+                reps[factor] = extent  # largest extent per bucket wins
+            for extent in sorted(reps.values()):
+                if extent == sym.base_extent:
+                    continue
+                warm = {
+                    name: np.resize(value, (extent,) + value.shape[1:])
+                    if name in sym.inputs else value
+                    for name, value in values.items()}
+                session.execute_values([warm], backend=inner)
 
     def _spawn(self, index: int) -> _Worker:
         parent_conn, child_conn = self._ctx.Pipe()
@@ -299,8 +342,9 @@ class WorkerPool:
 
         Returns ``(rows, batched)`` shaped like
         ``ExecutionBackend.run_many`` output, or ``None`` when the
-        invocation cannot shard (per-request parameter overrides) and
-        must run in-process.
+        invocation cannot shard (per-request parameter overrides, or a
+        symbolic micro-batch mixing leading extents - the in-process
+        path groups those per extent) and must run in-process.
         """
         params = self.session._params
         for values in values_list:
@@ -308,12 +352,33 @@ class WorkerPool:
                 if key not in self._input_names \
                         and params.get(key) is not value:
                     return None  # per-request params: in-process path
+        extent = None
+        sym = self.session.symbolic
+        if sym is not None:
+            extents = {values[self._first_input].shape[0]
+                       for values in values_list}
+            if len(extents) > 1:
+                return None  # mixed extents: in-process grouping
+            found = extents.pop()
+            if found != sym.base_extent:
+                extent = int(found)
         with self._lock:
             if self.closed:
                 return None
-            return self._run_locked(values_list)
+            return self._run_locked(values_list, extent)
 
-    def _run_locked(self, values_list):
+    def _layout_for(self, extent):
+        """The (parent-side) layout serving one runtime extent;
+        ``None`` is the base concrete layout."""
+        if extent is None:
+            return self.layout
+        found = self._layouts.get(extent)
+        if found is None:
+            found = self._layouts[extent] = ShardLayout(
+                self.session.program, self.capacity, extent=extent)
+        return found
+
+    def _run_locked(self, values_list, extent=None):
         n = len(values_list)
         num = self._num_shards(n)
         base, extra = divmod(n, num)
@@ -330,7 +395,7 @@ class WorkerPool:
         idle = deque(range(len(self._workers)))
         active: dict[int, int] = {}
         deadline = time.monotonic() + _DISPATCH_TIMEOUT_S
-        layout = self.layout
+        layout = self._layout_for(extent)
         while pending or active:
             while pending and idle:
                 shard = shards[pending[0]]
@@ -343,7 +408,7 @@ class WorkerPool:
                 worker_index = idle.popleft()
                 shard_index = pending.popleft()
                 self._workers[worker_index].conn.send(
-                    ("run", shard.seg, shard.count, shard.crash))
+                    ("run", shard.seg, shard.count, shard.crash, extent))
                 shard.crash = False  # an injected crash fires once
                 active[worker_index] = shard_index
             conns = {self._workers[w].conn: w for w in active}
@@ -366,15 +431,15 @@ class WorkerPool:
                     continue
                 handled.add(worker_index)
                 self._settle(worker_index, shards, values_list, rows,
-                             active, idle, pending)
+                             active, idle, pending, layout)
         for shard in shards:
             if shard.error is not None:
                 raise shard.error
-        self._fill_reports(rows)
+        self._fill_reports(rows, extent)
         return rows, any(shard.batched for shard in shards)
 
     def _settle(self, worker_index: int, shards, values_list, rows,
-                active, idle, pending) -> None:
+                active, idle, pending, layout) -> None:
         """Consume one worker's completion - a reply or a death."""
         worker = self._workers[worker_index]
         shard_index = active[worker_index]
@@ -418,7 +483,7 @@ class WorkerPool:
             buf = self.ring.buf(seg_index)
             for i in range(shard.count):
                 rows[shard.start + i] = (
-                    self.layout.read_outputs(buf, i), None, walls[i])
+                    layout.read_outputs(buf, i), None, walls[i])
         else:
             shard.error = message[2]
         self.ring.release(shard.seg)
@@ -438,17 +503,26 @@ class WorkerPool:
         for i, row in enumerate(results):
             rows[shard.start + i] = row
 
-    def _fill_reports(self, rows) -> None:
+    def _fill_reports(self, rows, extent=None) -> None:
         """Stamp the shared steady-state PoolReport on worker-served
         rows (the worker's pool did the real accounting in its own
         process; the parent-side report mirrors the steady-state shape
         ``run_many`` fabricates once a pool is warm)."""
-        plan = self.session.program.slot_plan
+        program = self.session.program
+        if extent is not None:
+            # Off-base extents executed through the bucket's symbolic
+            # variant in the worker: report that variant's plan.
+            from .batching import bucket, symbolize
+
+            sym = self.session.symbolic
+            factor = bucket(max(1, -(-extent // sym.base_extent)))
+            program = symbolize(self.session.program, factor)
+        plan = program.slot_plan
         report = PoolReport(
             peak_bytes=plan.peak_bytes,
             peak_copy_bytes=0,
             final_bytes=self.session.pool.live_bytes,
-            timeline=self.session.program.timeline,
+            timeline=program.timeline,
             allocations=0,
             reuses=plan.allocs_per_run,
             total_allocated_bytes=plan.total_allocated_bytes,

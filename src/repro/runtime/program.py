@@ -50,6 +50,7 @@ import numpy as np
 
 from ..api.errors import ExecutionError
 from ..ir.graph import Graph
+from ..ir.symbolic import SymDim
 from ..ir.view import ViewChain
 from ..memory.pool import (
     MemoryPool, PoolEvent, PoolReport, liveness_schedule,
@@ -185,7 +186,29 @@ def _compile_step(step: Step) -> Callable[[dict], None]:
     op_type = step.op_type
     node_id = step.node_id
 
+    symbolic = any(s and isinstance(s[0], SymDim) for s in shapes)
+
     if len(out_names) > 1:
+        if symbolic:
+            # Symbolic specs pin rank and trailing extents; the leading
+            # extent is the runtime extent, free by construction.  The
+            # error text matches the concrete branch (and the codegen
+            # backend) character-for-character - repr(SYM) is "?".
+            tails = tuple((len(s), tuple(s[1:])) for s in shapes)
+
+            def execute(values: dict) -> None:
+                args = [values[n] for n in names]
+                for idx, apply in appliers:
+                    args[idx] = apply(args[idx])
+                for name, shape, (rank, tail), value in zip(
+                        out_names, shapes, tails, kernel(args, attrs)):
+                    if len(value.shape) != rank or value.shape[1:] != tail:
+                        raise ExecutionError(
+                            f"kernel {op_type} ({node_id}) produced shape "
+                            f"{value.shape}, spec says {shape}")
+                    values[name] = value
+            return execute
+
         def execute(values: dict) -> None:
             args = [values[n] for n in names]
             for idx, apply in appliers:
@@ -201,6 +224,25 @@ def _compile_step(step: Step) -> Callable[[dict], None]:
 
     out = out_names[0]
     shape = shapes[0]
+
+    if symbolic:
+        rank = len(shape)
+        tail = tuple(shape[1:])
+
+        def execute(values: dict) -> None:
+            args = [values[n] for n in names]
+            for idx, apply in appliers:
+                args[idx] = apply(args[idx])
+            result = kernel(args, attrs)
+            if type(result) in (tuple, list):
+                result = result[0]
+            if len(result.shape) != rank or result.shape[1:] != tail:
+                raise ExecutionError(
+                    f"kernel {op_type} ({node_id}) produced shape "
+                    f"{result.shape}, spec says {shape}")
+            values[out] = result
+
+        return execute
 
     def execute(values: dict) -> None:
         args = [values[n] for n in names]
@@ -224,13 +266,14 @@ class ExecutionProgram:
     __slots__ = ("graph", "steps", "slot_plan", "input_names",
                  "output_names", "input_signature", "batch_factor",
                  "timeline", "op_list", "backend_cache", "fused_chains",
-                 "fused_interiors", "fused_step_count")
+                 "fused_interiors", "fused_step_count", "symbolic_extent")
 
     def __init__(self, graph: Graph, steps: tuple[Step, ...],
                  slot_plan: SlotPlan,
                  input_signature: tuple | None = None,
                  batch_factor: int = 1,
-                 fused_chains: tuple[tuple[int, ...], ...] = ()) -> None:
+                 fused_chains: tuple[tuple[int, ...], ...] = (),
+                 symbolic_extent: int | None = None) -> None:
         self.graph = graph
         self.steps = steps
         self.slot_plan = slot_plan
@@ -263,6 +306,12 @@ class ExecutionProgram:
         # How many stacked requests one pass of this program serves: 1
         # for base lowerings, the bucket size for rebatched variants.
         self.batch_factor = batch_factor
+        # Symbolic (extent-polymorphic) variants: the *bound* - the
+        # largest leading extent this variant's slot plan, scratch, and
+        # shm layouts are sized for.  The variant executes any request
+        # whose leading extent is <= the bound at that exact extent (no
+        # padding); None for concrete programs.
+        self.symbolic_extent = symbolic_extent
         # One PoolEvent tuple per program, shared across every run's
         # PoolReport: the live-byte walk is static, and a tuple keeps a
         # consumer of one run's report from mutating every other's.

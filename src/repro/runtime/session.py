@@ -50,8 +50,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..api.errors import AdmissionError, BackendCompilationError, ReproError
+from ..api.errors import (
+    AdmissionError, BackendCompilationError, InvalidOptions, ReproError,
+)
 from ..ir.graph import Graph
+from ..ir.symbolic import SYM, is_placeholder
 from ..memory.pool import PoolReport, SizeClassPool
 from .device import DeviceSpec, SD8GEN2
 from .executor import make_inputs
@@ -170,6 +173,23 @@ _CIRCUIT = CircuitBreaker()
 """Process-wide breaker consulted by every session's fallback path."""
 
 
+@dataclass(frozen=True)
+class SymbolicServing:
+    """A session's symbolic-shape contract, fixed at compile time.
+
+    ``base_extent`` is the leading extent the graph was built at (the
+    concrete fast path); ``max_extent`` bounds the extents admission
+    accepts (1..max_extent, sizing the largest bucket's slot plan,
+    scratch, and shm layouts); ``inputs`` is the frozen set of
+    graph-input names carrying the symbolic leading dim (all of them -
+    the batch axis is shared by construction).
+    """
+
+    base_extent: int
+    max_extent: int
+    inputs: frozenset[str]
+
+
 def circuit_breaker() -> CircuitBreaker:
     """The process-wide :class:`CircuitBreaker` (for inspection/reset)."""
     return _CIRCUIT
@@ -186,7 +206,8 @@ class Session:
                  cell=None, program: ExecutionProgram | None = None,
                  backend: str = "numpy",
                  faults: FaultPlan | None = None,
-                 workers: int = 1) -> None:
+                 workers: int = 1,
+                 signature=None, max_extent: int = 0) -> None:
         self.graph = graph
         self.plan = plan
         self.config = config
@@ -223,6 +244,13 @@ class Session:
         self.parallel_capacity = 16
         self._parallel_pool = None
         self._parallel_failed = False
+        # Symbolic serving: one pool per symbolic bucket (warmed to that
+        # bucket's slot plan on first use), mirroring _bucket_pools for
+        # the stacked path.  None for concrete sessions.
+        self.symbolic: SymbolicServing | None = None
+        self._symbolic_pools: dict[int, SizeClassPool] = {}
+        if signature is not None:
+            self._init_symbolic(signature, max_extent)
 
     @property
     def program(self) -> ExecutionProgram:
@@ -285,6 +313,76 @@ class Session:
             self._input_cache[seed] = found
         return dict(found)
 
+    def _init_symbolic(self, signature, max_extent: int) -> None:
+        """Validate and install the symbolic-shape contract.
+
+        Refusals here mirror :func:`repro.runtime.batching.analyze`: a
+        model whose program is not batch-scalable cannot serve a
+        symbolic leading dim, and the refusal carries the analysis's
+        recorded reason.  Raises
+        :class:`~repro.api.errors.InvalidOptions` - this is an options
+        problem (the model/signature pair), not a per-request one.
+        """
+        from .batching import analyze
+
+        who = self.model or self.graph.name
+        if not isinstance(max_extent, int) or max_extent < 1:
+            raise InvalidOptions(
+                f"symbolic signature for {who!r} needs max_extent >= 1, "
+                f"got {max_extent!r}")
+        items = signature.items() if isinstance(signature, dict) \
+            else signature
+        tensors = self.graph.tensors
+        inputs = frozenset(self.graph.inputs)
+        for name, shape in items:
+            if name not in inputs:
+                raise InvalidOptions(
+                    f"symbolic signature names {name!r}, which is not a "
+                    f"graph input of {who!r}; inputs are {sorted(inputs)}")
+            dims = tuple(shape)
+            spec_shape = tuple(tensors[name].shape)
+            if not dims or not is_placeholder(dims[0]):
+                raise InvalidOptions(
+                    f"symbolic signature: input {name!r} must lead with a "
+                    f"placeholder (None/SYM), got {dims!r}")
+            if any(is_placeholder(d) for d in dims[1:]):
+                raise InvalidOptions(
+                    f"symbolic signature: input {name!r}: only the leading "
+                    f"dim may be symbolic, got {dims!r}")
+            if len(dims) != len(spec_shape) \
+                    or tuple(int(d) for d in dims[1:]) != spec_shape[1:]:
+                raise InvalidOptions(
+                    f"symbolic signature: input {name!r} declares "
+                    f"{(SYM,) + tuple(dims[1:])}, but the compiled graph "
+                    f"expects {(SYM,) + spec_shape[1:]}")
+        analysis = analyze(self.program)
+        if not analysis.stackable:
+            raise InvalidOptions(
+                f"{who!r} cannot serve a symbolic leading extent: "
+                f"{analysis.reason}")
+        self.symbolic = SymbolicServing(
+            base_extent=analysis.batch_extent,
+            max_extent=max_extent,
+            inputs=inputs)
+
+    @property
+    def serving_signature(self) -> dict[str, tuple]:
+        """``{input name: (shape, dtype)}`` this session admits.
+
+        Symbolic sessions spell the leading dim with
+        :data:`~repro.ir.symbolic.SYM` (rendered ``?``); concrete
+        sessions return the exact graph shapes.
+        """
+        tensors = self.graph.tensors
+        out = {}
+        for name in self.graph.inputs:
+            spec = tensors[name]
+            shape = tuple(spec.shape)
+            if self.symbolic is not None:
+                shape = (SYM,) + shape[1:]
+            out[name] = (shape, np.dtype(spec.dtype.numpy_dtype))
+        return out
+
     def _admit(self, inputs: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
         """Validate one request and merge it over the session parameters.
 
@@ -295,14 +393,41 @@ class Session:
         naming the tensor instead of deep inside a kernel.
         """
         tensors = self.graph.tensors
+        sym = self.symbolic
         values = dict(self._params)
+        extent = extent_name = None
         for name, value in inputs.items():
             spec = tensors.get(name)
             if spec is None:
                 continue
             if not isinstance(value, np.ndarray):
                 value = np.asarray(value)
-            if value.shape != spec.shape:
+            if sym is not None and name in sym.inputs:
+                expected = (SYM,) + tuple(spec.shape)[1:]
+                shape = tuple(value.shape)
+                if len(shape) != len(expected) \
+                        or shape[1:] != expected[1:]:
+                    raise AdmissionError(
+                        f"input {name!r}: got shape {shape}, expected "
+                        f"{expected} (symbolic leading extent, served "
+                        f"bucket range 1..{sym.max_extent})",
+                        model=self.model or self.graph.name)
+                if not 1 <= shape[0] <= sym.max_extent:
+                    raise AdmissionError(
+                        f"input {name!r}: leading extent {shape[0]} is "
+                        f"outside the served bucket range "
+                        f"1..{sym.max_extent}",
+                        model=self.model or self.graph.name)
+                if extent is None:
+                    extent, extent_name = shape[0], name
+                elif shape[0] != extent:
+                    raise AdmissionError(
+                        f"input {name!r}: leading extent {shape[0]} "
+                        f"disagrees with input {extent_name!r} (extent "
+                        f"{extent}); a request's inputs share one "
+                        f"symbolic extent",
+                        model=self.model or self.graph.name)
+            elif value.shape != spec.shape:
                 raise AdmissionError(
                     f"input {name!r}: got shape {tuple(value.shape)}, "
                     f"expected {spec.shape}",
@@ -396,27 +521,10 @@ class Session:
                         batched_flag[0] = was_batched
                         return rows
                     bk = inner  # pool unavailable: in-process inner path
-                ctx = self._stacked_context(vlist) \
-                    if len(vlist) > 1 else None
-                if ctx is not None:
-                    batched_flag[0] = True
-                    return bk.run_stacked(self.program, ctx[0], vlist,
-                                          ctx[1])
-                batched_flag[0] = False
-                return bk.run_many(self.program, vlist, self.pool)
+                return self._invoke_inprocess(bk, vlist, batched_flag)
         else:
-            stacked = self._stacked_context(values_list) \
-                if len(values_list) > 1 else None
-            batched_flag[0] = stacked is not None
-            if stacked is None:
-                def invoke(bk, vlist):
-                    return bk.run_many(self.program, vlist, self.pool)
-            else:
-                variant, bucket_pool = stacked
-
-                def invoke(bk, vlist):
-                    return bk.run_stacked(self.program, variant, vlist,
-                                          bucket_pool)
+            def invoke(bk, vlist):
+                return self._invoke_inprocess(bk, vlist, batched_flag)
         # The runners mutate the value dicts in place (drops, outputs),
         # so the fallback replays pristine shallow copies.  Only armed
         # off the reference path: the default backend pays nothing.
@@ -448,6 +556,78 @@ class Session:
         if fallback is not None:
             _CIRCUIT.record_success(name, self.fingerprint)
         return results, name, batched_flag[0]
+
+    def _invoke_inprocess(self, bk, vlist, batched_flag):
+        """Route one in-process invocation through ``bk``.
+
+        Concrete sessions keep the stacked-vs-sequential decision
+        unchanged.  Symbolic sessions group requests by leading extent
+        first: base-extent requests take the concrete path (including
+        stacking); any other extent runs through its bucket's symbolic
+        variant against that bucket's warmed pool, each request at its
+        *exact* extent - never padded, never stacked - which is what
+        keeps outputs byte-identical to a fresh concrete compile at
+        that extent.  Results are scattered back in request order.
+        """
+        sym = self.symbolic
+        if sym is None:
+            return self._invoke_concrete(bk, vlist, batched_flag)
+        name = self.program.input_names[0]
+        groups: dict[int, list[int]] = {}
+        for index, values in enumerate(vlist):
+            groups.setdefault(values[name].shape[0], []).append(index)
+        if len(groups) == 1 and sym.base_extent in groups:
+            return self._invoke_concrete(bk, vlist, batched_flag)
+        results = [None] * len(vlist)
+        batched_any = False
+        for extent, indices in groups.items():
+            sub = [vlist[i] for i in indices]
+            if extent == sym.base_extent:
+                flag = [False]
+                rows = self._invoke_concrete(bk, sub, flag)
+                batched_any = batched_any or flag[0]
+            else:
+                variant, pool = self._symbolic_context(extent)
+                rows = bk.run_many(variant, sub, pool)
+            for index, row in zip(indices, rows):
+                results[index] = row
+        batched_flag[0] = batched_any
+        return results
+
+    def _invoke_concrete(self, bk, vlist, batched_flag):
+        """The concrete serving path: one stacked pass when licensed,
+        the sequential loop otherwise."""
+        ctx = self._stacked_context(vlist) if len(vlist) > 1 else None
+        if ctx is not None:
+            batched_flag[0] = True
+            return bk.run_stacked(self.program, ctx[0], vlist, ctx[1])
+        batched_flag[0] = False
+        return bk.run_many(self.program, vlist, self.pool)
+
+    def _symbolic_context(self, extent: int):
+        """The ``(symbolic variant, warmed pool)`` serving one runtime
+        extent.
+
+        The bucket factor is the power of two covering
+        ``ceil(extent / base_extent)`` - one compiled variant (and one
+        pool, warmed to its max-bound slot plan on first use) per
+        bucket, however many distinct extents the bucket serves.
+        """
+        from .batching import bucket, symbolize
+
+        sym = self.symbolic
+        factor = bucket(max(1, -(-extent // sym.base_extent)))
+        variant = symbolize(self.program, factor)
+        pool = self._symbolic_pools.get(factor)
+        if pool is None:
+            pool = SizeClassPool()
+            sizes = variant.slot_plan.slot_sizes
+            for size in sizes:
+                pool.allocate(size)
+            for size in sizes:
+                pool.release(size)
+            self._symbolic_pools[factor] = pool
+        return variant, pool
 
     def _stacked_context(self, values_list):
         """The ``(variant, bucket pool)`` serving one stacked pass, or
@@ -641,6 +821,7 @@ def _compile_session(model: str | Graph, framework: str = "Ours",
                      device: DeviceSpec = SD8GEN2, batch: int = 1,
                      check_memory: bool = False, backend: str = "numpy",
                      faults: FaultPlan | None = None, workers: int = 1,
+                     signature=None, max_extent: int = 0,
                      **fw_kwargs) -> Session:
     """Compile a (model, framework, device) triple into a fresh Session.
 
@@ -674,6 +855,7 @@ def _compile_session(model: str | Graph, framework: str = "Ours",
         model=model if isinstance(model, str) else model.name,
         cell=cell, program=result.program, backend=backend,
         faults=faults, workers=workers,
+        signature=signature, max_extent=max_extent,
     )
 
 
@@ -730,10 +912,13 @@ class SessionRegistry:
         self._sessions: OrderedDict = OrderedDict()
 
     def _key(self, model, framework, device, batch, backend, fw_kwargs,
-             faults=None, workers=1):
+             faults=None, workers=1, signature=None, max_extent=0):
         """Hashable triple identity, or None when uncacheable."""
+        if isinstance(signature, dict):
+            signature = tuple(sorted(
+                (name, tuple(shape)) for name, shape in signature.items()))
         key = (stable_model_key(model), framework, device or self.device,
-               batch, backend, faults, workers,
+               batch, backend, faults, workers, signature, max_extent,
                tuple(sorted(fw_kwargs.items())))
         try:
             hash(key)
@@ -744,20 +929,23 @@ class SessionRegistry:
     def compile(self, model: str | Graph, framework: str = "Ours",
                 device: DeviceSpec | None = None, batch: int = 1,
                 backend: str = "numpy", faults: FaultPlan | None = None,
-                workers: int = 1, **fw_kwargs) -> Session:
+                workers: int = 1, signature=None, max_extent: int = 0,
+                **fw_kwargs) -> Session:
         key = self._key(model, framework, device, batch, backend, fw_kwargs,
-                        faults, workers)
+                        faults, workers, signature, max_extent)
         if key is None:
             return _compile_session(model, framework, device or self.device,
                                     batch, backend=backend, faults=faults,
-                                    workers=workers, **fw_kwargs)
+                                    workers=workers, signature=signature,
+                                    max_extent=max_extent, **fw_kwargs)
         found = self._sessions.get(key)
         if found is not None:
             self._sessions.move_to_end(key)  # LRU: refresh recency
             return found
         session = _compile_session(model, framework, device or self.device,
                                    batch, backend=backend, faults=faults,
-                                   workers=workers, **fw_kwargs)
+                                   workers=workers, signature=signature,
+                                   max_extent=max_extent, **fw_kwargs)
         self._sessions[key] = session
         if self.max_sessions is not None \
                 and len(self._sessions) > self.max_sessions:
@@ -767,10 +955,11 @@ class SessionRegistry:
     def evict(self, model: str | Graph, framework: str = "Ours",
               device: DeviceSpec | None = None, batch: int = 1,
               backend: str = "numpy", faults: FaultPlan | None = None,
-              workers: int = 1, **fw_kwargs) -> bool:
+              workers: int = 1, signature=None, max_extent: int = 0,
+              **fw_kwargs) -> bool:
         """Drop the live session for a triple; True when one was evicted."""
         key = self._key(model, framework, device, batch, backend, fw_kwargs,
-                        faults, workers)
+                        faults, workers, signature, max_extent)
         return key is not None and self._sessions.pop(key, None) is not None
 
     def clear(self) -> None:

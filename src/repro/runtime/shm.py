@@ -139,21 +139,50 @@ class ShardLayout:
     The dispatcher writes request ``i``'s input tensors into ``in_i``
     and the worker writes its outputs into ``out_i`` - both sides
     compute the same offsets from the program alone.
+
+    Symbolic serving keeps the no-metadata property per *extent*: a
+    layout built with ``extent=S`` substitutes ``S`` for the leading
+    dim of every input and every batch-carrying output, so parent and
+    worker - both holding the same base program - derive identical
+    offsets from ``(program, capacity, S)`` with nothing but ``S``
+    crossing the pipe.  Tensors whose leading dim the batch analysis
+    proved batch-independent keep their exact shapes.
     """
 
-    __slots__ = ("capacity", "inputs", "outputs", "request_in_bytes",
-                 "request_out_bytes", "segment_bytes")
+    __slots__ = ("capacity", "extent", "inputs", "outputs",
+                 "request_in_bytes", "request_out_bytes", "segment_bytes")
 
-    def __init__(self, program, capacity: int) -> None:
+    def __init__(self, program, capacity: int,
+                 extent: int | None = None) -> None:
         if capacity < 1:
             raise ValueError("ShardLayout capacity must be at least 1")
         self.capacity = int(capacity)
-        self.inputs, self.request_in_bytes = _pack(program.input_signature)
+        self.extent = extent
         graph = program.graph
-        self.outputs, self.request_out_bytes = _pack(
+        input_specs = program.input_signature
+        output_specs = [
             (name, tuple(graph.shape(name)),
              str(np.dtype(graph.tensors[name].dtype.numpy_dtype)))
-            for name in program.output_names)
+            for name in program.output_names]
+        if extent is not None:
+            from .batching import analyze  # deferred: cyclic at import
+            analysis = analyze(program)
+            if not analysis.stackable:
+                raise ValueError(
+                    f"per-extent layout needs a batch-scalable program: "
+                    f"{analysis.reason}")
+            base = analysis.batch_extent
+            input_specs = [
+                (name, (int(extent),) + tuple(shape[1:]), dtype)
+                for name, shape, dtype in input_specs]
+            output_specs = [
+                (name,
+                 (shape[0] * int(extent) // base,) + shape[1:]
+                 if name in analysis.batched else shape,
+                 dtype)
+                for name, shape, dtype in output_specs]
+        self.inputs, self.request_in_bytes = _pack(input_specs)
+        self.outputs, self.request_out_bytes = _pack(output_specs)
         self.segment_bytes = self.capacity * (
             self.request_in_bytes + self.request_out_bytes)
 
